@@ -1,0 +1,15 @@
+"""Shared benchmark helpers: the paper's worked configuration."""
+
+from repro.config.configuration import ClusterSpec, Configuration
+
+
+def section9_configuration() -> Configuration:
+    """The paper's worked 18-PE mapping (section 9)."""
+    return Configuration(
+        clusters=(
+            ClusterSpec(1, 3, 4),
+            ClusterSpec(2, 4, 4, tuple(range(16, 21))),
+            ClusterSpec(3, 5, 4, tuple(range(7, 16))),
+            ClusterSpec(4, 6, 4, tuple(range(7, 16))),
+        ),
+        name="section9-example")

@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table/figure of the paper (or one
+ablation from DESIGN.md section 2).  Each writes its reproduction table
+to ``benchmarks/reports/<name>.txt`` and prints it, so
+``pytest benchmarks/ --benchmark-only -s`` shows the full reproduction
+output inline.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.config.configuration import ClusterSpec, Configuration
+from repro.flex.presets import nasa_langley_flex32
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def report(report_dir, request):
+    """Write-and-print sink for one benchmark's reproduction output."""
+    chunks = []
+
+    def sink(text: str) -> None:
+        chunks.append(text)
+        print(text)
+
+    yield sink
+    name = request.node.name.replace("/", "_").replace("[", "_").rstrip("]")
+    (report_dir / f"{name}.txt").write_text("\n".join(chunks) + "\n")
+
+
+@pytest.fixture
+def nasa_machine():
+    return nasa_langley_flex32()

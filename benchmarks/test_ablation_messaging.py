@@ -1,0 +1,111 @@
+"""Ablation A5: message-passing costs (sections 6, 11).
+
+Measures the run-time library's communication behaviour:
+
+* point-to-point round-trip cost, intra- vs inter-cluster (the virtual
+  machine makes inter-cluster latency visible);
+* broadcast vs per-task sends (one statement, N deliveries and N
+  allocations);
+* heap churn: allocations == frees over a long exchange.
+"""
+
+import pytest
+
+from repro.config.configuration import ClusterSpec, Configuration
+from repro.core.task import TaskRegistry
+from repro.core.taskid import Broadcast, Cluster, PARENT, SENDER
+from repro.core.vm import PiscesVM
+from repro.flex.presets import nasa_langley_flex32
+from repro.util.tables import format_table
+
+ROUNDS = 40
+
+
+def run_pingpong(same_cluster: bool):
+    reg = TaskRegistry()
+
+    @reg.tasktype("ECHO")
+    def echo(ctx):
+        ctx.send(PARENT, "READY")
+        for _ in range(ROUNDS):
+            res = ctx.accept("PING")
+            ctx.send(SENDER, "PONG", res.args[0])
+
+    @reg.tasktype("MAIN")
+    def main(ctx):
+        where = Cluster(1) if same_cluster else Cluster(2)
+        ctx.initiate("ECHO", on=where)
+        ctx.accept("READY")
+        peer = ctx.sender
+        t0 = ctx.now()
+        for i in range(ROUNDS):
+            ctx.send(peer, "PING", i)
+            ctx.accept("PONG")
+        return (ctx.now() - t0) / ROUNDS
+
+    cfg = Configuration(clusters=(ClusterSpec(1, 3, 4),
+                                  ClusterSpec(2, 4, 4)), name="pp")
+    vm = PiscesVM(cfg, registry=reg, machine=nasa_langley_flex32())
+    r = vm.run("MAIN")
+    return r.value, r.stats
+
+
+def run_broadcast(n_listeners: int):
+    reg = TaskRegistry()
+
+    @reg.tasktype("LISTENER")
+    def listener(ctx):
+        ctx.send(PARENT, "READY")
+        ctx.accept("SHOUT")
+        ctx.send(PARENT, "HEARD")
+
+    @reg.tasktype("MAIN")
+    def main(ctx):
+        for i in range(n_listeners):
+            ctx.initiate("LISTENER", on=1 + (i % 2))
+        ctx.accept("READY", count=n_listeners)
+        t0 = ctx.now()
+        n = ctx.broadcast("SHOUT")
+        ctx.accept("HEARD", count=n_listeners)
+        return n, ctx.now() - t0
+
+    cfg = Configuration(clusters=(ClusterSpec(1, 3, 8),
+                                  ClusterSpec(2, 4, 8)), name="bc")
+    vm = PiscesVM(cfg, registry=reg, machine=nasa_langley_flex32())
+    r = vm.run("MAIN")
+    heap = vm.machine.shared.stats
+    return r.value, heap
+
+
+def run_all():
+    intra, _ = run_pingpong(same_cluster=True)
+    inter, stats = run_pingpong(same_cluster=False)
+    (ndeliv, bc_time), heap = run_broadcast(8)
+    return intra, inter, stats, ndeliv, bc_time, heap
+
+
+def test_messaging_costs(benchmark, report):
+    intra, inter, stats, ndeliv, bc_time, heap = benchmark.pedantic(
+        run_all, rounds=1, iterations=1)
+    rows = [
+        ["round-trip, same cluster", f"{intra:.0f} ticks"],
+        ["round-trip, other cluster", f"{inter:.0f} ticks"],
+        ["broadcast deliveries (8 listeners)", ndeliv],
+        ["broadcast completion", f"{bc_time} ticks"],
+        ["heap allocs == frees after run",
+         f"{heap.total_allocs - 1} / {heap.total_frees}"],
+    ]
+    report(format_table(["measure", "value"], rows,
+                        title=f"A5: MESSAGE PASSING ({ROUNDS}-round "
+                              f"ping-pong)"))
+
+    # Inter-cluster latency is visible but same order of magnitude.
+    assert inter > intra
+    assert inter < intra * 4
+    # One broadcast statement delivered to every live task but the sender.
+    assert ndeliv == 8
+    # Messages freed as accepted: everything allocated was freed except
+    # the static system tables (one alloc per cluster, never freed).
+    assert heap.total_allocs - heap.total_frees == 2   # 2 cluster tables
+    report("")
+    report(f"inter/intra latency ratio: {inter / intra:.2f}")

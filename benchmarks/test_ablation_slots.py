@@ -1,0 +1,98 @@
+"""Ablation A6: slots as the degree-of-multiprogramming control (§9).
+
+"The number of slots corresponds to the number of user tasks on the
+FLEX PE that may be simultaneously time-sharing the CPU. ... Thus the
+number of slots is a partial control on the degree of multiprogramming
+allowed on a PE."
+
+Multiprogramming pays off when tasks *wait*: while one task blocks on a
+reply from another cluster, another slot's task can use the CPU.  This
+benchmark runs 6 request/compute tasks in one cluster against a remote
+responder, sweeping the cluster's slot count: with 1 slot the tasks
+serialize end-to-end (each holds the only slot for its whole lifetime,
+message waits included); with more slots their waits overlap.  Pure
+compute, in contrast, gains nothing from extra slots -- one CPU is one
+CPU.
+"""
+
+import pytest
+
+from repro.config.configuration import ClusterSpec, Configuration
+from repro.core.task import TaskRegistry
+from repro.core.taskid import Cluster, PARENT, SENDER
+from repro.core.vm import PiscesVM
+from repro.flex.presets import nasa_langley_flex32
+from repro.util.tables import format_table
+
+N_TASKS = 6
+ROUNDS = 6
+THINK = 40         # compute between requests (small vs the wait)
+
+
+def run_case(slots: int, compute_only: bool):
+    reg = TaskRegistry()
+
+    @reg.tasktype("RESPONDER")
+    def responder(ctx):
+        while True:
+            res = ctx.accept("REQ", "STOP", count=1)
+            m = res.messages[0]
+            if m.mtype == "STOP":
+                return
+            ctx.compute(200)          # service time
+            ctx.send(SENDER, "REP")
+
+    @reg.tasktype("CLIENT")
+    def client(ctx, responder_tid):
+        for _ in range(ROUNDS):
+            ctx.compute(THINK)
+            if not compute_only:
+                ctx.send(responder_tid, "REQ")
+                ctx.accept("REP")
+            else:
+                ctx.compute(200)      # same total work, no waiting
+        ctx.send(PARENT, "DONE")
+
+    @reg.tasktype("MAIN")
+    def main(ctx):
+        ctx.initiate("RESPONDER", on=Cluster(2))
+        ctx.accept("X", delay=500, timeout_ok=True)   # let it start
+        responder_task = [t for t in ctx.vm.tasks.values()
+                          if t.ttype.name == "RESPONDER"][0]
+        for _ in range(N_TASKS):
+            ctx.initiate("CLIENT", responder_task.tid, on=Cluster(1))
+        ctx.accept("DONE", count=N_TASKS)
+        ctx.send(responder_task.tid, "STOP")
+
+    cfg = Configuration(clusters=(ClusterSpec(1, 3, slots),
+                                  ClusterSpec(2, 4, 4)),
+                        name=f"slots-{slots}")
+    vm = PiscesVM(cfg, registry=reg, machine=nasa_langley_flex32())
+    r = vm.run("MAIN", on=Cluster(2))
+    return r.elapsed
+
+
+def run_all():
+    waity = {s: run_case(s, compute_only=False) for s in (1, 2, 3, 6)}
+    compute = {s: run_case(s, compute_only=True) for s in (1, 6)}
+    return waity, compute
+
+
+def test_slots_multiprogramming(benchmark, report):
+    waity, compute = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[f"{s} slot(s)", waity[s],
+             f"{waity[1] / waity[s]:.2f}x"] for s in sorted(waity)]
+    report(format_table(
+        ["cluster-1 slots", "elapsed (ticks)", "vs 1 slot"],
+        rows, title=f"A6: SLOTS AND MULTIPROGRAMMING ({N_TASKS} "
+                    f"request/reply tasks x {ROUNDS} rounds)"))
+    report("")
+    report(f"pure-compute control: 1 slot {compute[1]}, "
+           f"6 slots {compute[6]} ticks (one CPU is one CPU)")
+
+    # Message-wait-bound tasks overlap with more slots (gains saturate
+    # once the remote responder becomes the bottleneck):
+    assert waity[2] < waity[1]
+    assert waity[6] < waity[1] * 0.75
+    # Pure compute gains (almost) nothing from extra slots:
+    assert abs(compute[6] - compute[1]) < compute[1] * 0.1

@@ -1,0 +1,145 @@
+"""Ablation A2: windows vs eager data shipping (section 8).
+
+"In such a setting, it is undesirable to have the array elements
+actually flow into and out of the partitioning tasks, because no
+processing is done in these tasks. ... The array values only need be
+transmitted once, to the task assigned the actual processing of the
+data."
+
+Both variants run the same two-level partitioning tree (owner ->
+partitioner -> 4 leaves) over an NxN array:
+
+* WINDOWS: the partitioner receives one window (32 bytes), shrinks it
+  four ways, forwards windows; leaves window-read their block.
+* EAGER: the owner sends the whole array to the partitioner, which
+  slices it and re-sends the pieces -- bytes flow through the middle.
+
+Measured: total array bytes moved, and the partitioning task's share.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config.configuration import ClusterSpec, Configuration
+from repro.core.task import TaskRegistry
+from repro.core.taskid import PARENT, SAME
+from repro.core.vm import PiscesVM
+from repro.flex.presets import nasa_langley_flex32
+from repro.util.tables import format_table
+
+N = 32          # array is N x N float64 = 8192 bytes
+LEAVES = 4
+
+
+def run_windows():
+    reg = TaskRegistry()
+
+    @reg.tasktype("LEAF")
+    def leaf(ctx, k):
+        ctx.send(PARENT, "HELLO", k)
+        w = ctx.accept("WIN").args[0]
+        block = ctx.window_read(w)
+        ctx.send(PARENT, "SUM", float(block.sum()))
+
+    @reg.tasktype("PARTITIONER")
+    def partitioner(ctx):
+        w = ctx.accept("WIN").args[0]
+        parts = w.split(LEAVES, axis=0)
+        for k in range(LEAVES):
+            ctx.initiate("LEAF", k, on=SAME)
+        who = {}
+        for _ in range(LEAVES):
+            r = ctx.accept("HELLO")
+            who[r.args[0]] = r.sender
+        for k in range(LEAVES):
+            ctx.send(who[k], "WIN", parts[k])
+        total = sum(ctx.accept("SUM").args[0] for _ in range(LEAVES))
+        ctx.send(PARENT, "TOTAL", total)
+
+    @reg.tasktype("OWNER")
+    def owner(ctx):
+        a = np.arange(float(N * N)).reshape(N, N)
+        ctx.export_array("A", a)
+        ctx.initiate("PARTITIONER", on=SAME)
+        ctx.accept("X", delay=2000, timeout_ok=True)   # let it start
+        ctx.broadcast("WIN", ctx.window("A"), cluster=1)
+        return ctx.accept("TOTAL").args[0]
+
+    cfg = Configuration(clusters=(ClusterSpec(1, 3, 8),), name="win")
+    vm = PiscesVM(cfg, registry=reg, machine=nasa_langley_flex32())
+    r = vm.run("OWNER")
+    array_bytes_moved = r.stats.window_bytes_read + r.stats.window_bytes_written
+    return r.value, array_bytes_moved, 0, r.elapsed
+
+
+def run_eager():
+    reg = TaskRegistry()
+    through_partitioner = {"bytes": 0}
+
+    @reg.tasktype("LEAF")
+    def leaf(ctx, k):
+        ctx.send(PARENT, "HELLO", k)
+        block = ctx.accept("DATA").args[0]
+        ctx.send(PARENT, "SUM", float(block.sum()))
+
+    @reg.tasktype("PARTITIONER")
+    def partitioner(ctx):
+        a = ctx.accept("DATA").args[0]          # whole array flows IN
+        through_partitioner["bytes"] += a.nbytes
+        blocks = np.array_split(a, LEAVES, axis=0)
+        for k in range(LEAVES):
+            ctx.initiate("LEAF", k, on=SAME)
+        who = {}
+        for _ in range(LEAVES):
+            r = ctx.accept("HELLO")
+            who[r.args[0]] = r.sender
+        for k in range(LEAVES):
+            ctx.send(who[k], "DATA", blocks[k])  # ... and OUT again
+            through_partitioner["bytes"] += blocks[k].nbytes
+        total = sum(ctx.accept("SUM").args[0] for _ in range(LEAVES))
+        ctx.send(PARENT, "TOTAL", total)
+
+    @reg.tasktype("OWNER")
+    def owner(ctx):
+        a = np.arange(float(N * N)).reshape(N, N)
+        ctx.initiate("PARTITIONER", on=SAME)
+        ctx.accept("X", delay=2000, timeout_ok=True)
+        ctx.broadcast("DATA", a, cluster=1)
+        return ctx.accept("TOTAL").args[0]
+
+    cfg = Configuration(clusters=(ClusterSpec(1, 3, 8),), name="eager")
+    vm = PiscesVM(cfg, registry=reg, machine=nasa_langley_flex32())
+    r = vm.run("OWNER")
+    # array payload bytes: owner->partitioner + partitioner->leaves
+    array_bytes_moved = N * N * 8 * 2
+    return (r.value, array_bytes_moved,
+            through_partitioner["bytes"], r.elapsed)
+
+
+def test_windows_vs_eager(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: (run_windows(), run_eager()), rounds=1, iterations=1)
+    (w_total, w_moved, w_through, w_elapsed) = results[0]
+    (e_total, e_moved, e_through, e_elapsed) = results[1]
+    expect = float(np.arange(float(N * N)).sum())
+    assert w_total == e_total == expect   # same answer both ways
+
+    array_bytes = N * N * 8
+    rows = [
+        ["windows", w_moved, w_through, w_elapsed],
+        ["eager", e_moved, e_through, e_elapsed],
+    ]
+    report(format_table(
+        ["variant", "array bytes moved", "bytes through partitioner",
+         "elapsed"],
+        rows, title=f"A2: WINDOWS vs EAGER ({N}x{N} f8 array = "
+                    f"{array_bytes} bytes, {LEAVES} leaves)"))
+
+    # The paper's claim, quantified:
+    assert w_moved == array_bytes          # moved exactly once
+    assert w_through == 0                  # nothing flows through the middle
+    assert e_moved == 2 * array_bytes      # in and out again
+    assert e_through == 2 * array_bytes
+    report("")
+    report(f"windows move the array exactly once ({w_moved} bytes); "
+           f"eager shipping moves it {e_moved // array_bytes}x")

@@ -1,0 +1,57 @@
+"""Figure 1: PISCES 2 VIRTUAL MACHINE ORGANIZATION.
+
+The paper's only figure diagrams the virtual machine: clusters holding
+slots (task controller, user controller, user tasks, free slots), the
+intra-cluster networks, and the message-passing network joining the
+clusters.  This benchmark regenerates the figure from a *live* booted
+VM -- with running user tasks occupying slots, as drawn -- and checks
+every structural element the figure shows.
+"""
+
+import pytest
+
+from repro.core.task import TaskRegistry
+from repro.core.vm import PiscesVM
+from repro.exec_env.display import render_vm_figure
+from repro.exec_env.monitor import Monitor
+
+from _paperconfig import section9_configuration
+
+
+def build_figure(nasa_machine):
+    reg = TaskRegistry()
+
+    @reg.tasktype("USERTASK")
+    def usertask(ctx):
+        ctx.accept("STOP", delay=10**9, timeout_ok=True)
+
+    vm = PiscesVM(section9_configuration(), registry=reg,
+                  machine=nasa_machine)
+    mon = Monitor(vm)
+    # Populate some slots so the figure shows "User task" entries like
+    # the paper's drawing (which shows a mix of tasks and <not in use>).
+    for cluster in (1, 2, 3):
+        mon.initiate_task("USERTASK", cluster=cluster)
+    mon.pump()
+    fig = render_vm_figure(vm)
+    vm.shutdown()
+    return fig
+
+
+def test_figure1_regeneration(benchmark, report, nasa_machine):
+    fig = benchmark.pedantic(build_figure, args=(nasa_machine,),
+                             rounds=1, iterations=1)
+    report("FIGURE 1 (regenerated from the live virtual machine)")
+    report(fig)
+
+    # Structural elements of the paper's figure:
+    assert "PISCES 2 VIRTUAL MACHINE ORGANIZATION" in fig
+    for c in (1, 2, 3, 4):
+        assert f"CLUSTER {c}" in fig                    # cluster boxes
+    assert fig.count("Task controller") == 4            # one per cluster
+    assert fig.count("User controller") == 1            # terminal cluster
+    assert fig.count("File controller") == 1
+    assert fig.count("User task USERTASK") == 3         # occupied slots
+    assert fig.count("<not in use>") == 16 - 3          # 4x4 slots - 3
+    assert "Intra-" in fig and "cluster" in fig         # intra-cluster net
+    assert "Message-passing network" in fig             # inter-cluster net

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""An execution-environment monitor session (section 11).
+
+Drives the 10-option monitor exactly the way an operator at the FLEX
+terminal would: initiate tasks, peek at queues, send messages, watch PE
+loading, dump system state, change tracing, kill a runaway task, and
+finally terminate the run.  Also renders the live Figure 1 diagram.
+
+Run:  python examples/monitor_session.py
+"""
+
+from repro import PiscesVM, TaskRegistry, Configuration, ClusterSpec
+from repro.core.taskid import PARENT
+from repro.exec_env import Monitor, render_vm_figure
+
+reg = TaskRegistry()
+
+
+@reg.tasktype("SERVER")
+def server(ctx):
+    """Accepts REQ messages until STOPped; replies to each sender."""
+    served = 0
+    while True:
+        res = ctx.accept("REQ", "STOP", count=1, delay=800_000,
+                         timeout_ok=True)
+        if res.timed_out or res.messages[0].mtype == "STOP":
+            return served
+        ctx.send(res.sender, "REPLY", served)
+        served += 1
+
+
+@reg.tasktype("RUNAWAY")
+def runaway(ctx):
+    while True:
+        ctx.compute(1000)
+
+
+def main():
+    cfg = Configuration(clusters=(ClusterSpec(1, 3, 4),
+                                  ClusterSpec(2, 4, 4)),
+                        name="monitor-demo")
+    vm = PiscesVM(cfg, registry=reg)
+    mon = Monitor(vm)
+
+    print("=== menu (section 11) ===")
+    print(mon.menu_text())
+
+    print("\n=== 9 CHANGE TRACE OPTIONS ===")
+    print(mon.change_trace_options(enable=("TASK_INIT", "TASK_TERM",
+                                           "MSG_SEND")))
+
+    print("\n=== 1 INITIATE A TASK (a server and a runaway) ===")
+    r1 = mon.initiate_task("SERVER", cluster=1)
+    r2 = mon.initiate_task("RUNAWAY", cluster=2)
+    mon.pump()
+    server_tid = vm.initiations[r1]
+    runaway_tid = vm.initiations[r2]
+    print(f"server is {server_tid}, runaway is {runaway_tid}")
+
+    print("\n=== 5 DISPLAY RUNNING TASKS ===")
+    print(mon.display_running_tasks())
+
+    print("\n=== Figure 1, live ===")
+    print(render_vm_figure(vm))
+
+    print("\n=== 3 SEND A MESSAGE (two requests to the server) ===")
+    print(mon.send_message(server_tid, "REQ", "first"))
+    print(mon.send_message(server_tid, "REQ", "second"))
+    mon.pump()
+    print(f"user terminal received: "
+          f"{[(m, a) for m, a, _, _ in vm.user_messages]}")
+
+    print("\n=== 6 DISPLAY MESSAGE QUEUE (server, after serving) ===")
+    print(mon.display_message_queue(server_tid))
+
+    print("\n=== 8 DISPLAY PE LOADING ===")
+    print(mon.display_pe_loading())
+
+    print("\n=== 2 KILL A TASK (the runaway) ===")
+    print(mon.kill_task(runaway_tid))
+    mon.pump()
+
+    print("\n=== 7 DUMP SYSTEM STATE ===")
+    print(mon.dump_system_state())
+
+    print("\n=== 0 TERMINATE THE RUN ===")
+    print(mon.terminate_run())
+
+
+if __name__ == "__main__":
+    main()

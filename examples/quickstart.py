@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: the PISCES 2 programming model in one small program.
+
+A MAIN task initiates four WORKER tasks (ON ANY INITIATE ...); the
+workers announce themselves to their parent -- the paper's topology-
+building idiom, since INITIATE never returns the child's taskid -- and
+MAIN then sends each a GO, collects the DONE replies, and reports to
+the USER terminal.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (ANY, PARENT, SENDER, USER, PiscesVM, TaskRegistry,
+                   simple_configuration)
+
+reg = TaskRegistry()
+
+
+@reg.tasktype("WORKER")
+def worker(ctx, n):
+    """One worker: hello -> wait for GO -> compute -> reply DONE."""
+    ctx.send(PARENT, "HELLO", n)          # parent learns our taskid
+    go = ctx.accept("GO")                 # blocks until GO arrives
+    ctx.compute(100 * (n + 1))            # charge virtual work
+    ctx.send(SENDER, "DONE", n, n * n)
+
+
+@reg.tasktype("MAIN")
+def main(ctx):
+    n_workers = 4
+    for i in range(n_workers):
+        ctx.initiate("WORKER", i, on=ANY)
+
+    # Phase 1: collect taskids from the HELLOs.
+    kids = {}
+    res = ctx.accept("HELLO", count=n_workers)
+    for m in res.messages:
+        kids[m.args[0]] = m.sender
+
+    # Phase 2: start everyone, then gather results (with a DELAY guard).
+    for i, tid in kids.items():
+        ctx.send(tid, "GO")
+    res = ctx.accept("DONE", count=n_workers, delay=1_000_000)
+
+    total = sum(m.args[1] for m in res.messages)
+    ctx.send(USER, "REPORT", "sum of squares", total)
+    ctx.print(f"sum of squares 0..{n_workers - 1} = {total}")
+    return total
+
+
+def main_program():
+    cfg = simple_configuration(n_clusters=2, slots=4, name="quickstart")
+    vm = PiscesVM(cfg, registry=reg)
+    result = vm.run("MAIN")
+    print(result.console)
+    print(f"result = {result.value}")
+    print(f"elapsed virtual time = {result.elapsed} ticks")
+    print(f"messages sent = {result.stats.messages_sent}, "
+          f"accepted = {result.stats.messages_accepted}")
+    assert result.value == 0 + 1 + 4 + 9
+    return result
+
+
+if __name__ == "__main__":
+    main_program()

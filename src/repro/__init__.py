@@ -1,0 +1,86 @@
+"""repro -- a reproduction of the PISCES 2 parallel programming environment.
+
+Terrence W. Pratt, "The PISCES 2 Parallel Programming Environment",
+Proc. 1987 International Conference on Parallel Processing.
+
+Public API quickstart::
+
+    from repro import ANY, PARENT, PiscesVM, TaskRegistry, simple_configuration
+
+    reg = TaskRegistry()
+
+    @reg.tasktype("WORKER")
+    def worker(ctx, n):
+        ctx.accept("GO")
+        ctx.send(PARENT, "DONE", n * n)
+
+    @reg.tasktype("MAIN")
+    def main(ctx):
+        ...
+
+    vm = PiscesVM(simple_configuration(n_clusters=2), registry=reg)
+    result = vm.run("MAIN")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .config import ClusterSpec, Configuration, simple_configuration
+from .core import (
+    ALL_RECEIVED,
+    ANY,
+    Broadcast,
+    Cluster,
+    GLOBAL_REGISTRY,
+    OTHER,
+    PARENT,
+    PiscesVM,
+    RunResult,
+    SAME,
+    SELF,
+    SENDER,
+    TContr,
+    TaskContext,
+    TaskId,
+    TaskRegistry,
+    TraceEventType,
+    USER,
+    Window,
+    tasktype,
+)
+from .errors import PiscesError
+from .flex import FlexMachine, MachineSpec, nasa_langley_flex32, small_flex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_RECEIVED",
+    "ANY",
+    "Broadcast",
+    "Cluster",
+    "ClusterSpec",
+    "Configuration",
+    "FlexMachine",
+    "GLOBAL_REGISTRY",
+    "MachineSpec",
+    "OTHER",
+    "PARENT",
+    "PiscesError",
+    "PiscesVM",
+    "RunResult",
+    "SAME",
+    "SELF",
+    "SENDER",
+    "TContr",
+    "TaskContext",
+    "TaskId",
+    "TaskRegistry",
+    "TraceEventType",
+    "USER",
+    "Window",
+    "__version__",
+    "nasa_langley_flex32",
+    "simple_configuration",
+    "small_flex",
+    "tasktype",
+]

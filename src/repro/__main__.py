@@ -1,0 +1,84 @@
+"""``python -m repro`` -- the interactive PISCES environment.
+
+Section 11: "When the user has created and successfully compiled his
+Pisces Fortran tasktype definitions ..., then the command 'pisces'
+brings up the PISCES configuration environment. ... If the user
+requests program execution from the configuration environment, the
+loadfile is downloaded ... and control transfers to the PISCES
+execution environment."
+
+This entry point reproduces that flow on a terminal:
+
+    python -m repro [program.pf ...]
+
+1. each Pisces Fortran source given on the command line is run through
+   the preprocessor and its tasktypes registered;
+2. the configuration menu builds (or loads) a configuration;
+3. the VM boots and control transfers to the execution-environment CLI
+   (option 1 initiates tasks, 0 terminates the run).
+
+Everything is driven through stdin/stdout, so the whole session is
+scriptable:  ``python -m repro prog.pf < session.txt``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+from .config.menus import ConfigurationMenu
+from .core.task import TaskRegistry
+from .core.vm import PiscesVM
+from .errors import PiscesError
+from .exec_env.cli import ExecutionCLI
+from .flex.presets import nasa_langley_flex32
+from .fortran import preprocess
+
+
+def _stdin_lines() -> Iterator[str]:
+    for line in sys.stdin:
+        yield line.rstrip("\n")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    registry = TaskRegistry()
+    for path in args:
+        try:
+            program = preprocess(Path(path).read_text())
+        except (OSError, PiscesError) as e:
+            print(f"error preprocessing {path}: {e}", file=sys.stderr)
+            return 1
+        for name in program.registry.names():
+            registry.define(program.registry.get(name))
+        print(f"loaded {path}: tasktypes {program.task_names()}")
+    if not registry.names():
+        print("note: no Pisces Fortran sources given; only monitor "
+              "operations on an empty registry will work")
+
+    machine = nasa_langley_flex32()
+    lines = _stdin_lines()
+    print("PISCES 2 (reproduction) -- configuration environment")
+    menu = ConfigurationMenu(machine=machine.spec, inputs=lines,
+                             output=print)
+    try:
+        config = menu.run()
+    except PiscesError as e:
+        print(f"configuration failed: {e}", file=sys.stderr)
+        return 1
+
+    print()
+    print("downloading loadfile and starting controllers ...")
+    vm = PiscesVM(config, registry=registry, machine=machine)
+    print("control transfers to the PISCES execution environment")
+    try:
+        cli = ExecutionCLI(vm, inputs=lines, output=print)
+        cli.run()
+    finally:
+        vm.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Off-line trace analysis and measurement (section 12 'timing analyses')."""
+
+from .metrics import (
+    RunMetrics,
+    ScalingPoint,
+    collect_metrics,
+    load_balance,
+    lock_contention,
+    speedup_table,
+    traffic_matrix,
+    traffic_table,
+)
+from .pe_timeline import PEActivity, activities, idle_report, pe_gantt
+from .report import run_report
+from .tuning import TuningResult, TuningTrial, force_size_sweep, sweep
+from .storage import (
+    PAPER_LOCAL_BOUND,
+    PAPER_SHARED_TABLE_BOUND,
+    StorageMeasurement,
+    measure,
+    storage_table,
+)
+from .timeline import MessageEdge, TaskSpan, Timeline
+
+__all__ = [
+    "MessageEdge",
+    "PEActivity",
+    "TuningResult",
+    "TuningTrial",
+    "activities",
+    "force_size_sweep",
+    "idle_report",
+    "pe_gantt",
+    "sweep",
+    "PAPER_LOCAL_BOUND",
+    "PAPER_SHARED_TABLE_BOUND",
+    "RunMetrics",
+    "ScalingPoint",
+    "StorageMeasurement",
+    "TaskSpan",
+    "Timeline",
+    "collect_metrics",
+    "load_balance",
+    "lock_contention",
+    "measure",
+    "run_report",
+    "speedup_table",
+    "storage_table",
+    "traffic_matrix",
+    "traffic_table",
+]

@@ -1,0 +1,159 @@
+"""Run metrics: utilization, speedup, message and lock statistics.
+
+The tools a PISCES user would apply to trace output to "performance
+tune" a program by editing its configuration mapping (section 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.vm import PiscesVM, RunResult
+from ..util.tables import format_table
+
+
+@dataclass
+class RunMetrics:
+    """Summary measurements of one completed run."""
+
+    elapsed: int
+    pe_busy: Dict[int, int]
+    pe_utilization: Dict[int, float]
+    messages_sent: int
+    message_bytes: int
+    accepts: int
+    accept_timeouts: int
+    tasks_started: int
+    forcesplits: int
+    window_bytes: int
+    heap_high_water: int
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.pe_utilization:
+            return 0.0
+        return sum(self.pe_utilization.values()) / len(self.pe_utilization)
+
+    def table(self) -> str:
+        rows = [
+            ["elapsed (ticks)", self.elapsed],
+            ["PEs used", len(self.pe_busy)],
+            ["mean PE utilization", f"{100 * self.mean_utilization:.1f}%"],
+            ["messages sent", self.messages_sent],
+            ["message bytes", self.message_bytes],
+            ["accepts / timeouts", f"{self.accepts} / {self.accept_timeouts}"],
+            ["tasks started", self.tasks_started],
+            ["force splits", self.forcesplits],
+            ["window bytes moved", self.window_bytes],
+            ["heap high-water (bytes)", self.heap_high_water],
+        ]
+        return format_table(["metric", "value"], rows, title="RUN METRICS")
+
+
+def collect_metrics(vm: PiscesVM) -> RunMetrics:
+    """Measure a VM after (or during) a run."""
+    elapsed = max(1, vm.machine.elapsed())
+    used = vm.config.used_pes()
+    busy = {pe: vm.machine.clocks[pe].busy_ticks for pe in used}
+    st = vm.stats
+    return RunMetrics(
+        elapsed=vm.machine.elapsed(),
+        pe_busy=busy,
+        pe_utilization={pe: b / elapsed for pe, b in busy.items()},
+        messages_sent=st.messages_sent,
+        message_bytes=st.message_bytes_sent,
+        accepts=st.accepts,
+        accept_timeouts=st.accept_timeouts,
+        tasks_started=st.tasks_started,
+        forcesplits=st.forcesplits,
+        window_bytes=st.window_bytes_read + st.window_bytes_written,
+        heap_high_water=vm.machine.shared.stats.high_water,
+    )
+
+
+@dataclass
+class ScalingPoint:
+    """One point of a scaling study: configuration size vs elapsed time."""
+
+    label: str
+    parallelism: int
+    elapsed: int
+
+
+def speedup_table(points: Sequence[ScalingPoint]) -> str:
+    """Speedup/efficiency table relative to the first (baseline) point."""
+    if not points:
+        return "(no scaling points)"
+    base = points[0].elapsed
+    rows = []
+    for p in points:
+        sp = base / p.elapsed if p.elapsed else float("inf")
+        eff = sp / p.parallelism if p.parallelism else 0.0
+        rows.append([p.label, p.parallelism, p.elapsed,
+                     f"{sp:.2f}x", f"{100 * eff:.0f}%"])
+    return format_table(["config", "parallelism", "elapsed", "speedup",
+                         "efficiency"], rows, title="SCALING")
+
+
+def lock_contention(vm: PiscesVM) -> List[Tuple[str, int, int]]:
+    """(lock name, acquisitions, contended) over all live+dead tasks."""
+    out = []
+    for task in vm.tasks.values():
+        for name, lk in task.shared_state.locks.items():
+            out.append((f"{task.tid}/{name}", lk.acquisitions,
+                        lk.contended_acquisitions))
+    return out
+
+
+def traffic_matrix(vm: PiscesVM) -> Dict[Tuple[str, str], int]:
+    """Message counts between *tasktypes*, from MSG_SEND trace events.
+
+    Requires MSG_SEND tracing to have been enabled for the run.  The
+    receiver is resolved through the VM's task table; controllers and
+    the user terminal appear under their kind names.
+    """
+    from ..core.tracing import TraceEventType
+
+    def name_of(tid) -> str:
+        task = vm.tasks.get(tid)
+        if task is not None:
+            return task.ttype.name
+        ctrl = vm.controllers.get(tid)
+        if ctrl is not None:
+            return f"<{ctrl.kind}>"
+        if tid.cluster == 0:
+            return "<user>"
+        return "<unknown>"
+
+    out: Dict[Tuple[str, str], int] = {}
+    for e in vm.tracer.of_type(TraceEventType.MSG_SEND):
+        if e.other is None:
+            continue
+        key = (name_of(e.task), name_of(e.other))
+        out[key] = out.get(key, 0) + 1
+    return out
+
+
+def traffic_table(vm: PiscesVM) -> str:
+    """The traffic matrix as a table, heaviest flows first."""
+    m = traffic_matrix(vm)
+    if not m:
+        return "(no MSG_SEND events traced)"
+    rows = [[src, dst, n]
+            for (src, dst), n in sorted(m.items(),
+                                        key=lambda kv: -kv[1])]
+    return format_table(["from", "to", "messages"], rows,
+                        title="MESSAGE TRAFFIC (by tasktype)")
+
+
+def load_balance(executed: Dict[int, int]) -> float:
+    """Imbalance factor of a per-member work map: max/mean (1.0 = perfect).
+
+    Used to compare PRESCHED and SELFSCHED loop scheduling.
+    """
+    if not executed:
+        return 1.0
+    vals = list(executed.values())
+    mean = sum(vals) / len(vals)
+    return max(vals) / mean if mean else 1.0

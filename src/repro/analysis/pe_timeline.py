@@ -1,0 +1,75 @@
+"""Per-PE execution timelines from recorded engine slices.
+
+Complements the task-centric :mod:`repro.analysis.timeline`: with
+``vm.engine.record_slices = True`` the engine logs every executed slice
+as (pe, start, end, process name), from which this module renders a
+PE-occupancy gantt and computes gaps -- the view a user tuning a
+configuration mapping (section 9) actually wants: *which PEs sit idle?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+Slice = Tuple[int, int, int, str]   # (pe, start, end, name)
+
+
+@dataclass
+class PEActivity:
+    pe: int
+    busy: int
+    horizon: int
+    slices: List[Slice]
+
+    @property
+    def utilization(self) -> float:
+        return self.busy / self.horizon if self.horizon else 0.0
+
+    def largest_gap(self) -> int:
+        """Longest idle interval between slices (or before the first)."""
+        gap = 0
+        pos = 0
+        for _, start, end, _ in sorted(self.slices, key=lambda s: s[1]):
+            gap = max(gap, start - pos)
+            pos = max(pos, end)
+        return max(gap, self.horizon - pos)
+
+
+def activities(slices: Sequence[Slice]) -> Dict[int, PEActivity]:
+    horizon = max((end for _, _, end, _ in slices), default=0)
+    by_pe: Dict[int, List[Slice]] = {}
+    for s in slices:
+        by_pe.setdefault(s[0], []).append(s)
+    return {
+        pe: PEActivity(pe=pe,
+                       busy=sum(e - s for _, s, e, _ in group),
+                       horizon=horizon, slices=group)
+        for pe, group in sorted(by_pe.items())
+    }
+
+
+def pe_gantt(slices: Sequence[Slice], width: int = 72) -> str:
+    """ASCII occupancy chart: one row per PE, '#' where busy."""
+    acts = activities(slices)
+    if not acts:
+        return "(no slices recorded; set engine.record_slices = True)"
+    horizon = max(a.horizon for a in acts.values())
+    lines = [f"virtual time 0 .. {horizon} ticks "
+             f"({max(1, horizon // width)} ticks/char)"]
+    for pe, act in acts.items():
+        row = [" "] * width
+        for _, start, end, _ in act.slices:
+            a = min(width - 1, start * width // max(1, horizon))
+            b = min(width - 1, max(a, (end - 1) * width // max(1, horizon)))
+            for i in range(a, b + 1):
+                row[i] = "#"
+        lines.append(f"PE {pe:>2} ({100 * act.utilization:5.1f}%) "
+                     f"|{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def idle_report(slices: Sequence[Slice]) -> List[Tuple[int, float, int]]:
+    """(pe, utilization, largest idle gap) per PE -- the tuning signal."""
+    return [(pe, a.utilization, a.largest_gap())
+            for pe, a in activities(slices).items()]

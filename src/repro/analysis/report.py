@@ -1,0 +1,37 @@
+"""Combined run reports: metrics, storage, traffic, timelines."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.vm import PiscesVM
+from .metrics import collect_metrics, traffic_table
+from .pe_timeline import pe_gantt
+from .storage import measure, storage_table
+from .timeline import Timeline
+
+
+def run_report(vm: PiscesVM, gantt_width: int = 64,
+               include_gantt: bool = True) -> str:
+    """A post-run report a user would read after a traced execution.
+
+    Includes whatever the run recorded: metrics and storage always; a
+    by-tasktype traffic matrix when MSG_SEND tracing was on; a per-task
+    gantt when any tracing was on; a per-PE occupancy chart when
+    ``vm.engine.record_slices`` was set.
+    """
+    parts = [collect_metrics(vm).table()]
+    parts.append("")
+    parts.append(storage_table([measure(vm)]))
+    traffic = traffic_table(vm)
+    if "no MSG_SEND" not in traffic:
+        parts.append("")
+        parts.append(traffic)
+    if include_gantt and vm.tracer.events:
+        tl = Timeline.from_events(vm.tracer.events)
+        parts.append("")
+        parts.append(tl.gantt(width=gantt_width))
+    if vm.engine.slices:
+        parts.append("")
+        parts.append(pe_gantt(vm.engine.slices, width=gantt_width))
+    return "\n".join(parts)

@@ -1,0 +1,87 @@
+"""Section-13 storage-overhead measurement.
+
+The paper's quantitative claims:
+
+* "the PISCES 2 system uses less than 2.5% of each PE's local memory
+  (for system code and data)";
+* "and less than 0.3% of shared memory (for system tables)";
+* "Storage used for message passing is dynamically recovered and
+  reused";
+* the message area "only becomes significant when large numbers of
+  messages (or very large messages) are sent and left waiting in a
+  task's in-queue without being accepted".
+
+These helpers take the live measurements off a VM and check them
+against the paper's bounds; the storage benchmark prints the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.vm import PiscesVM
+from ..util.tables import format_table
+
+#: The paper's stated bounds.
+PAPER_LOCAL_BOUND = 0.025
+PAPER_SHARED_TABLE_BOUND = 0.003
+
+
+@dataclass
+class StorageMeasurement:
+    """One configuration's storage-overhead measurements."""
+
+    config_name: str
+    n_clusters: int
+    slots_per_cluster: Tuple[int, ...]
+    local_fraction_max: float       # worst PE: pisces code+data / local
+    shared_table_bytes: int
+    shared_table_fraction: float
+    message_bytes_live: int
+    heap_high_water: int
+
+    @property
+    def meets_local_bound(self) -> bool:
+        return self.local_fraction_max < PAPER_LOCAL_BOUND
+
+    @property
+    def meets_shared_bound(self) -> bool:
+        return self.shared_table_fraction < PAPER_SHARED_TABLE_BOUND
+
+
+def measure(vm: PiscesVM) -> StorageMeasurement:
+    rep = vm.storage_report()
+    local = rep["local_system_fraction"]
+    return StorageMeasurement(
+        config_name=vm.config.name,
+        n_clusters=len(vm.config.clusters),
+        slots_per_cluster=tuple(c.slots for c in sorted(
+            vm.config.clusters, key=lambda c: c.number)),
+        local_fraction_max=max(local.values()) if local else 0.0,
+        shared_table_bytes=rep["shared_table_bytes"],
+        shared_table_fraction=rep["shared_table_fraction"],
+        message_bytes_live=rep["message_bytes_live"],
+        heap_high_water=rep["heap_high_water"],
+    )
+
+
+def storage_table(ms: List[StorageMeasurement]) -> str:
+    rows = []
+    for m in ms:
+        rows.append([
+            m.config_name,
+            m.n_clusters,
+            "/".join(map(str, m.slots_per_cluster)),
+            f"{100 * m.local_fraction_max:.2f}%",
+            f"< {100 * PAPER_LOCAL_BOUND:.1f}%"
+            + (" OK" if m.meets_local_bound else " EXCEEDED"),
+            m.shared_table_bytes,
+            f"{100 * m.shared_table_fraction:.3f}%",
+            f"< {100 * PAPER_SHARED_TABLE_BOUND:.1f}%"
+            + (" OK" if m.meets_shared_bound else " EXCEEDED"),
+        ])
+    return format_table(
+        ["config", "clusters", "slots", "local sys", "paper bound",
+         "table bytes", "shared tables", "paper bound"],
+        rows, title="SECTION 13 STORAGE OVERHEAD (measured)")

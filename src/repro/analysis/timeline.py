@@ -1,0 +1,145 @@
+"""Off-line timeline reconstruction from trace events (section 12).
+
+"Sending trace output to a file allows the user to study trace
+information and make timing analyses off-line."  This module rebuilds
+per-task lifetimes and message edges from a stream of trace events
+(in-memory, or parsed back from a trace file) and renders an ASCII
+gantt chart of task activity over virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, IO, Iterable, List, Optional, Tuple
+
+from ..core.taskid import TaskId
+from ..core.tracing import TraceEvent, TraceEventType
+
+
+@dataclass
+class TaskSpan:
+    """Lifetime of one task as seen in the trace."""
+
+    task: TaskId
+    tasktype: str = ""
+    pe: int = 0
+    start: Optional[int] = None
+    end: Optional[int] = None
+    sends: int = 0
+    accepts: int = 0
+    barriers: int = 0
+    locks: int = 0
+    forcesplits: int = 0
+
+    @property
+    def duration(self) -> Optional[int]:
+        if self.start is None or self.end is None:
+            return None
+        return self.end - self.start
+
+
+@dataclass
+class MessageEdge:
+    """One observed send->accept pairing candidate."""
+
+    sender: TaskId
+    receiver: TaskId
+    mtype: str
+    send_ticks: int
+
+
+class Timeline:
+    """Reconstructed run history."""
+
+    def __init__(self) -> None:
+        self.spans: Dict[TaskId, TaskSpan] = {}
+        self.edges: List[MessageEdge] = []
+        self.horizon: int = 0
+
+    # ------------------------------------------------------------- build --
+
+    @classmethod
+    def from_events(cls, events: Iterable[TraceEvent]) -> "Timeline":
+        tl = cls()
+        for e in events:
+            tl._absorb(e)
+        return tl
+
+    @classmethod
+    def from_file(cls, f: IO[str]) -> "Timeline":
+        """Rebuild from a trace file written by the tracer's file sink."""
+        tl = cls()
+        for line in f:
+            line = line.strip()
+            if line:
+                tl._absorb(TraceEvent.parse(line))
+        return tl
+
+    def _span(self, tid: TaskId) -> TaskSpan:
+        if tid not in self.spans:
+            self.spans[tid] = TaskSpan(task=tid)
+        return self.spans[tid]
+
+    def _absorb(self, e: TraceEvent) -> None:
+        self.horizon = max(self.horizon, e.ticks)
+        s = self._span(e.task)
+        if e.etype is TraceEventType.TASK_INIT:
+            s.start = e.ticks
+            s.pe = e.pe
+            if e.info.startswith("type="):
+                s.tasktype = e.info.split("=", 1)[1].split()[0]
+        elif e.etype is TraceEventType.TASK_TERM:
+            s.end = e.ticks
+        elif e.etype is TraceEventType.MSG_SEND:
+            s.sends += 1
+            if e.other is not None:
+                mtype = ""
+                for tok in e.info.split():
+                    if tok.startswith("type="):
+                        mtype = tok.split("=", 1)[1]
+                self.edges.append(MessageEdge(e.task, e.other, mtype, e.ticks))
+        elif e.etype is TraceEventType.MSG_ACCEPT:
+            s.accepts += 1
+        elif e.etype is TraceEventType.BARRIER_ENTER:
+            s.barriers += 1
+        elif e.etype is TraceEventType.LOCK:
+            s.locks += 1
+        elif e.etype is TraceEventType.FORCE_SPLIT:
+            s.forcesplits += 1
+
+    # ------------------------------------------------------------ queries --
+
+    def completed_spans(self) -> List[TaskSpan]:
+        return [s for s in self.spans.values()
+                if s.start is not None and s.end is not None]
+
+    def concurrency_profile(self, buckets: int = 50) -> List[int]:
+        """Tasks alive per time bucket (a crude parallelism profile)."""
+        if self.horizon == 0:
+            return [0] * buckets
+        prof = [0] * buckets
+        for s in self.completed_spans():
+            b0 = min(buckets - 1, s.start * buckets // max(1, self.horizon))
+            b1 = min(buckets - 1, s.end * buckets // max(1, self.horizon))
+            for b in range(b0, b1 + 1):
+                prof[b] += 1
+        return prof
+
+    # ------------------------------------------------------------- render --
+
+    def gantt(self, width: int = 72) -> str:
+        """ASCII gantt of task lifetimes over virtual time."""
+        spans = sorted(self.completed_spans(),
+                       key=lambda s: (s.start, str(s.task)))
+        if not spans:
+            return "(no completed task spans in trace)"
+        horizon = max(1, self.horizon)
+        lines = [f"virtual time 0 .. {horizon} ticks "
+                 f"({horizon / width:.0f} ticks/char)"]
+        for s in spans:
+            a = min(width - 1, s.start * width // horizon)
+            b = min(width - 1, max(a, s.end * width // horizon))
+            bar = " " * a + "#" * (b - a + 1)
+            label = f"{s.task} {s.tasktype}"[:24]
+            lines.append(f"{label:<24} |{bar.ljust(width)}|")
+        return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Configuration tuning: sweep mappings, compare elapsed times.
+
+Section 4: "the program can be 'performance tuned' to some degree by
+control of the mapping of virtual machine to hardware."  Section 9:
+"Experimentation with different mappings ... is straightforward, by
+editing and saving several variants of a configuration mapping."
+
+These helpers automate that experimentation loop: run the same program
+under a family of configurations and report the best mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..config.configuration import ClusterSpec, Configuration
+from ..core.task import TaskRegistry
+from ..core.vm import PiscesVM
+from ..flex.machine import FlexMachine
+from ..util.tables import format_table
+
+#: A factory returning a fresh machine per trial (clocks are per-run).
+MachineFactory = Callable[[], FlexMachine]
+
+
+@dataclass
+class TuningTrial:
+    label: str
+    configuration: Configuration
+    elapsed: int
+    value: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TuningTrial({self.label!r}, elapsed={self.elapsed})"
+
+
+@dataclass
+class TuningResult:
+    trials: List[TuningTrial]
+
+    @property
+    def best(self) -> TuningTrial:
+        return min(self.trials, key=lambda t: t.elapsed)
+
+    def table(self) -> str:
+        base = self.trials[0].elapsed
+        rows = []
+        for t in self.trials:
+            mark = " <-- best" if t is self.best else ""
+            rows.append([t.label, t.elapsed,
+                         f"{base / t.elapsed:.2f}x{mark}"])
+        return format_table(["mapping", "elapsed (ticks)", "vs first"],
+                            rows, title="CONFIGURATION TUNING")
+
+
+def sweep(tasktype_name: str, registry: TaskRegistry,
+          configurations: Sequence[Tuple[str, Configuration]],
+          machine_factory: MachineFactory, *args: Any) -> TuningResult:
+    """Run one tasktype under each (label, configuration); returns the
+    comparison.  Each trial gets a fresh machine (fresh clocks)."""
+    trials = []
+    for label, cfg in configurations:
+        vm = PiscesVM(cfg, registry=registry, machine=machine_factory())
+        r = vm.run(tasktype_name, *args)
+        trials.append(TuningTrial(label=label, configuration=cfg,
+                                  elapsed=r.elapsed, value=r.value))
+    return TuningResult(trials=trials)
+
+
+def force_size_sweep(tasktype_name: str, registry: TaskRegistry,
+                     machine_factory: MachineFactory, *args: Any,
+                     sizes: Sequence[int] = (1, 2, 4, 8),
+                     primary_pe: int = 3, slots: int = 2,
+                     first_secondary_pe: int = 4) -> TuningResult:
+    """The most common tuning question: how many force PEs?
+
+    Builds single-cluster configurations whose force sizes are
+    ``sizes`` and sweeps them.
+    """
+    configs = []
+    for size in sizes:
+        sec = tuple(range(first_secondary_pe, first_secondary_pe + size - 1))
+        cfg = Configuration(
+            clusters=(ClusterSpec(1, primary_pe, slots,
+                                  secondary_pes=sec),),
+            name=f"force-{size}")
+        configs.append((f"force of {size}", cfg))
+    return sweep(tasktype_name, registry, configs, machine_factory, *args)

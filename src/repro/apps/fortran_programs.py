@@ -1,0 +1,246 @@
+"""A library of complete Pisces Fortran programs.
+
+Ready-to-run sources exercising the section-10 language end to end --
+useful as regression material for the preprocessor, as documentation by
+example, and as starting points for porting exercises.  Each entry is a
+(source, main task, description) triple; ``load(name)`` preprocesses
+one, ``run(name, ...)`` executes it on a suitable configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..config.configuration import ClusterSpec, Configuration
+from ..core.vm import PiscesVM, RunResult
+from ..flex.machine import FlexMachine
+from ..fortran import PiscesFortranProgram, preprocess
+
+PI_BY_FORCE = """
+C Midpoint-rule pi inside a force (PRESCHED + CRITICAL + BARRIER).
+TASK MAIN
+HANDLER ANSWER
+ON CLUSTER 1 INITIATE PIFORCE(256)
+ACCEPT 1 OF ANSWER
+END TASK
+
+HANDLER ANSWER(PI)
+REAL PI
+PRINT *, 'PI', PI
+END HANDLER
+
+TASK PIFORCE(N)
+INTEGER N, I
+REAL H, X
+SHARED COMMON /ACC/ TOTAL
+REAL TOTAL
+LOCK L
+H = 1.0 / N
+FORCESPLIT
+PRESCHED DO 10 I = 1, N
+  X = H * (I - 0.5)
+  COMPUTE 8
+  CRITICAL L
+    TOTAL = TOTAL + 4.0 / (1.0 + X * X)
+  END CRITICAL
+10 CONTINUE
+BARRIER
+  TO PARENT SEND ANSWER(TOTAL * H)
+END BARRIER
+END TASK
+"""
+
+MASTER_WORKER = """
+C The canonical master/worker with taskid collection and DELAY guard.
+TASK MAIN
+INTEGER I, N
+TASKID KIDS(8)
+SIGNAL HELLO, DONE
+PARAMETER (N = 6)
+DO 10 I = 1, N
+  ON ANY INITIATE WORKER(I)
+10 CONTINUE
+DO 20 I = 1, N
+  ACCEPT 1 OF HELLO
+  KIDS(I) = SENDER
+20 CONTINUE
+DO 30 I = 1, N
+  TO KIDS(I) SEND GO(I * I)
+30 CONTINUE
+ACCEPT OF
+  6 OF DONE
+DELAY 2000000 THEN
+  PRINT *, 'LOST WORKERS'
+END ACCEPT
+PRINT *, 'ALL', N, 'WORKERS DONE'
+END TASK
+
+TASK WORKER(K)
+INTEGER K, PAYLOAD
+SIGNAL GO
+HANDLER WORKON
+TO PARENT SEND HELLO(K)
+ACCEPT 1 OF GO
+COMPUTE 40 * K
+TO PARENT SEND DONE(K)
+END TASK
+
+HANDLER WORKON(X)
+INTEGER X
+PRINT *, 'UNUSED', X
+END HANDLER
+"""
+
+RING_TOKEN = """
+C A token ring wired at run time from taskid messages (section 6).
+C Handlers communicate with their task through SHARED COMMON -- the
+C canonical Fortran pattern, since handler locals are private.
+TASK MAIN
+INTEGER I, N
+TASKID NODES(8)
+SHARED COMMON /LINK/ NXT, VAL
+TASKID NXT
+INTEGER VAL
+SIGNAL HELLO
+HANDLER TOKEN
+PARAMETER (N = 4)
+DO 10 I = 1, N
+  ON ANY INITIATE NODE(I)
+10 CONTINUE
+DO 20 I = 1, N
+  ACCEPT 1 OF HELLO
+  NODES(I) = SENDER
+20 CONTINUE
+DO 30 I = 1, N - 1
+  TO NODES(I) SEND NEXT(NODES(I + 1))
+30 CONTINUE
+TO NODES(N) SEND NEXT(SELFID)
+TO NODES(1) SEND TOKEN(0)
+ACCEPT 1 OF TOKEN
+PRINT *, 'TOKEN CAME BACK AS', VAL
+END TASK
+
+TASK NODE(K)
+INTEGER K
+SHARED COMMON /LINK/ NXT, VAL
+TASKID NXT
+INTEGER VAL
+HANDLER NEXT
+HANDLER TOKEN
+TO PARENT SEND HELLO(K)
+ACCEPT 1 OF NEXT
+ACCEPT 1 OF TOKEN
+TO NXT SEND TOKEN(VAL + 1)
+END TASK
+
+HANDLER NEXT(T)
+TASKID T
+SHARED COMMON /LINK/ NXT, VAL
+TASKID NXT
+INTEGER VAL
+NXT = T
+END HANDLER
+
+HANDLER TOKEN(V)
+INTEGER V
+SHARED COMMON /LINK/ NXT, VAL
+TASKID NXT
+INTEGER VAL
+VAL = V
+END HANDLER
+"""
+
+WINDOW_SUM = """
+C Window built-ins: export, shrink, remote read between tasks.
+TASK MAIN
+REAL A(12)
+INTEGER I
+WINDOW W, HALF
+SIGNAL HELLO, SUM
+DO 10 I = 1, 12
+  A(I) = I * 1.0
+10 CONTINUE
+CALL WEXPORT('DATA', A)
+CALL WCREATE(W, 'DATA')
+CALL WSHRINK(HALF, W, 1, 6)
+ON SAME INITIATE READER
+ACCEPT 1 OF HELLO
+TO SENDER SEND WIN(HALF)
+ACCEPT 1 OF SUM
+PRINT *, 'DONE'
+END TASK
+
+TASK READER
+HANDLER WIN
+TO PARENT SEND HELLO
+ACCEPT 1 OF WIN
+END TASK
+
+HANDLER WIN(W)
+WINDOW W
+REAL B(6)
+REAL S
+INTEGER I
+CALL WREAD(B, W)
+S = 0.0
+DO 20 I = 1, 6
+  S = S + B(I)
+20 CONTINUE
+PRINT *, 'HALFSUM', S
+TO SENDER SEND SUM(S)
+END HANDLER
+"""
+
+#: name -> (source, main task, description, needs_force)
+PROGRAMS: Dict[str, Tuple[str, str, str, bool]] = {
+    "pi_by_force": (PI_BY_FORCE, "MAIN",
+                    "midpoint-rule pi with PRESCHED/CRITICAL/BARRIER",
+                    True),
+    "master_worker": (MASTER_WORKER, "MAIN",
+                      "taskid collection, GO/DONE protocol, DELAY guard",
+                      False),
+    "ring_token": (RING_TOKEN, "MAIN",
+                   "run-time ring topology from taskid messages", False),
+    "window_sum": (WINDOW_SUM, "MAIN",
+                   "window export/shrink/read between tasks", False),
+}
+
+
+@dataclass
+class FortranRun:
+    program: PiscesFortranProgram
+    result: RunResult
+    vm: PiscesVM
+
+
+def names() -> list:
+    return sorted(PROGRAMS)
+
+
+def load(name: str) -> PiscesFortranProgram:
+    """Preprocess one library program."""
+    source, _, _, _ = PROGRAMS[name]
+    return preprocess(source)
+
+
+def default_configuration(name: str) -> Configuration:
+    _, _, _, needs_force = PROGRAMS[name]
+    if needs_force:
+        return Configuration(clusters=(
+            ClusterSpec(1, 3, 4, secondary_pes=(7, 8, 9)),),
+            name=f"fortran-{name}")
+    return Configuration(clusters=(ClusterSpec(1, 3, 4),
+                                   ClusterSpec(2, 4, 4)),
+                         name=f"fortran-{name}")
+
+
+def run(name: str, machine: Optional[FlexMachine] = None,
+        config: Optional[Configuration] = None) -> FortranRun:
+    """Preprocess and execute a library program to completion."""
+    source, main, _, _ = PROGRAMS[name]
+    program = preprocess(source)
+    cfg = config or default_configuration(name)
+    vm = PiscesVM(cfg, registry=program.registry, machine=machine)
+    result = vm.run(main)
+    return FortranRun(program=program, result=result, vm=vm)

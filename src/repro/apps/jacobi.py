@@ -1,0 +1,186 @@
+"""Jacobi relaxation on a 2-D grid: the paper's data-parallel pattern.
+
+Two implementations of the same solver exercise the two PISCES 2
+communication styles:
+
+* :func:`run_jacobi_windows` -- a master task owns the grid and hands
+  *windows* on row blocks to worker tasks (section 8's partitioning
+  pattern: the partitioning task forwards 32-byte window values, the
+  array bytes move once, owner -> worker);
+* :func:`run_jacobi_force` -- one task FORCESPLITs; members share the
+  grid in SHARED COMMON, take rows by PRESCHED, and synchronize each
+  sweep with a BARRIER (section 7's style).
+
+Both charge virtual compute ticks per cell update, so elapsed virtual
+times are comparable across configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..config.configuration import ClusterSpec, Configuration
+from ..core.task import TaskRegistry
+from ..core.taskid import PARENT, SENDER
+from ..core.vm import PiscesVM
+from ..flex.machine import FlexMachine
+
+#: Virtual ticks charged per cell update (five-point stencil).
+TICKS_PER_CELL = 5
+
+
+@dataclass
+class JacobiResult:
+    grid: np.ndarray
+    sweeps: int
+    elapsed: int
+    residual: float
+    stats_window_bytes: int
+    vm: PiscesVM
+
+
+def make_problem(n: int, seed: int = 0) -> np.ndarray:
+    """An n x n grid with fixed hot boundary and cold interior."""
+    g = np.zeros((n, n))
+    g[0, :] = 100.0
+    g[-1, :] = 100.0
+    g[:, 0] = 100.0
+    g[:, -1] = 100.0
+    return g
+
+
+def sweep_rows(grid: np.ndarray, new: np.ndarray, rows: range) -> None:
+    """One Jacobi sweep over the given interior rows (vectorized)."""
+    for i in rows:
+        new[i, 1:-1] = 0.25 * (grid[i - 1, 1:-1] + grid[i + 1, 1:-1]
+                               + grid[i, :-2] + grid[i, 2:])
+
+
+def reference_solution(n: int, sweeps: int) -> np.ndarray:
+    """Serial reference for correctness checks."""
+    g = make_problem(n)
+    new = g.copy()
+    for _ in range(sweeps):
+        sweep_rows(g, new, range(1, n - 1))
+        g, new = new, g.copy()
+    return g
+
+
+# --------------------------------------------------------------- windows --
+
+def build_windows_registry(n: int, sweeps: int, n_workers: int) -> TaskRegistry:
+    reg = TaskRegistry()
+
+    @reg.tasktype("JWORKER")
+    def jworker(ctx, k):
+        ctx.send(PARENT, "READY", k)
+        for _ in range(sweeps):
+            res = ctx.accept("WIN")
+            w = res.args[0]
+            block = ctx.window_read(w)          # rows with halo
+            rows = block.shape[0]
+            new = block.copy()
+            sweep_rows(block, new, range(1, rows - 1))
+            ctx.compute((rows - 2) * (n - 2) * TICKS_PER_CELL)
+            interior = w.shrink((slice(1, rows - 1), slice(0, n)))
+            ctx.window_write(interior, new[1:-1, :])
+            ctx.send(PARENT, "SWEPT", k)
+        return None
+
+    @reg.tasktype("JMASTER")
+    def jmaster(ctx):
+        grid = make_problem(n)
+        full = ctx.export_array("G", grid)
+        for k in range(n_workers):
+            ctx.initiate("JWORKER", k, on=1 + (k % max(1, len(ctx.vm.clusters))))
+        res = ctx.accept("READY", count=n_workers)
+        workers = {}
+        for m in res.messages:
+            workers[m.args[0]] = m.sender
+        # Row-block partition of the interior, one halo row each side.
+        interior = np.array_split(np.arange(1, n - 1), n_workers)
+        for _ in range(sweeps):
+            for k, rows in enumerate(interior):
+                lo, hi = rows[0] - 1, rows[-1] + 2
+                w = full.shrink((slice(lo, hi), slice(0, n)))
+                ctx.send(workers[k], "WIN", w)
+            ctx.accept("SWEPT", count=n_workers)
+        resid = float(np.abs(np.diff(grid, axis=0)).mean())
+        return grid, resid
+
+    return reg
+
+
+def run_jacobi_windows(n: int = 32, sweeps: int = 4, n_workers: int = 4,
+                       config: Optional[Configuration] = None,
+                       machine: Optional[FlexMachine] = None) -> JacobiResult:
+    reg = build_windows_registry(n, sweeps, n_workers)
+    if config is None:
+        clusters = tuple(
+            ClusterSpec(number=i, primary_pe=2 + i,
+                        slots=max(2, n_workers))
+            for i in range(1, 3))
+        config = Configuration(clusters=clusters, name="jacobi-windows")
+    vm = PiscesVM(config, registry=reg, machine=machine)
+    r = vm.run("JMASTER")
+    grid, resid = r.value
+    return JacobiResult(grid=grid, sweeps=sweeps, elapsed=r.elapsed,
+                        residual=resid,
+                        stats_window_bytes=(r.stats.window_bytes_read
+                                            + r.stats.window_bytes_written),
+                        vm=vm)
+
+
+# ----------------------------------------------------------------- force --
+
+def build_force_registry(n: int, sweeps: int) -> TaskRegistry:
+    reg = TaskRegistry()
+
+    def region(m, _n, _sweeps):
+        blk = m.common("GRID")
+        g, new = blk.g, blk.new
+        for s in range(_sweeps):
+            for i in m.presched(range(1, _n - 1)):
+                new[i, 1:-1] = 0.25 * (g[i - 1, 1:-1] + g[i + 1, 1:-1]
+                                       + g[i, :-2] + g[i, 2:])
+                m.compute((_n - 2) * TICKS_PER_CELL)
+
+            def copy_back():
+                g[1:-1, 1:-1] = new[1:-1, 1:-1]
+
+            m.barrier(copy_back)
+        return None
+
+    @reg.tasktype("JFORCE", shared={"GRID": {}})
+    def jforce(ctx, _n, _sweeps):
+        # SHARED COMMON declared empty above and filled here because the
+        # block shape depends on run arguments.
+        blk = ctx.task.shared_state.commons.pop("GRID")
+        blk.release()
+        blk = ctx.task.shared_state.declare_common(
+            "GRID", {"g": ("f8", (_n, _n)), "new": ("f8", (_n, _n))})
+        blk.g[...] = make_problem(_n)
+        blk.new[...] = blk.g
+        ctx.forcesplit(region, _n, _sweeps)
+        resid = float(np.abs(np.diff(blk.g, axis=0)).mean())
+        return np.array(blk.g, copy=True), resid
+
+    return reg
+
+
+def run_jacobi_force(n: int = 32, sweeps: int = 4, force_pes: int = 3,
+                     machine: Optional[FlexMachine] = None) -> JacobiResult:
+    reg = build_force_registry(n, sweeps)
+    secondary = tuple(range(4, 4 + force_pes))
+    config = Configuration(
+        clusters=(ClusterSpec(number=1, primary_pe=3, slots=2,
+                              secondary_pes=secondary),),
+        name=f"jacobi-force-{force_pes + 1}")
+    vm = PiscesVM(config, registry=reg, machine=machine)
+    r = vm.run("JFORCE", n, sweeps)
+    grid, resid = r.value
+    return JacobiResult(grid=grid, sweeps=sweeps, elapsed=r.elapsed,
+                        residual=resid, stats_window_bytes=0, vm=vm)

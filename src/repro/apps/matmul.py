@@ -1,0 +1,213 @@
+"""Blocked matrix multiply at the paper's three grain sizes (section 2).
+
+"Applications program typically can make use of several different grain
+sizes of parallel operation", and PISCES 2 deliberately provides three
+that a FLEX-class machine can run efficiently: clusters in parallel,
+tasks within a cluster, and force code segments.  This app computes the
+same C = A x B three ways:
+
+* ``run_matmul_tasks``   -- task grain: a master partitions C into row
+  blocks and farms them to worker *tasks* across clusters (windows
+  carry A-blocks and B; results return by message);
+* ``run_matmul_force``   -- segment grain: one task FORCESPLITs and the
+  members take C rows by PRESCHED out of SHARED COMMON;
+* ``run_matmul_hybrid``  -- both: one worker task per cluster, each of
+  which FORCESPLITs over its cluster's secondary PEs.
+
+All three charge the same per-cell work, so their elapsed virtual times
+expose the overhead of each organization (benchmark A8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..config.configuration import ClusterSpec, Configuration
+from ..core.task import TaskRegistry
+from ..core.taskid import Cluster, PARENT
+from ..core.vm import PiscesVM
+from ..flex.machine import FlexMachine
+
+#: Ticks per output cell (an n-length dot product).
+def cell_cost(n: int) -> int:
+    return max(1, n // 4)
+
+
+@dataclass
+class MatmulResult:
+    C: np.ndarray
+    elapsed: int
+    vm: PiscesVM
+
+
+def make_inputs(n: int, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    A = rng.integers(-3, 4, size=(n, n)).astype(float)
+    B = rng.integers(-3, 4, size=(n, n)).astype(float)
+    return A, B
+
+
+# ------------------------------------------------------------- task grain --
+
+def build_tasks_registry(n: int, n_workers: int) -> TaskRegistry:
+    reg = TaskRegistry()
+
+    @reg.tasktype("MWORKER")
+    def mworker(ctx, k):
+        ctx.send(PARENT, "HELLO", k)
+        res = ctx.accept("JOB")
+        wa, wb = res.args              # windows on A rows and all of B
+        a = ctx.window_read(wa)
+        b = ctx.window_read(wb)
+        ctx.compute(a.shape[0] * n * cell_cost(n))
+        ctx.send(PARENT, "ROWS", k, a @ b)
+
+    @reg.tasktype("MMASTER")
+    def mmaster(ctx):
+        A, B = make_inputs(n)
+        C = np.zeros((n, n))
+        wa_full = ctx.export_array("A", A)
+        wb_full = ctx.export_array("B", B)
+        n_clusters = len(ctx.vm.clusters)
+        for k in range(n_workers):
+            ctx.initiate("MWORKER", k, on=1 + (k % n_clusters))
+        who = {}
+        for _ in range(n_workers):
+            r = ctx.accept("HELLO")
+            who[r.args[0]] = r.sender
+        parts = wa_full.split(n_workers, axis=0)
+        for k in range(n_workers):
+            ctx.send(who[k], "JOB", parts[k], wb_full)
+        bounds = [p.bounds[0] for p in parts]
+        for _ in range(n_workers):
+            r = ctx.accept("ROWS")
+            k, rows = r.args
+            lo, hi = bounds[k]
+            C[lo:hi, :] = rows
+        return C
+
+    return reg
+
+
+def run_matmul_tasks(n: int = 24, n_workers: int = 4,
+                     n_clusters: int = 2,
+                     machine: Optional[FlexMachine] = None) -> MatmulResult:
+    reg = build_tasks_registry(n, n_workers)
+    clusters = tuple(ClusterSpec(i, 2 + i, max(2, n_workers))
+                     for i in range(1, n_clusters + 1))
+    vm = PiscesVM(Configuration(clusters=clusters, name="matmul-tasks"),
+                  registry=reg, machine=machine)
+    r = vm.run("MMASTER")
+    return MatmulResult(C=r.value, elapsed=r.elapsed, vm=vm)
+
+
+# ------------------------------------------------------------ force grain --
+
+def build_force_registry(n: int) -> TaskRegistry:
+    reg = TaskRegistry()
+
+    def region(m):
+        blk = m.common("MM")
+        A, B, C = blk.A, blk.B, blk.C
+        for i in m.presched(range(n)):
+            C[i, :] = A[i, :] @ B
+            m.compute(n * cell_cost(n))
+
+    spec = {"A": ("f8", (n, n)), "B": ("f8", (n, n)), "C": ("f8", (n, n))}
+
+    @reg.tasktype("MFORCE", shared={"MM": spec})
+    def mforce(ctx):
+        A, B = make_inputs(n)
+        blk = ctx.common("MM")
+        blk.A[...] = A
+        blk.B[...] = B
+        ctx.forcesplit(region)
+        return np.array(blk.C, copy=True)
+
+    return reg
+
+
+def run_matmul_force(n: int = 24, force_pes: int = 3,
+                     machine: Optional[FlexMachine] = None) -> MatmulResult:
+    reg = build_force_registry(n)
+    cfg = Configuration(clusters=(
+        ClusterSpec(1, 3, 2, tuple(range(4, 4 + force_pes))),),
+        name="matmul-force")
+    vm = PiscesVM(cfg, registry=reg, machine=machine)
+    r = vm.run("MFORCE")
+    return MatmulResult(C=r.value, elapsed=r.elapsed, vm=vm)
+
+
+# ------------------------------------------------------------ hybrid grain --
+
+def build_hybrid_registry(n: int, n_clusters: int) -> TaskRegistry:
+    reg = TaskRegistry()
+
+    def region(m, a, b, out):
+        rows = a.shape[0]
+        for i in m.presched(range(rows)):
+            out[i, :] = a[i, :] @ b
+            m.compute(n * cell_cost(n))
+
+    @reg.tasktype("HWORKER")
+    def hworker(ctx, k):
+        ctx.send(PARENT, "HELLO", k)
+        res = ctx.accept("JOB")
+        wa, wb = res.args
+        a = ctx.window_read(wa)
+        b = ctx.window_read(wb)
+        out = np.zeros((a.shape[0], n))
+        ctx.forcesplit(region, a, b, out)
+        ctx.send(PARENT, "ROWS", k, out)
+
+    @reg.tasktype("HMASTER")
+    def hmaster(ctx):
+        A, B = make_inputs(n)
+        C = np.zeros((n, n))
+        wa_full = ctx.export_array("A", A)
+        wb_full = ctx.export_array("B", B)
+        for k in range(n_clusters):
+            ctx.initiate("HWORKER", k, on=Cluster(k + 1))
+        who = {}
+        for _ in range(n_clusters):
+            r = ctx.accept("HELLO")
+            who[r.args[0]] = r.sender
+        parts = wa_full.split(n_clusters, axis=0)
+        for k in range(n_clusters):
+            ctx.send(who[k], "JOB", parts[k], wb_full)
+        bounds = [p.bounds[0] for p in parts]
+        for _ in range(n_clusters):
+            r = ctx.accept("ROWS")
+            k, rows = r.args
+            lo, hi = bounds[k]
+            C[lo:hi, :] = rows
+        return C
+
+    return reg
+
+
+def run_matmul_hybrid(n: int = 24, n_clusters: int = 2,
+                      force_pes_per_cluster: int = 2,
+                      machine: Optional[FlexMachine] = None) -> MatmulResult:
+    """Task grain across clusters x force grain inside each."""
+    reg = build_hybrid_registry(n, n_clusters)
+    specs = []
+    next_pe = 3 + n_clusters + 1          # leave room for primaries + master
+    primaries = list(range(3, 3 + n_clusters + 1))
+    # cluster 1 hosts the master too
+    specs.append(ClusterSpec(1, primaries[0], 3,
+                             tuple(range(next_pe,
+                                         next_pe + force_pes_per_cluster))))
+    next_pe += force_pes_per_cluster
+    for i in range(2, n_clusters + 1):
+        specs.append(ClusterSpec(i, primaries[i - 1], 3,
+                                 tuple(range(next_pe,
+                                             next_pe + force_pes_per_cluster))))
+        next_pe += force_pes_per_cluster
+    vm = PiscesVM(Configuration(clusters=tuple(specs), name="matmul-hybrid"),
+                  registry=reg, machine=machine)
+    r = vm.run("HMASTER")
+    return MatmulResult(C=r.value, elapsed=r.elapsed, vm=vm)

@@ -1,0 +1,20 @@
+"""Baselines the paper positions PISCES 2 against."""
+
+from .schedule import (
+    DISPATCH_COST,
+    ScheduleProgram,
+    ScheduleResult,
+    ScheduleRunner,
+    Unit,
+)
+from .seq import run_program_serial, run_serial_ticks
+
+__all__ = [
+    "DISPATCH_COST",
+    "ScheduleProgram",
+    "ScheduleResult",
+    "ScheduleRunner",
+    "Unit",
+    "run_program_serial",
+    "run_serial_ticks",
+]

@@ -1,0 +1,15 @@
+"""Configuration environment: mapping the virtual machine to hardware."""
+
+from .configuration import (
+    ClusterSpec,
+    Configuration,
+    MAX_SLOTS,
+    simple_configuration,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "Configuration",
+    "MAX_SLOTS",
+    "simple_configuration",
+]

@@ -1,0 +1,195 @@
+"""Configurations: the virtual-machine-to-hardware mapping (section 9).
+
+"In PISCES 2 the programmer controls the hardware resources that are
+allocated to the execution of user tasks in each cluster. ... A
+particular mapping is called a configuration."  Creating one on the
+FLEX/32 chooses: (1) how many clusters and their numbers, (2) the
+primary PE of each cluster, (3) the secondary PEs that run force
+members for each cluster, (4) the number of user-task slots per
+cluster.  A configuration also carries an execution time limit and
+trace settings (section 11), and may be saved, edited and reused.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..flex.machine import MachineSpec
+
+#: Arbitrary sanity cap on user slots per cluster (the slot count
+#: bounds the degree of multiprogramming on the primary PE).
+MAX_SLOTS = 16
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Mapping of one cluster onto hardware."""
+
+    number: int
+    primary_pe: int
+    slots: int = 4
+    secondary_pes: Tuple[int, ...] = ()
+
+    def validate(self, machine: MachineSpec) -> None:
+        if self.number < 1:
+            raise ConfigurationError(f"cluster number {self.number} < 1")
+        mmos = set(machine.mmos_pes)
+        if self.primary_pe not in mmos:
+            raise ConfigurationError(
+                f"cluster {self.number}: primary PE {self.primary_pe} is not "
+                f"an MMOS PE (valid: {sorted(mmos)})")
+        if not 1 <= self.slots <= MAX_SLOTS:
+            raise ConfigurationError(
+                f"cluster {self.number}: slots must be 1..{MAX_SLOTS}, "
+                f"got {self.slots}")
+        seen = set()
+        for pe in self.secondary_pes:
+            if pe not in mmos:
+                raise ConfigurationError(
+                    f"cluster {self.number}: secondary PE {pe} is not an "
+                    f"MMOS PE")
+            if pe in seen:
+                raise ConfigurationError(
+                    f"cluster {self.number}: secondary PE {pe} listed twice")
+            seen.add(pe)
+        if self.primary_pe in seen:
+            raise ConfigurationError(
+                f"cluster {self.number}: PE {self.primary_pe} cannot be both "
+                f"primary and secondary of the same cluster")
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A complete run configuration."""
+
+    clusters: Tuple[ClusterSpec, ...]
+    #: Execution time limit in ticks (part of the configuration per
+    #: section 11); None disables the limit.
+    time_limit: Optional[int] = None
+    #: Trace event type names enabled at start (section 11/12).
+    trace_events: Tuple[str, ...] = ()
+    #: Cluster whose user controller owns the terminal (default: lowest).
+    user_cluster: Optional[int] = None
+    #: Cluster hosting the file controller (default: lowest; the file
+    #: store stands in for the Unix file system on a diskless FLEX).
+    file_cluster: Optional[int] = None
+    #: System-provided ACCEPT timeout when no DELAY is given.
+    default_accept_delay: int = 1_000_000
+    name: str = "unnamed"
+
+    # ------------------------------------------------------------ access --
+
+    def cluster_numbers(self) -> List[int]:
+        return sorted(c.number for c in self.clusters)
+
+    def cluster(self, number: int) -> ClusterSpec:
+        for c in self.clusters:
+            if c.number == number:
+                return c
+        raise ConfigurationError(f"no cluster {number} in configuration")
+
+    def used_pes(self) -> List[int]:
+        """Every PE the configuration touches (loadfile targets)."""
+        pes = set()
+        for c in self.clusters:
+            pes.add(c.primary_pe)
+            pes.update(c.secondary_pes)
+        return sorted(pes)
+
+    def effective_user_cluster(self) -> int:
+        return (self.user_cluster if self.user_cluster is not None
+                else min(self.cluster_numbers()))
+
+    def effective_file_cluster(self) -> int:
+        return (self.file_cluster if self.file_cluster is not None
+                else min(self.cluster_numbers()))
+
+    def max_multiprogramming(self, pe: int) -> int:
+        """Upper bound on simultaneous user tasks/force members on a PE.
+
+        Section 9: a PE that is secondary for several clusters can host
+        force members from each; the bound is the sum of the slot counts
+        of every cluster the PE serves (as primary or secondary).
+        """
+        total = 0
+        for c in self.clusters:
+            if c.primary_pe == pe or pe in c.secondary_pes:
+                total += c.slots
+        return total
+
+    # ---------------------------------------------------------- validate --
+
+    def validate(self, machine: MachineSpec) -> "Configuration":
+        if not self.clusters:
+            raise ConfigurationError("configuration has no clusters")
+        max_clusters = len(machine.mmos_pes)
+        if len(self.clusters) > max_clusters:
+            raise ConfigurationError(
+                f"{len(self.clusters)} clusters exceed the {max_clusters} "
+                f"available MMOS PEs")
+        numbers = [c.number for c in self.clusters]
+        if len(set(numbers)) != len(numbers):
+            raise ConfigurationError(f"duplicate cluster numbers in {numbers}")
+        primaries = [c.primary_pe for c in self.clusters]
+        if len(set(primaries)) != len(primaries):
+            raise ConfigurationError(
+                f"clusters must have distinct primary PEs, got {primaries}")
+        for c in self.clusters:
+            c.validate(machine)
+        for attr in ("user_cluster", "file_cluster"):
+            v = getattr(self, attr)
+            if v is not None and v not in numbers:
+                raise ConfigurationError(f"{attr}={v} is not a cluster")
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise ConfigurationError("time_limit must be positive")
+        if self.default_accept_delay <= 0:
+            raise ConfigurationError("default_accept_delay must be positive")
+        return self
+
+    # ------------------------------------------------------------ editing --
+
+    def with_cluster(self, spec: ClusterSpec) -> "Configuration":
+        """A copy with one cluster added or replaced (menu editing)."""
+        rest = tuple(c for c in self.clusters if c.number != spec.number)
+        return replace(self, clusters=tuple(
+            sorted(rest + (spec,), key=lambda c: c.number)))
+
+    def without_cluster(self, number: int) -> "Configuration":
+        return replace(self, clusters=tuple(
+            c for c in self.clusters if c.number != number))
+
+    def describe(self) -> str:
+        lines = [f"configuration {self.name!r}:"]
+        for c in sorted(self.clusters, key=lambda c: c.number):
+            sec = ",".join(map(str, c.secondary_pes)) or "-"
+            lines.append(f"  cluster {c.number}: primary PE {c.primary_pe}, "
+                         f"{c.slots} slots, force PEs [{sec}] "
+                         f"(force size {1 + len(c.secondary_pes)})")
+        if self.time_limit is not None:
+            lines.append(f"  time limit: {self.time_limit} ticks")
+        if self.trace_events:
+            lines.append(f"  trace: {', '.join(self.trace_events)}")
+        return "\n".join(lines)
+
+
+def simple_configuration(n_clusters: int = 2, slots: int = 4,
+                         force_pes_per_cluster: int = 0,
+                         first_pe: int = 3,
+                         name: str = "simple") -> Configuration:
+    """Convenience builder: ``n_clusters`` clusters on consecutive PEs
+    starting at ``first_pe``, each with ``slots`` slots, then consecutive
+    blocks of ``force_pes_per_cluster`` secondary PEs."""
+    specs = []
+    next_pe = first_pe
+    primaries = []
+    for i in range(1, n_clusters + 1):
+        primaries.append(next_pe)
+        next_pe += 1
+    for i, pe in enumerate(primaries, start=1):
+        sec = tuple(range(next_pe, next_pe + force_pes_per_cluster))
+        next_pe += force_pes_per_cluster
+        specs.append(ClusterSpec(number=i, primary_pe=pe, slots=slots,
+                                 secondary_pes=sec))
+    return Configuration(clusters=tuple(specs), name=name)

@@ -1,0 +1,188 @@
+"""The menu-driven configuration environment (sections 9, 11).
+
+"Configurations are created within the PISCES 2 environment via a
+series of menus."  This is a faithful, *scriptable* text-menu front end:
+it reads answers from any iterator of lines (an interactive stdin, or a
+list in tests) and writes prompts to any sink, so the whole dialogue is
+unit-testable.
+
+Menu map::
+
+    PISCES CONFIGURATION ENVIRONMENT
+      1  NEW CONFIGURATION
+      2  ADD/EDIT CLUSTER
+      3  REMOVE CLUSTER
+      4  SET TIME LIMIT
+      5  SET TRACE OPTIONS
+      6  SHOW CONFIGURATION
+      7  SAVE CONFIGURATION
+      8  LOAD CONFIGURATION
+      9  BUILD LOADFILE (describe)
+      0  DONE (return the configuration)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from ..errors import ConfigurationError
+from ..flex.machine import MachineSpec
+from .configuration import ClusterSpec, Configuration
+from . import files
+
+MENU_TEXT = """PISCES CONFIGURATION ENVIRONMENT
+  1  NEW CONFIGURATION
+  2  ADD/EDIT CLUSTER
+  3  REMOVE CLUSTER
+  4  SET TIME LIMIT
+  5  SET TRACE OPTIONS
+  6  SHOW CONFIGURATION
+  7  SAVE CONFIGURATION
+  8  LOAD CONFIGURATION
+  9  BUILD LOADFILE (describe)
+  0  DONE"""
+
+
+class ConfigurationMenu:
+    """A scriptable configuration-building dialogue."""
+
+    def __init__(self, machine: Optional[MachineSpec] = None,
+                 inputs: Optional[Iterable[str]] = None,
+                 output: Optional[Callable[[str], None]] = None):
+        self.machine = machine or MachineSpec()
+        self._in: Iterator[str] = iter(inputs) if inputs is not None else iter([])
+        self._out = output or (lambda s: None)
+        self.config = Configuration(clusters=(), name="new")
+        self.transcript: List[str] = []
+
+    # ------------------------------------------------------------ dialog --
+
+    def _say(self, text: str) -> None:
+        self.transcript.append(text)
+        self._out(text)
+
+    def _ask(self, prompt: str) -> str:
+        self._say(prompt)
+        try:
+            ans = next(self._in).strip()
+        except StopIteration:
+            raise ConfigurationError("menu input exhausted") from None
+        self.transcript.append("> " + ans)
+        return ans
+
+    def _ask_int(self, prompt: str, lo: int, hi: int) -> int:
+        while True:
+            ans = self._ask(prompt)
+            try:
+                v = int(ans)
+            except ValueError:
+                self._say(f"  not a number: {ans!r}")
+                continue
+            if lo <= v <= hi:
+                return v
+            self._say(f"  must be {lo}..{hi}")
+
+    # -------------------------------------------------------------- main --
+
+    def run(self) -> Configuration:
+        """Drive the menu until DONE; returns the validated configuration."""
+        while True:
+            self._say(MENU_TEXT)
+            choice = self._ask("choice?")
+            if choice == "0":
+                cfg = self.config.validate(self.machine)
+                self._say(f"configuration {cfg.name!r} complete")
+                return cfg
+            handler = getattr(self, f"_op_{choice}", None)
+            if handler is None:
+                self._say(f"  no such option {choice!r}")
+                continue
+            try:
+                handler()
+            except ConfigurationError as e:
+                self._say(f"  error: {e}")
+
+    # --------------------------------------------------------- operations --
+
+    def _op_1(self) -> None:
+        name = self._ask("configuration name?") or "unnamed"
+        self.config = Configuration(clusters=(), name=name)
+        self._say(f"new empty configuration {name!r}")
+
+    def _op_2(self) -> None:
+        mmos = sorted(self.machine.mmos_pes)
+        n = self._ask_int("cluster number?", 1, 99)
+        primary = self._ask_int(
+            f"primary PE? (MMOS PEs: {mmos[0]}..{mmos[-1]})",
+            mmos[0], mmos[-1])
+        slots = self._ask_int("user task slots?", 1, 16)
+        force_txt = self._ask("secondary (force) PEs? (comma list or -)")
+        secondary = (tuple(int(x) for x in force_txt.split(",") if x.strip())
+                     if force_txt not in ("-", "") else ())
+        spec = ClusterSpec(number=n, primary_pe=primary, slots=slots,
+                           secondary_pes=secondary)
+        spec.validate(self.machine)
+        self.config = self.config.with_cluster(spec)
+        self._say(f"cluster {n} set: primary PE {primary}, {slots} slots, "
+                  f"force PEs {list(secondary) or '-'}")
+
+    def _op_3(self) -> None:
+        n = self._ask_int("remove which cluster?", 1, 99)
+        self.config = self.config.without_cluster(n)
+        self._say(f"cluster {n} removed")
+
+    def _op_4(self) -> None:
+        v = self._ask_int("execution time limit (ticks)?", 1, 2**31)
+        import dataclasses
+        self.config = dataclasses.replace(self.config, time_limit=v)
+        self._say(f"time limit {v}")
+
+    def _op_5(self) -> None:
+        from ..core.tracing import TraceEventType
+        names = [t.value for t in TraceEventType]
+        self._say("event types: " + " ".join(names))
+        ans = self._ask("trace which? (space list, ALL, or NONE)")
+        if ans.upper() == "ALL":
+            events = tuple(names)
+        elif ans.upper() in ("NONE", ""):
+            events = ()
+        else:
+            events = tuple(ans.split())
+            for e in events:
+                if e not in names:
+                    raise ConfigurationError(f"unknown trace event {e!r}")
+        import dataclasses
+        self.config = dataclasses.replace(self.config, trace_events=events)
+        self._say(f"tracing: {', '.join(events) or '(none)'}")
+
+    def _op_6(self) -> None:
+        self._say(self.config.describe())
+
+    def _op_7(self) -> None:
+        path = self._ask("save to file?")
+        self.config.validate(self.machine)
+        files.save(self.config, path)
+        self._say(f"saved to {path}")
+
+    def _op_8(self) -> None:
+        path = self._ask("load from file?")
+        self.config = files.load(path)
+        self._say(f"loaded {self.config.name!r} "
+                  f"({len(self.config.clusters)} clusters)")
+
+    def _op_9(self) -> None:
+        from ..core.task import GLOBAL_REGISTRY
+        from ..mmos.loader import (
+            CAT_MMOS_KERNEL, CAT_PISCES_CODE, CAT_PISCES_DATA, CAT_USER_CODE,
+            Loadfile)
+        from ..core.sizes import (
+            MMOS_KERNEL_BYTES, PISCES_SYSTEM_CODE_BYTES,
+            PISCES_SYSTEM_DATA_BYTES)
+        lf = Loadfile()
+        lf.add(CAT_MMOS_KERNEL, MMOS_KERNEL_BYTES)
+        lf.add(CAT_PISCES_CODE, PISCES_SYSTEM_CODE_BYTES)
+        lf.add(CAT_PISCES_DATA, PISCES_SYSTEM_DATA_BYTES)
+        lf.add(CAT_USER_CODE, GLOBAL_REGISTRY.total_code_bytes())
+        self._say(lf.describe())
+        self._say(f"target PEs: {self.config.used_pes()}")

@@ -1,0 +1,75 @@
+"""PISCES 2 run-time library: the paper's primary contribution."""
+
+from .accept import ALL_RECEIVED, AcceptResult
+from .cluster import ClusterRuntime, Slot
+from .controllers import FileController, TaskController, UserController
+from .forces import Force, ForceContext
+from .messages import InQueue, Message
+from .shared import LockState, SharedCommonBlock
+from .task import (
+    GLOBAL_REGISTRY,
+    Task,
+    TaskContext,
+    TaskRegistry,
+    TaskType,
+    tasktype,
+)
+from .taskid import (
+    ANY,
+    Broadcast,
+    Cluster,
+    OTHER,
+    PARENT,
+    SAME,
+    SELF,
+    SENDER,
+    TContr,
+    TaskId,
+    USER,
+    USER_TERMINAL_ID,
+)
+from .tracing import TraceEvent, TraceEventType, Tracer
+from .vm import PiscesVM, RunResult, RunStats
+from .windows import Window, make_window
+
+__all__ = [
+    "ALL_RECEIVED",
+    "ANY",
+    "AcceptResult",
+    "Broadcast",
+    "Cluster",
+    "ClusterRuntime",
+    "FileController",
+    "Force",
+    "ForceContext",
+    "GLOBAL_REGISTRY",
+    "InQueue",
+    "LockState",
+    "Message",
+    "OTHER",
+    "PARENT",
+    "PiscesVM",
+    "RunResult",
+    "RunStats",
+    "SAME",
+    "SELF",
+    "SENDER",
+    "SharedCommonBlock",
+    "Slot",
+    "TContr",
+    "Task",
+    "TaskContext",
+    "TaskController",
+    "TaskId",
+    "TaskRegistry",
+    "TaskType",
+    "TraceEvent",
+    "TraceEventType",
+    "Tracer",
+    "USER",
+    "USER_TERMINAL_ID",
+    "UserController",
+    "Window",
+    "make_window",
+    "tasktype",
+]

@@ -1,0 +1,204 @@
+"""Controller tasks: the PISCES operating system (section 5).
+
+"The operating system is represented as a set of 'controller' tasks
+that run in slots in the clusters":
+
+* **task controllers** -- one per cluster; initiate, terminate and
+  monitor user tasks in their cluster;
+* **user controllers** -- control communication with user terminals
+  directly accessible from their cluster;
+* **file controllers** -- control access to files on disks directly
+  accessible from their cluster (hypothetical on the diskless NASA
+  FLEX; here they front the simulated file store).
+
+Controllers are static daemon processes created at boot; user tasks are
+dynamic.  All communication with controllers uses the same asynchronous
+message mechanism as user-to-user traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import UnknownTask, WindowError
+from ..mmos.process import KernelProcess
+from .cluster import ClusterRuntime, PendingInitiate
+from .messages import InQueue, Message, release_message
+from .sizes import COST_CONTROLLER_INITIATE
+from .taskid import (
+    FILE_CONTROLLER_SLOT,
+    TASK_CONTROLLER_SLOT,
+    TaskId,
+    USER_CONTROLLER_SLOT,
+)
+from .tracing import TraceEvent, TraceEventType
+from .windows import ArrayStore, Window, make_window
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .vm import PiscesVM
+
+#: System message types (the leading @ keeps them out of user namespaces).
+MSG_INITIATE = "@INITIATE"
+MSG_TERMINATED = "@TERMINATED"
+MSG_KILL = "@KILL"
+MSG_FILE_WINDOW = "@FWINDOW"
+MSG_FILE_WINDOW_REPLY = "@FWINDOW_R"
+
+
+class Controller:
+    """Base: a daemon process with a taskid and an in-queue."""
+
+    slot_number: int = TASK_CONTROLLER_SLOT
+    kind = "controller"
+
+    def __init__(self, vm: "PiscesVM", cluster: ClusterRuntime):
+        self.vm = vm
+        self.cluster = cluster
+        self.tid = TaskId(cluster.number, self.slot_number, 1)
+        self.inq = InQueue(self.tid)
+        self.process: Optional[KernelProcess] = None
+
+    def start(self) -> None:
+        self.process = self.vm.engine.spawn(
+            f"{self.kind}@{self.tid}", self.cluster.primary_pe,
+            self._serve_forever, daemon=True)
+
+    # ---------------------------------------------------------- main loop --
+
+    def _serve_forever(self) -> None:
+        eng = self.vm.engine
+        while True:
+            msg = self._next_message()
+            try:
+                self.handle(msg)
+            finally:
+                release_message(self.vm.machine.shared, msg)
+
+    def _next_message(self) -> Message:
+        eng = self.vm.engine
+        while True:
+            eng.preempt(0)
+            now = eng.now()
+            for m in self.inq.messages():
+                if m.arrival_time <= now:
+                    self.inq.remove(m)
+                    return m
+            nxt = min((m.arrival_time for m in self.inq.messages()),
+                      default=None)
+            eng.block(f"{self.kind}-wait", deadline=nxt)
+
+    def handle(self, msg: Message) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class TaskController(Controller):
+    """Initiates, terminates and monitors user tasks in its cluster
+    (section 5 kind 1)."""
+
+    slot_number = TASK_CONTROLLER_SLOT
+    kind = "tcontr"
+
+    def handle(self, msg: Message) -> None:
+        if msg.mtype == MSG_INITIATE:
+            req_id, tasktype_name, args, parent = msg.args
+            self._initiate(req_id, tasktype_name, tuple(args), parent)
+        elif msg.mtype == MSG_TERMINATED:
+            (tid,) = msg.args
+            self._task_terminated(tid)
+        elif msg.mtype == MSG_KILL:
+            (tid,) = msg.args
+            self.vm.kill_task(tid)
+        # Unknown types addressed to a controller are ignored (dropped).
+
+    def _initiate(self, req_id: int, tasktype_name: str,
+                  args: Tuple[Any, ...], parent: TaskId) -> None:
+        self.cluster.inflight_initiates = max(
+            0, self.cluster.inflight_initiates - 1)
+        slot = self.cluster.free_slot()
+        if slot is None:
+            # "If no slots are available in the cluster, the task
+            # controller will hold the initiate request until another
+            # task terminates."
+            self.cluster.pending.append(PendingInitiate(
+                tasktype=tasktype_name, args=args, parent=parent,
+                requested_at=self.vm.engine.now()))
+            self.vm.note_initiate_held(req_id)
+            return
+        self.vm.engine.charge(COST_CONTROLLER_INITIATE)
+        self.vm.start_task_in_slot(self.cluster, slot, tasktype_name, args,
+                                   parent, req_id=req_id)
+
+    def _task_terminated(self, tid: TaskId) -> None:
+        self.cluster.tasks_terminated += 1
+        # Free the slot (terminating tasks leave that to us, so held
+        # requests stay FIFO with respect to later arrivals).
+        slot = self.cluster.slots[tid.slot - 1]
+        if slot.task is not None and slot.task.tid == tid:
+            slot.release()
+        # Pump held initiate requests into the freed slot.
+        while self.cluster.pending and self.cluster.free_slot() is not None:
+            req = self.cluster.pending.popleft()
+            slot = self.cluster.free_slot()
+            self.vm.engine.charge(COST_CONTROLLER_INITIATE)
+            self.vm.start_task_in_slot(self.cluster, slot, req.tasktype,
+                                       req.args, req.parent)
+
+
+class UserController(Controller):
+    """Forwards messages addressed to USER to the terminal (section 5
+    kind 2).  Every received message becomes a console line and an entry
+    in ``vm.user_messages`` for programmatic inspection."""
+
+    slot_number = USER_CONTROLLER_SLOT
+    kind = "ucontr"
+
+    def handle(self, msg: Message) -> None:
+        text = ", ".join(repr(a) for a in msg.args)
+        self.vm.kernel.write_terminal(
+            f"TO USER from {msg.sender}: {msg.mtype}({text})")
+        self.vm.user_messages.append(
+            (msg.mtype, msg.args, msg.sender, msg.arrival_time))
+
+
+class FileController(Controller):
+    """Controls access to file-system arrays (section 5 kind 3, section 8).
+
+    The "owner" of a file window is this controller; it serves window
+    reads/writes out of the VM's file store, serializing overlapping
+    requests (the engine's one-at-a-time admission makes each transfer
+    atomic, which is exactly the management the paper asks of it).
+    Window *creation* is also available by message (@FWINDOW), giving
+    the asynchronous protocol of section 8, but the common path is the
+    synchronous ``ctx.file_window``.
+    """
+
+    slot_number = FILE_CONTROLLER_SLOT
+    kind = "fcontr"
+
+    def __init__(self, vm: "PiscesVM", cluster: ClusterRuntime):
+        super().__init__(vm, cluster)
+        self.arrays = ArrayStore(self.tid)
+        # One disk by default; vm.configure_file_disks() swaps in a
+        # striped array (the PISCES 3 parallel-I/O direction).
+        from .fileio import DiskArray
+        self.disks = DiskArray(1)
+
+    def export_file(self, name: str, array: np.ndarray) -> None:
+        self.arrays.export(name, array)
+
+    def window_for(self, name: str, region=None) -> Window:
+        base = self.arrays.get(name)
+        return make_window(self.tid, name, base, region)
+
+    def handle(self, msg: Message) -> None:
+        if msg.mtype == MSG_FILE_WINDOW:
+            (name,) = msg.args
+            try:
+                w = self.window_for(name)
+                self.vm.send_message(msg.sender, MSG_FILE_WINDOW_REPLY, (w,),
+                                     origin=self)
+            except WindowError as e:
+                self.vm.send_message(msg.sender, MSG_FILE_WINDOW_REPLY,
+                                     (str(e),), origin=self)

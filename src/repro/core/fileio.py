@@ -1,0 +1,122 @@
+"""Parallel file I/O: simulated disks and striping.
+
+Section 1 announces the direction: "A PISCES 3 environment is planned
+for a hypercube machine ... The PISCES 3 system will emphasize parallel
+I/O and data base access."  Section 8 already gives windows the role of
+"a uniform access method for large arrays on secondary storage", served
+by the file controller.  This module supplies the storage substrate:
+
+* :class:`SimDisk` -- one disk with a seek + per-byte transfer cost
+  model and a virtual-time busy interval (requests to one disk
+  serialize; requests to different disks overlap);
+* :class:`DiskArray` -- a set of disks over which a file's byte stream
+  is striped round-robin in ``stripe_unit`` chunks, so one large window
+  read engages every disk at once.
+
+The file controller charges a transfer's completion time by blocking
+the requesting task until ``DiskArray.transfer`` says the last chunk
+has landed -- which is what makes striped I/O measurably faster in
+elapsed virtual time (ablation A7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import WindowError
+
+#: Fixed positioning cost per request per disk touched.
+DISK_SEEK_TICKS = 120
+#: Transfer rate: one tick per this many bytes.
+DISK_BYTES_PER_TICK = 16
+#: Default stripe chunk.
+DEFAULT_STRIPE_UNIT = 4096
+
+
+@dataclass
+class SimDisk:
+    """One simulated disk: a busy interval in virtual time."""
+
+    number: int
+    busy_until: int = 0
+    requests: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_ticks: int = 0
+
+    def transfer(self, start: int, nbytes: int, write: bool) -> int:
+        """Serve ``nbytes`` beginning no earlier than ``start``; returns
+        the completion time.  Back-to-back requests queue on the disk."""
+        begin = max(start, self.busy_until)
+        dur = DISK_SEEK_TICKS + (nbytes + DISK_BYTES_PER_TICK - 1) // DISK_BYTES_PER_TICK
+        end = begin + dur
+        self.busy_until = end
+        self.requests += 1
+        self.busy_ticks += dur
+        if write:
+            self.bytes_written += nbytes
+        else:
+            self.bytes_read += nbytes
+        return end
+
+
+class DiskArray:
+    """Disks behind one file controller, with round-robin striping."""
+
+    def __init__(self, n_disks: int = 1,
+                 stripe_unit: int = DEFAULT_STRIPE_UNIT):
+        if n_disks < 1:
+            raise WindowError("a file controller needs at least one disk")
+        if stripe_unit < 1:
+            raise WindowError("stripe unit must be positive")
+        self.disks = [SimDisk(i) for i in range(n_disks)]
+        self.stripe_unit = stripe_unit
+
+    @property
+    def n_disks(self) -> int:
+        return len(self.disks)
+
+    def stripe_spread(self, offset: int, nbytes: int) -> Dict[int, int]:
+        """Bytes each disk serves for a transfer of ``nbytes`` starting
+        at file offset ``offset`` (chunks assigned round-robin)."""
+        out: Dict[int, int] = {}
+        pos = offset
+        remaining = nbytes
+        while remaining > 0:
+            chunk_index = pos // self.stripe_unit
+            disk = chunk_index % self.n_disks
+            in_chunk = self.stripe_unit - (pos % self.stripe_unit)
+            take = min(in_chunk, remaining)
+            out[disk] = out.get(disk, 0) + take
+            pos += take
+            remaining -= take
+        return out
+
+    def transfer(self, start: int, offset: int, nbytes: int,
+                 write: bool) -> int:
+        """Issue one striped transfer; returns the completion time (the
+        slowest participating disk)."""
+        if nbytes <= 0:
+            return start
+        spread = self.stripe_spread(offset, nbytes)
+        return max(self.disks[d].transfer(start, b, write)
+                   for d, b in spread.items())
+
+    # ------------------------------------------------------------ stats --
+
+    def stats_rows(self) -> List[Tuple[int, int, int, int, int]]:
+        """(disk, requests, bytes read, bytes written, busy ticks)."""
+        return [(d.number, d.requests, d.bytes_read, d.bytes_written,
+                 d.busy_ticks) for d in self.disks]
+
+    def total_bytes(self) -> int:
+        return sum(d.bytes_read + d.bytes_written for d in self.disks)
+
+    def describe(self) -> str:
+        lines = [f"disk array: {self.n_disks} disks, stripe unit "
+                 f"{self.stripe_unit} bytes"]
+        for n, req, br, bw, busy in self.stats_rows():
+            lines.append(f"  disk {n}: {req} requests, {br}B read, "
+                         f"{bw}B written, busy {busy} ticks")
+        return "\n".join(lines)

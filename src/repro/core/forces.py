@@ -1,0 +1,182 @@
+"""Forces (section 7).
+
+"A force ... is a set of simultaneously initiated tasks, all of the
+same tasktype.  The members of a force are guaranteed to run
+concurrently on different PE's.  Force members communicate through
+shared variables and synchronize through barriers and critical regions."
+
+In PISCES 2 any task may split into a force with FORCESPLIT; the member
+count and the PEs running them are fixed by the *configuration* (one
+member per secondary PE of the cluster, plus the primary), never by the
+program text -- "the same program text may be executed without change by
+a force of any number of members".
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import RuntimeLibraryError
+from ..mmos.process import KernelProcess
+from .loops import SelfSchedCounter, parseg as _parseg, presched as _presched, selfsched as _selfsched
+from .shared import LockState
+from .sizes import COST_FORCESPLIT_BASE, COST_FORCESPLIT_PER_MEMBER
+from .sync import BarrierGeneration, acquire_lock, barrier as _barrier, release_lock
+from .task import Task, TaskContext
+from .tracing import TraceEventType
+
+
+class Force:
+    """Run-time state of one force (one FORCESPLIT execution)."""
+
+    def __init__(self, task: Task, size: int):
+        self.task = task
+        self.size = size
+        self.barrier_gen = 0
+        self.current_barrier = BarrierGeneration(size)
+        self.remaining = size
+        self.results: Dict[int, Any] = {}
+        self.primary_proc: Optional[KernelProcess] = None
+        self.primary_waiting = False
+        self.member_procs: Dict[int, KernelProcess] = {}
+        # SELFSCHED loop counters, identified by per-member loop ordinal
+        # (all members execute the same text, so ordinals line up).
+        self._ss_counters: List[SelfSchedCounter] = []
+        self._member_loop_ordinal: Dict[int, int] = {}
+
+    def advance_barrier(self) -> None:
+        self.barrier_gen += 1
+        self.current_barrier = BarrierGeneration(self.size)
+
+    def selfsched_counter(self, member: "ForceContext",
+                          total: int) -> SelfSchedCounter:
+        ordinal = self._member_loop_ordinal.get(member.member, 0)
+        self._member_loop_ordinal[member.member] = ordinal + 1
+        if ordinal == len(self._ss_counters):
+            self._ss_counters.append(SelfSchedCounter(total))
+        counter = self._ss_counters[ordinal]
+        if counter.total != total:
+            raise RuntimeLibraryError(
+                f"SELFSCHED loop {ordinal}: members disagree on iteration "
+                f"count ({counter.total} vs {total})")
+        return counter
+
+    def last_selfsched_stats(self) -> Dict[int, int]:
+        """Per-member iteration counts of the most recent SELFSCHED loop."""
+        if not self._ss_counters:
+            return {}
+        return dict(self._ss_counters[-1].executed)
+
+
+class ForceContext(TaskContext):
+    """A force member's view: the full task API plus force operations."""
+
+    def __init__(self, task: Task, process: KernelProcess, force: Force,
+                 member: int):
+        super().__init__(task, process)
+        self._force = force
+        self.member = member
+
+    @property
+    def force(self) -> Force:
+        return self._force
+
+    @property
+    def is_primary(self) -> bool:
+        """Member 0 is the original task continuing as the primary."""
+        return self.member == 0
+
+    @property
+    def force_size(self) -> int:
+        return self._force.size
+
+    # ------------------------------------------------------------- sync --
+
+    def barrier(self, body: Optional[Callable[[], None]] = None) -> None:
+        """``BARRIER ... END BARRIER``: all members pause; when all have
+        arrived the *primary* runs ``body``; then all continue."""
+        _barrier(self.vm.engine, self._force, self, body)
+
+    @contextmanager
+    def critical(self, lock: Union[LockState, str]):
+        """``CRITICAL <lock> ... END CRITICAL`` context manager."""
+        lk = self.lock(lock) if isinstance(lock, str) else lock
+        acquire_lock(self.vm.engine, self._force, self, lk)
+        try:
+            yield
+        finally:
+            release_lock(self.vm.engine, self._force, self, lk)
+
+    # ------------------------------------------------------------ loops --
+
+    def presched(self, iterations: Union[int, range, Sequence]) -> Iterator:
+        """``PRESCHED DO``: cyclic static partition of the iterations."""
+        return _presched(self, iterations)
+
+    def selfsched(self, iterations: Union[int, range, Sequence]) -> Iterator:
+        """``SELFSCHED DO``: members grab the next iteration dynamically."""
+        return _selfsched(self.vm.engine, self, iterations)
+
+    def parseg(self, *segments: Callable[[], Any]) -> List[Any]:
+        """``PARSEG / NEXTSEG / ENDSEG``: parallel statement sequences."""
+        return _parseg(self, segments)
+
+
+def do_forcesplit(ctx: TaskContext, region: Callable[..., Any],
+                  args: Tuple[Any, ...]) -> List[Any]:
+    """Implementation of ``TaskContext.forcesplit``."""
+    if isinstance(ctx, ForceContext):
+        raise RuntimeLibraryError("nested FORCESPLIT is not supported")
+    task = ctx.task
+    if task.force is not None:
+        raise RuntimeLibraryError("task is already split into a force")
+    vm = task.vm
+    eng = vm.engine
+    cluster = task.cluster
+    size = cluster.force_size
+    eng.charge(COST_FORCESPLIT_BASE + size * COST_FORCESPLIT_PER_MEMBER)
+    task.trace(TraceEventType.FORCE_SPLIT, info=f"size={size}")
+    vm.stats.forcesplits += 1
+
+    force = Force(task, size)
+    task.force = force
+    force.primary_proc = ctx.process
+    try:
+        if size > 1:
+            for i, pe in enumerate(cluster.secondary_pes, start=1):
+                body = _member_body(vm, task, force, i, region, args)
+                p = vm.kernel.create_process(
+                    f"{task.ttype.name}@{task.tid}#f{i}", pe, body)
+                p.on_exit = _member_exit(vm, force)
+                force.member_procs[i] = p
+        # The primary is member 0 and executes the region itself.
+        mctx = ForceContext(task, ctx.process, force, 0)
+        force.results[0] = region(mctx, *args)
+        force.remaining -= 1
+        while force.remaining > 0:
+            force.primary_waiting = True
+            eng.block("force-join")
+            force.primary_waiting = False
+        return [force.results[i] for i in range(size)]
+    finally:
+        task.force = None
+
+
+def _member_body(vm, task: Task, force: Force, member: int,
+                 region: Callable[..., Any], args: Tuple[Any, ...]):
+    def body() -> None:
+        eng = vm.engine
+        mctx = ForceContext(task, eng.current(), force, member)
+        force.results[member] = region(mctx, *args)
+    return body
+
+
+def _member_exit(vm, force: Force):
+    """on_exit hook: runs even when the member is killed before/after
+    its region, so the primary's join never hangs."""
+    def hook(proc) -> None:
+        force.remaining -= 1
+        if force.remaining == 0 and force.primary_waiting:
+            vm.engine.wake(force.primary_proc)
+    return hook

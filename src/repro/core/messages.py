@@ -1,0 +1,159 @@
+"""Messages and in-queues.
+
+Section 6/11: communication is asynchronous; messages are queued in an
+in-queue for the receiver in order of arrival; the shared-memory message
+area is a heap with explicit allocation (at send) and deallocation (at
+accept).  A message consists of a header and a list of packets holding
+the arguments; "whenever a task receives a message from another task,
+the taskid of the sender is included as part of the message".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Tuple
+
+from ..flex.memory import Allocation, HeapAllocator
+from .sizes import MSG_HEADER_BYTES, PACKET_HEADER_BYTES, PACKET_PAYLOAD_BYTES, message_bytes
+from .taskid import TaskId
+
+_seq = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One in-flight or queued message."""
+
+    mtype: str
+    args: Tuple[Any, ...]
+    sender: TaskId
+    receiver: TaskId
+    send_time: int
+    arrival_time: int
+    seq: int = field(default_factory=lambda: next(_seq))
+    #: Shared-memory extent backing this message (header + packets as
+    #: one block, since packet count is fixed at send time).
+    allocation: Optional[Allocation] = None
+    #: Total bytes of the allocation (kept after free for statistics).
+    nbytes: int = 0
+    npackets: int = 0
+
+    def key(self) -> Tuple[int, int]:
+        """Queue ordering: arrival time, then global send sequence."""
+        return (self.arrival_time, self.seq)
+
+    def describe(self) -> str:
+        return (f"{self.mtype}({len(self.args)} args, {self.nbytes}B) "
+                f"from {self.sender} arr={self.arrival_time}")
+
+
+def allocate_message(heap: HeapAllocator, mtype: str, args: Tuple[Any, ...],
+                     sender: TaskId, receiver: TaskId,
+                     send_time: int, arrival_time: int,
+                     tag: str = "message") -> Message:
+    """Build a message, claiming its bytes from the shared-memory heap.
+
+    Raises :class:`~repro.errors.OutOfMemory` when the message area is
+    exhausted -- the failure mode section 13 warns about when "large
+    numbers of messages ... are sent and left waiting in a task's
+    in-queue without being accepted".
+    """
+    nbytes, npackets = message_bytes(args)
+    alloc = heap.alloc(nbytes, tag=tag)
+    return Message(mtype=mtype, args=args, sender=sender, receiver=receiver,
+                   send_time=send_time, arrival_time=arrival_time,
+                   allocation=alloc, nbytes=nbytes, npackets=npackets)
+
+
+def release_message(heap: HeapAllocator, msg: Message) -> None:
+    """Return a message's bytes to the heap (done at accept/cleanup)."""
+    if msg.allocation is not None:
+        heap.free(msg.allocation)
+        msg.allocation = None
+
+
+class InQueue:
+    """A task's in-queue: messages in arrival order.
+
+    The receiver scans it with ACCEPT; messages not matching the accept
+    specification stay queued (and keep their heap bytes) until a later
+    ACCEPT names their type or the task terminates.
+    """
+
+    def __init__(self, owner: TaskId):
+        self.owner = owner
+        self._q: List[Message] = []
+        self.total_received = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def enqueue(self, msg: Message) -> None:
+        """Insert in (arrival_time, seq) order.
+
+        Appends are the common case because dispatch times are
+        non-decreasing; the sort key guards the rare same-time races.
+        """
+        key = msg.key()
+        q = self._q
+        i = len(q)
+        while i > 0 and q[i - 1].key() > key:
+            i -= 1
+        q.insert(i, msg)
+        self.total_received += 1
+
+    def first_matching(self, mtypes: Iterable[str],
+                       not_after: Optional[int] = None) -> Optional[Message]:
+        """Earliest queued message whose type is in ``mtypes``.
+
+        ``not_after`` bounds the arrival time (a receiver at virtual
+        time *t* only sees messages that have already arrived).
+        """
+        wanted = set(mtypes)
+        for m in self._q:
+            if not_after is not None and m.arrival_time > not_after:
+                break
+            if m.mtype in wanted:
+                return m
+        return None
+
+    def earliest_arrival(self, mtypes: Iterable[str],
+                         after: int) -> Optional[int]:
+        """Arrival time of the first matching message later than ``after``."""
+        wanted = set(mtypes)
+        for m in self._q:
+            if m.arrival_time > after and m.mtype in wanted:
+                return m.arrival_time
+        return None
+
+    def remove(self, msg: Message) -> None:
+        self._q.remove(msg)
+
+    def remove_type(self, mtype: Optional[str] = None) -> List[Message]:
+        """Drop all messages (of one type, or every type); returns them.
+
+        Implements the monitor's DELETE MESSAGES operation; caller frees
+        the heap bytes.
+        """
+        if mtype is None:
+            dropped, self._q = self._q, []
+        else:
+            dropped = [m for m in self._q if m.mtype == mtype]
+            self._q = [m for m in self._q if m.mtype != mtype]
+        return dropped
+
+    def messages(self) -> List[Message]:
+        return list(self._q)
+
+    def live_bytes(self) -> int:
+        return sum(m.nbytes for m in self._q)
+
+    def describe(self) -> str:
+        if not self._q:
+            return f"in-queue of {self.owner}: empty"
+        lines = [f"in-queue of {self.owner}: {len(self._q)} messages, "
+                 f"{self.live_bytes()} bytes"]
+        for m in self._q:
+            lines.append("  " + m.describe())
+        return "\n".join(lines)

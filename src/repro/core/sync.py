@@ -1,0 +1,142 @@
+"""Force synchronization: BARRIER and CRITICAL (section 7).
+
+BARRIER: "All members of the force pause on reaching the start of the
+barrier.  When all have arrived, the primary force member executes the
+statement sequence, and then all force members continue."
+
+CRITICAL <lock>: fetch the lock value; if unlocked, lock it and enter;
+otherwise wait until it becomes unlocked.  Waiters are granted FIFO.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, List, Optional, TYPE_CHECKING
+
+from ..errors import RuntimeLibraryError
+from ..mmos.process import KernelProcess
+from ..mmos.scheduler import Engine
+from .shared import LockState
+from .sizes import COST_BARRIER, COST_LOCK, COST_UNLOCK
+from .tracing import TraceEvent, TraceEventType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .forces import Force, ForceContext
+
+_RUN_BODY = "barrier:primary-run-body"
+_RELEASE = "barrier:release"
+
+
+class BarrierGeneration:
+    """State of one use of the barrier by a force.
+
+    The engine admits one process at a time, so plain counters are safe;
+    the subtlety is the release protocol: the *primary* member must run
+    the body between the last arrival and the general release, even when
+    the primary was not the last to arrive.
+    """
+
+    def __init__(self, size: int):
+        self.size = size
+        self.arrived = 0
+        self.waiting: List[KernelProcess] = []
+        self.primary_proc: Optional[KernelProcess] = None
+        self.complete = False
+
+    def wait_stats(self) -> int:
+        return len(self.waiting)
+
+
+def barrier(engine: Engine, force: "Force", member: "ForceContext",
+            body: Optional[Callable[[], None]] = None) -> None:
+    """Execute one BARRIER from ``member``'s thread."""
+    engine.charge(COST_BARRIER)
+    force.task.trace(TraceEventType.BARRIER_ENTER,
+                     info=f"member={member.member} gen={force.barrier_gen}")
+    gen = force.current_barrier
+    proc = engine.current()
+    if member.is_primary:
+        gen.primary_proc = proc
+    gen.arrived += 1
+    if gen.arrived < gen.size:
+        gen.waiting.append(proc)
+        info = engine.block(f"barrier(gen {force.barrier_gen})")
+        if info == _RUN_BODY:
+            # Last arrival was not the primary; we are, so run the body
+            # and release everyone else.
+            if body is not None:
+                body()
+            _release_others(engine, gen, proc)
+        # info == _RELEASE: nothing more to do.
+        return
+    # We are the last to arrive.
+    force.advance_barrier()
+    if member.is_primary:
+        if body is not None:
+            body()
+        _release_others(engine, gen, proc)
+    else:
+        if gen.primary_proc is None:
+            raise RuntimeLibraryError("barrier finished before primary arrived")
+        gen.waiting.remove(gen.primary_proc)
+        gen.waiting.append(proc)
+        engine.wake(gen.primary_proc, info=_RUN_BODY)
+        engine.block(f"barrier-post(gen {force.barrier_gen - 1})")
+
+
+def _release_others(engine: Engine, gen: BarrierGeneration,
+                    me: KernelProcess) -> None:
+    gen.complete = True
+    for p in gen.waiting:
+        if p is not me:
+            engine.wake(p, info=_RELEASE)
+    gen.waiting.clear()
+
+
+@contextmanager
+def critical(engine: Engine, force: "Force", member: "ForceContext",
+             lock: LockState):
+    """``CRITICAL <lock> ... END CRITICAL`` as a context manager."""
+    acquire_lock(engine, force, member, lock)
+    try:
+        yield
+    finally:
+        release_lock(engine, force, member, lock)
+
+
+def acquire_lock(engine: Engine, force: "Force", member: "ForceContext",
+                 lock: LockState) -> None:
+    engine.charge(COST_LOCK)
+    proc = engine.current()
+    lock.acquisitions += 1
+    if lock.locked:
+        lock.contended_acquisitions += 1
+        lock.waiters.append(proc)
+        engine.block(f"critical({lock.name})")
+        # The releaser transferred ownership to us before waking.
+        if lock.owner_pid != proc.pid:
+            raise RuntimeLibraryError(
+                f"lock {lock.name} wake without ownership transfer")
+    else:
+        lock.locked = True
+        lock.owner_pid = proc.pid
+    force.task.trace(TraceEventType.LOCK,
+                     info=f"lock={lock.name} member={member.member}")
+
+
+def release_lock(engine: Engine, force: "Force", member: "ForceContext",
+                 lock: LockState) -> None:
+    engine.charge(COST_UNLOCK)
+    proc = engine.current()
+    if not lock.locked or lock.owner_pid != proc.pid:
+        raise RuntimeLibraryError(
+            f"unlock of {lock.name} by non-owner (owner pid {lock.owner_pid})")
+    force.task.trace(TraceEventType.UNLOCK,
+                     info=f"lock={lock.name} member={member.member}")
+    if lock.waiters:
+        nxt: KernelProcess = lock.waiters.pop(0)
+        lock.owner_pid = nxt.pid
+        engine.wake(nxt)
+    else:
+        lock.locked = False
+        lock.owner_pid = None

@@ -1,0 +1,409 @@
+"""Tasktypes, tasks and the task-context API (sections 5, 6, 10).
+
+A Pisces program "consists of a set of tasktype definitions"; any number
+of tasks of the same tasktype may be initiated.  In this Python binding
+a tasktype is a decorated function receiving a :class:`TaskContext` as
+its first argument::
+
+    reg = TaskRegistry()
+
+    @reg.tasktype("WORKER", handlers={"DATA": on_data})
+    def worker(ctx, n):
+        ctx.accept("GO")
+        ctx.send(PARENT, "DONE", n * n)
+
+The context exposes the Pisces Fortran extension statements: INITIATE,
+SEND/broadcast, ACCEPT (with DELAY and SIGNAL/HANDLER processing),
+FORCESPLIT, window creation and access, SHARED COMMON access, and
+terminal output.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING, Union
+
+import numpy as np
+
+from ..errors import (
+    AcceptTimeout,
+    MessageError,
+    NotInForce,
+    RuntimeLibraryError,
+    UnknownTaskType,
+)
+from ..mmos.process import KernelProcess
+from .accept import ALL_RECEIVED, AcceptResult, AcceptState, normalize_specs
+from .cluster import ClusterRuntime
+from .messages import InQueue, Message, release_message
+from .shared import CommonSpec, LockState, SharedCommonBlock, SharedState
+from .sizes import (
+    COST_ACCEPT,
+    COST_HANDLER_DISPATCH,
+    DEFAULT_TASKTYPE_CODE_BYTES,
+)
+from .taskid import ANY, Designator, Placement, SendTarget, TaskId
+from .tracing import TraceEvent, TraceEventType
+from .windows import ArrayStore, Window, make_window
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .forces import Force, ForceContext
+    from .vm import PiscesVM
+
+#: A HANDLER subroutine: called as ``handler(ctx, *message_args)``.
+Handler = Callable[..., Any]
+
+
+@dataclass
+class TaskType:
+    """A tasktype definition.
+
+    ``handlers`` maps message types to HANDLER subroutines; every other
+    accepted type is a SIGNAL (counted only).  ``signals`` is optional
+    documentation/validation of the signal types the task expects.
+    ``shared`` declares SHARED COMMON blocks (allocated at initiation),
+    ``locks`` declares LOCK variables.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    handlers: Dict[str, Handler] = field(default_factory=dict)
+    signals: Tuple[str, ...] = ()
+    shared: Dict[str, CommonSpec] = field(default_factory=dict)
+    locks: Tuple[str, ...] = ()
+    code_bytes: int = DEFAULT_TASKTYPE_CODE_BYTES
+
+    @staticmethod
+    def estimate_code_bytes(fn: Callable) -> int:
+        """Loadfile contribution of a tasktype: its source size (a
+        stand-in for compiled object code size)."""
+        try:
+            return max(DEFAULT_TASKTYPE_CODE_BYTES // 2, len(inspect.getsource(fn)))
+        except (OSError, TypeError):
+            return DEFAULT_TASKTYPE_CODE_BYTES
+
+
+class TaskRegistry:
+    """The set of tasktype definitions making up one Pisces program."""
+
+    def __init__(self) -> None:
+        self._types: Dict[str, TaskType] = {}
+
+    def tasktype(self, name: str, *, handlers: Optional[Dict[str, Handler]] = None,
+                 signals: Tuple[str, ...] = (),
+                 shared: Optional[Dict[str, CommonSpec]] = None,
+                 locks: Tuple[str, ...] = ()) -> Callable[[Callable], Callable]:
+        """Decorator registering a tasktype definition."""
+        def deco(fn: Callable) -> Callable:
+            tt = TaskType(name=name, fn=fn, handlers=dict(handlers or {}),
+                          signals=tuple(signals), shared=dict(shared or {}),
+                          locks=tuple(locks),
+                          code_bytes=TaskType.estimate_code_bytes(fn))
+            self.define(tt)
+            fn.tasktype = tt  # type: ignore[attr-defined]
+            return fn
+        return deco
+
+    def define(self, tt: TaskType) -> None:
+        self._types[tt.name] = tt
+
+    def get(self, name: str) -> TaskType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise UnknownTaskType(
+                f"tasktype {name!r} is not defined "
+                f"(known: {sorted(self._types)})") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._types)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def total_code_bytes(self) -> int:
+        return sum(t.code_bytes for t in self._types.values())
+
+
+#: Default registry used by the module-level ``tasktype`` decorator.
+GLOBAL_REGISTRY = TaskRegistry()
+
+
+def tasktype(name: str, **kw) -> Callable[[Callable], Callable]:
+    """Register a tasktype in the global registry (see
+    :meth:`TaskRegistry.tasktype`)."""
+    return GLOBAL_REGISTRY.tasktype(name, **kw)
+
+
+class Task:
+    """One running (or finished) task."""
+
+    def __init__(self, vm: "PiscesVM", ttype: TaskType, tid: TaskId,
+                 parent: TaskId, cluster: ClusterRuntime,
+                 args: Tuple[Any, ...]):
+        self.vm = vm
+        self.ttype = ttype
+        self.tid = tid
+        self.parent = parent
+        self.cluster = cluster
+        self.args = args
+        self.inq = InQueue(tid)
+        self.process: Optional[KernelProcess] = None
+        self.shared_state = SharedState(vm.machine.shared)
+        self.arrays = ArrayStore(tid)
+        self.force: Optional["Force"] = None
+        self.alive = False
+        self.result: Any = None
+        self.initiated_at = 0
+        self.terminated_at: Optional[int] = None
+
+    # ------------------------------------------------------------ trace --
+
+    def trace(self, etype: TraceEventType, info: str = "",
+              other: Optional[TaskId] = None) -> None:
+        eng = self.vm.engine
+        pe = (eng.current().pe if eng.in_process()
+              else self.cluster.primary_pe)
+        self.vm.tracer.emit(TraceEvent(
+            etype=etype, task=self.tid, pe=pe,
+            ticks=self.vm.machine.clocks[pe].ticks
+            if not eng.in_process() else eng.now(),
+            info=info, other=other))
+
+    def describe(self) -> str:
+        state = "alive" if self.alive else "done"
+        return (f"task {self.tid} type={self.ttype.name} parent={self.parent} "
+                f"{state}, inq={len(self.inq)}")
+
+
+class TaskContext:
+    """The user-facing run-time API handed to every tasktype body.
+
+    One context exists per *execution stream*: the task itself, and one
+    per force member after a FORCESPLIT (see :class:`ForceContext`).
+    """
+
+    def __init__(self, task: Task, process: KernelProcess):
+        self.task = task
+        self.process = process
+        #: Taskid of the sender of the last message received (SENDER).
+        self.sender: Optional[TaskId] = None
+        #: Run-time handler table: tasktype handlers plus any registered
+        #: dynamically with :meth:`handler`.
+        self._handlers: Dict[str, Handler] = dict(task.ttype.handlers)
+
+    # -------------------------------------------------------- identity ----
+
+    @property
+    def vm(self) -> "PiscesVM":
+        return self.task.vm
+
+    @property
+    def self_id(self) -> TaskId:
+        """SELF: this task's taskid."""
+        return self.task.tid
+
+    @property
+    def parent(self) -> TaskId:
+        """PARENT: the taskid of the initiating task."""
+        return self.task.parent
+
+    @property
+    def cluster_number(self) -> int:
+        return self.task.cluster.number
+
+    def now(self) -> int:
+        """Current virtual time (this PE's clock reading)."""
+        return self.vm.engine.now()
+
+    # --------------------------------------------------------- INITIATE ----
+
+    def initiate(self, tasktype_name: str, *args: Any,
+                 on: Placement = ANY) -> None:
+        """``ON <cluster> INITIATE <tasktype>(<args>)``.
+
+        Sends an initiate request to the chosen cluster's task
+        controller; per section 6 this does *not* return the new task's
+        taskid -- the child knows its parent and sends its taskid back
+        in a message if the parent needs it.
+        """
+        self.vm.request_initiate(tasktype_name, args, parent=self.self_id,
+                                 placement=on,
+                                 current_cluster=self.cluster_number)
+
+    # ------------------------------------------------------------- SEND ----
+
+    def send(self, dest, mtype: str, *args: Any) -> None:
+        """``TO <dest> SEND <mtype>(<args>)``."""
+        self.vm.send_message(dest, mtype, args, origin=self)
+
+    def broadcast(self, mtype: str, *args: Any,
+                  cluster: Optional[int] = None) -> int:
+        """``TO ALL [CLUSTER <n>] SEND ...``; returns deliveries made."""
+        from .taskid import Broadcast
+        return self.vm.send_message(Broadcast(cluster), mtype, args,
+                                    origin=self)
+
+    # ----------------------------------------------------------- ACCEPT ----
+
+    def handler(self, mtype: str, fn: Handler) -> None:
+        """Declare/replace a HANDLER for a message type at run time."""
+        self._handlers[mtype] = fn
+
+    def accept(self, *specs, count: Optional[int] = None,
+               delay: Optional[int] = None,
+               on_timeout: Optional[Callable[[], Any]] = None,
+               timeout_ok: bool = False) -> AcceptResult:
+        """The ACCEPT statement.  See :mod:`repro.core.accept`.
+
+        ``delay`` is the DELAY clause in ticks (default: the system
+        timeout).  On timeout: ``on_timeout`` is called if given (the
+        DELAY statement sequence); otherwise, with ``timeout_ok`` the
+        partial result is returned with ``timed_out`` set; otherwise
+        :class:`~repro.errors.AcceptTimeout` is raised (the
+        "system-generated timeout message").
+        """
+        vm = self.vm
+        eng = vm.engine
+        spec = normalize_specs(specs, count)
+        state = AcceptState(spec)
+        eng.charge(COST_ACCEPT)
+        vm.stats.accepts += 1
+        deadline = eng.now() + (vm.default_accept_delay if delay is None
+                                else int(delay))
+        inq = self.task.inq
+        while True:
+            # Take everything already arrived that the spec still wants.
+            while True:
+                wanted = [t for t in spec.per_type if state.wants(t)]
+                if not wanted:
+                    break
+                m = inq.first_matching(wanted, not_after=eng.now())
+                if m is None:
+                    break
+                inq.remove(m)
+                self._process_message(m, state)
+            if state.satisfied():
+                # Final drain of ALL-count types that have already
+                # arrived (per-type mode only: in total-count mode the
+                # per-type values are None but mean "any", not ALL).
+                all_types = ([] if spec.total is not None else
+                             [t for t, c in spec.per_type.items() if c is None])
+                if all_types:
+                    while True:
+                        m = inq.first_matching(all_types, not_after=eng.now())
+                        if m is None:
+                            break
+                        inq.remove(m)
+                        self._process_message(m, state)
+                eng.preempt(0)
+                return state.result
+            # Unsatisfied: wait for in-flight matches or new sends.
+            now = eng.now()
+            if now >= deadline:
+                return self._timeout(state, on_timeout, timeout_ok)
+            open_types = state.wanted_types_open()
+            next_arr = inq.earliest_arrival(open_types, after=now)
+            eff = deadline if next_arr is None else min(deadline, next_arr)
+            eng.block(f"accept({','.join(open_types)})", deadline=eff)
+            # Woken by a send, or the deadline fired; loop re-scans.
+
+    def _process_message(self, m: Message, state: AcceptState) -> None:
+        vm = self.vm
+        release_message(vm.machine.shared, m)
+        vm.stats.messages_accepted += 1
+        self.sender = m.sender
+        state.take(m)
+        self.task.trace(TraceEventType.MSG_ACCEPT,
+                        info=f"type={m.mtype} bytes={m.nbytes}",
+                        other=m.sender)
+        h = self._handlers.get(m.mtype)
+        if h is not None:
+            vm.engine.charge(COST_HANDLER_DISPATCH)
+            h(self, *m.args)
+
+    def _timeout(self, state: AcceptState, on_timeout, timeout_ok) -> AcceptResult:
+        self.vm.stats.accept_timeouts += 1
+        state.result.timed_out = True
+        if on_timeout is not None:
+            on_timeout()
+            return state.result
+        if timeout_ok:
+            return state.result
+        raise AcceptTimeout(
+            f"ACCEPT in {self.self_id} timed out waiting for "
+            f"{state.wanted_types_open()} (got {state.result.by_type()})")
+
+    # ------------------------------------------------------------ compute --
+
+    def compute(self, ticks: int) -> None:
+        """Charge pure computation time (a preemption point)."""
+        self.vm.kernel.compute(ticks)
+
+    def print(self, text: str) -> None:
+        """Terminal output via the user controller / MMOS terminal I/O."""
+        self.vm.kernel.write_terminal(f"[{self.self_id}] {text}")
+
+    # ---------------------------------------------------------- FORCESPLIT --
+
+    def forcesplit(self, region: Callable[..., Any], *args: Any) -> List[Any]:
+        """``FORCESPLIT``: replicate this task into a force.
+
+        ``region`` is the code executed by every member from the split
+        point on: ``region(member_ctx, *args)``.  The member count is a
+        configuration-time property of the cluster (1 + its secondary
+        PEs); the same program text runs unchanged for any force size.
+        Returns the list of member results (index = member number;
+        member 0 is the primary).
+        """
+        from .forces import do_forcesplit
+        return do_forcesplit(self, region, args)
+
+    @property
+    def force(self) -> "Force":
+        raise NotInForce("not inside a FORCESPLIT region")
+
+    # ------------------------------------------------------------ windows --
+
+    def export_array(self, name: str, array: np.ndarray) -> Window:
+        """Make a local array window-addressable; returns the full window."""
+        self.task.arrays.export(name, array)
+        return make_window(self.self_id, name, array)
+
+    def window(self, name: str, region=None) -> Window:
+        """Create a window on (a region of) one of this task's arrays."""
+        base = self.task.arrays.get(name)
+        return make_window(self.self_id, name, base, region)
+
+    def window_read(self, w: Window) -> np.ndarray:
+        """Read a copy of the data visible in a window (remote access)."""
+        return self.vm.window_read(self, w)
+
+    def window_write(self, w: Window, data: np.ndarray) -> None:
+        """Write data through a window into the owner's array."""
+        self.vm.window_write(self, w, data)
+
+    def file_window(self, name: str) -> Window:
+        """Request a window on a file-system array (via file controller)."""
+        return self.vm.file_window(self, name)
+
+    # ------------------------------------------------------------- shared --
+
+    def common(self, name: str) -> SharedCommonBlock:
+        """Access a SHARED COMMON block declared by this tasktype."""
+        return self.task.shared_state.common(name)
+
+    def lock(self, name: str) -> LockState:
+        """Access (or lazily declare) a LOCK variable."""
+        return self.task.shared_state.lock(name)
+
+
+__all__ = [
+    "GLOBAL_REGISTRY",
+    "Task",
+    "TaskContext",
+    "TaskRegistry",
+    "TaskType",
+    "tasktype",
+]

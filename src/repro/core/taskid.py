@@ -1,0 +1,97 @@
+"""Taskids: first-class task identities.
+
+Section 6: "Every task is given a unique taskid when it is initiated.
+The taskid consists of <cluster number, slot number, unique number>
+where the unique number distinguishes tasks that have run at different
+times in the same slot."  Taskids are data values -- storable in
+variables and arrays, passable in messages and parameter lists.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple, Union
+
+
+class TaskId(NamedTuple):
+    """<cluster number, slot number, unique number>."""
+
+    cluster: int
+    slot: int
+    unique: int
+
+    def __str__(self) -> str:
+        return f"{self.cluster}.{self.slot}.{self.unique}"
+
+    @classmethod
+    def parse(cls, text: str) -> "TaskId":
+        parts = text.split(".")
+        if len(parts) != 3:
+            raise ValueError(f"bad taskid text {text!r}")
+        return cls(int(parts[0]), int(parts[1]), int(parts[2]))
+
+
+#: Slot numbers reserved for controller tasks.  The operating system "is
+#: represented as a set of 'controller' tasks that run in slots in the
+#: clusters" (section 5); user slots are numbered from 1.
+TASK_CONTROLLER_SLOT = 0
+USER_CONTROLLER_SLOT = -1
+FILE_CONTROLLER_SLOT = -2
+
+#: The pseudo-taskid of the user at the terminal (destination USER).
+USER_TERMINAL_ID = TaskId(0, 0, 0)
+
+
+class Designator(enum.Enum):
+    """Symbolic cluster designators for INITIATE (section 6)."""
+
+    ANY = "ANY"        # run in a system-chosen cluster
+    OTHER = "OTHER"    # run in another cluster, not this one
+    SAME = "SAME"      # run in this cluster
+
+
+ANY = Designator.ANY
+OTHER = Designator.OTHER
+SAME = Designator.SAME
+
+
+class SendTarget(enum.Enum):
+    """Symbolic destinations for SEND (section 6)."""
+
+    PARENT = "PARENT"
+    SELF = "SELF"
+    SENDER = "SENDER"
+    USER = "USER"
+
+
+PARENT = SendTarget.PARENT
+SELF = SendTarget.SELF
+SENDER = SendTarget.SENDER
+USER = SendTarget.USER
+
+
+class Cluster(NamedTuple):
+    """Explicit ``CLUSTER <number>`` designator for INITIATE."""
+
+    number: int
+
+
+class TContr(NamedTuple):
+    """``TCONTR <cluster>`` destination: a cluster's task controller."""
+
+    cluster: int
+
+
+class Broadcast(NamedTuple):
+    """``TO ALL [CLUSTER <number>]`` destination.
+
+    ``cluster`` of None means all clusters.
+    """
+
+    cluster: Union[int, None] = None
+
+
+#: Anything acceptable as a send destination.
+Destination = Union[TaskId, SendTarget, TContr, Broadcast]
+#: Anything acceptable as an INITIATE placement.
+Placement = Union[Designator, Cluster, int]

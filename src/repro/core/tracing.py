@@ -1,0 +1,168 @@
+"""Execution tracing (section 12).
+
+Eight event types can be traced; each trace line carries the event type,
+the taskid of the relevant task(s), a clock reading ("PE number and
+'ticks' count"), and event-specific information.  Tracing may be turned
+on and off per event type and per task; output goes to the screen
+(a callback sink) and/or to a file for off-line timing analysis
+(:mod:`repro.analysis`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, IO, List, Optional, Set
+
+from .taskid import TaskId
+
+
+class TraceEventType(enum.Enum):
+    """The eight traceable event types of section 12."""
+
+    TASK_INIT = "TASK_INIT"
+    TASK_TERM = "TASK_TERM"
+    MSG_SEND = "MSG_SEND"
+    MSG_ACCEPT = "MSG_ACCEPT"
+    LOCK = "LOCK"
+    UNLOCK = "UNLOCK"
+    BARRIER_ENTER = "BARRIER_ENTER"
+    FORCE_SPLIT = "FORCE_SPLIT"
+
+
+ALL_EVENT_TYPES = frozenset(TraceEventType)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+
+    etype: TraceEventType
+    task: TaskId
+    pe: int
+    ticks: int
+    info: str = ""
+    other: Optional[TaskId] = None   # e.g. the receiver of a send
+
+    def line(self) -> str:
+        """The textual trace line written to screen/file."""
+        parts = [f"TRACE {self.etype.value}",
+                 f"task={self.task}",
+                 f"pe={self.pe}",
+                 f"ticks={self.ticks}"]
+        if self.other is not None:
+            parts.append(f"other={self.other}")
+        if self.info:
+            parts.append(self.info)
+        return " ".join(parts)
+
+    @classmethod
+    def parse(cls, line: str) -> "TraceEvent":
+        """Parse a line produced by :meth:`line` (off-line analysis)."""
+        toks = line.split()
+        if len(toks) < 5 or toks[0] != "TRACE":
+            raise ValueError(f"not a trace line: {line!r}")
+        etype = TraceEventType(toks[1])
+        fields: Dict[str, str] = {}
+        info_parts: List[str] = []
+        for tok in toks[2:]:
+            if "=" in tok and tok.split("=", 1)[0] in ("task", "pe", "ticks", "other"):
+                k, v = tok.split("=", 1)
+                fields[k] = v
+            else:
+                info_parts.append(tok)
+        return cls(
+            etype=etype,
+            task=TaskId.parse(fields["task"]),
+            pe=int(fields["pe"]),
+            ticks=int(fields["ticks"]),
+            info=" ".join(info_parts),
+            other=TaskId.parse(fields["other"]) if "other" in fields else None,
+        )
+
+
+class Tracer:
+    """Event filter + sinks.
+
+    By default no event types are enabled (tracing off).  Enabling is
+    per event type; additionally, individual tasks can be muted or
+    soloed, mirroring "Tracing may be turned on and off for each type of
+    event and each task".
+    """
+
+    def __init__(self) -> None:
+        self.enabled_types: Set[TraceEventType] = set()
+        #: If non-empty, only these tasks are traced.
+        self.solo_tasks: Set[TaskId] = set()
+        #: These tasks are never traced.
+        self.muted_tasks: Set[TaskId] = set()
+        self.events: List[TraceEvent] = []
+        #: Keep events in memory (the monitor's display and the analysis
+        #: module read them); can be switched off for long runs.
+        self.keep_in_memory = True
+        self._file: Optional[IO[str]] = None
+        self._screen: Optional[Callable[[str], None]] = None
+        self.dropped = 0
+
+    # ------------------------------------------------------------ config --
+
+    def enable(self, *etypes: TraceEventType) -> None:
+        self.enabled_types.update(etypes or ALL_EVENT_TYPES)
+
+    def enable_all(self) -> None:
+        self.enabled_types = set(ALL_EVENT_TYPES)
+
+    def disable(self, *etypes: TraceEventType) -> None:
+        if etypes:
+            self.enabled_types.difference_update(etypes)
+        else:
+            self.enabled_types.clear()
+
+    def mute_task(self, task: TaskId) -> None:
+        self.muted_tasks.add(task)
+
+    def solo_task(self, task: TaskId) -> None:
+        self.solo_tasks.add(task)
+
+    def to_file(self, f: IO[str]) -> None:
+        """Send trace lines to an open text file."""
+        self._file = f
+
+    def to_screen(self, sink: Callable[[str], None]) -> None:
+        """Send trace lines to a screen callback."""
+        self._screen = sink
+
+    def describe(self) -> str:
+        types = ", ".join(sorted(t.value for t in self.enabled_types)) or "(none)"
+        return (f"trace: types [{types}], {len(self.events)} events kept, "
+                f"{self.dropped} filtered")
+
+    # ------------------------------------------------------------- emit --
+
+    def wants(self, etype: TraceEventType, task: TaskId) -> bool:
+        if etype not in self.enabled_types:
+            return False
+        if task in self.muted_tasks:
+            return False
+        if self.solo_tasks and task not in self.solo_tasks:
+            return False
+        return True
+
+    def emit(self, event: TraceEvent) -> None:
+        if not self.wants(event.etype, event.task):
+            self.dropped += 1
+            return
+        if self.keep_in_memory:
+            self.events.append(event)
+        if self._file is not None:
+            self._file.write(event.line() + "\n")
+        if self._screen is not None:
+            self._screen(event.line())
+
+    # ------------------------------------------------------------ query --
+
+    def of_type(self, etype: TraceEventType) -> List[TraceEvent]:
+        return [e for e in self.events if e.etype is etype]
+
+    def for_task(self, task: TaskId) -> List[TraceEvent]:
+        return [e for e in self.events if e.task == task]

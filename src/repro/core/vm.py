@@ -1,0 +1,657 @@
+"""The PISCES 2 virtual machine (sections 4-6, 11).
+
+A :class:`PiscesVM` instance is one booted run: a configured set of
+clusters on a FLEX machine, controllers running, system tables resident
+in shared memory, ready to initiate user tasks.  The VM owns:
+
+* destination resolution and message delivery (SEND / broadcast);
+* initiate-request routing (ON <cluster> INITIATE ...);
+* the window read/write service;
+* task life-cycle (start in slot, terminate, kill);
+* the storage accounting that the section-13 benchmarks measure.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import (
+    ConfigurationError,
+    MessageError,
+    NoSuchCluster,
+    RuntimeLibraryError,
+    UnknownTask,
+    WindowError,
+)
+from ..flex.machine import FlexMachine
+from ..flex.presets import nasa_langley_flex32
+from ..mmos.kernel import MMOSKernel
+from ..mmos.loader import (
+    CAT_MMOS_KERNEL,
+    CAT_PISCES_CODE,
+    CAT_PISCES_DATA,
+    CAT_USER_CODE,
+    Loadfile,
+)
+from ..config.configuration import ClusterSpec, Configuration
+from .cluster import ClusterRuntime, Slot
+from .controllers import (
+    Controller,
+    FileController,
+    MSG_INITIATE,
+    TaskController,
+    UserController,
+)
+from .messages import InQueue, Message, allocate_message, release_message
+from .sizes import (
+    COST_INITIATE_REQUEST,
+    COST_PER_PACKET,
+    COST_SEND,
+    COST_TASK_TERMINATE,
+    MMOS_KERNEL_BYTES,
+    MSG_LATENCY_INTER_CLUSTER,
+    MSG_LATENCY_INTRA_CLUSTER,
+    PISCES_SYSTEM_CODE_BYTES,
+    PISCES_SYSTEM_DATA_BYTES,
+    message_bytes,
+    slot_table_bytes,
+    window_transfer_cost,
+)
+from .task import GLOBAL_REGISTRY, Task, TaskContext, TaskRegistry, TaskType
+from .taskid import (
+    ANY,
+    Broadcast,
+    Cluster,
+    Designator,
+    OTHER,
+    Placement,
+    SAME,
+    SendTarget,
+    TaskId,
+    TContr,
+    USER_TERMINAL_ID,
+)
+from .tracing import TraceEvent, TraceEventType, Tracer
+from .windows import ArrayStore, Window
+
+#: Controller slots per cluster counted in the static system table
+#: (task controller, user controller, file controller).
+N_CONTROLLER_SLOTS = 3
+
+
+@dataclass
+class RunStats:
+    """Counters accumulated over a run (read by displays and benches)."""
+
+    messages_sent: int = 0
+    broadcast_deliveries: int = 0
+    messages_accepted: int = 0
+    accepts: int = 0
+    accept_timeouts: int = 0
+    messages_to_dead: int = 0
+    messages_deleted: int = 0
+    initiates_requested: int = 0
+    initiates_held: int = 0
+    tasks_started: int = 0
+    tasks_finished: int = 0
+    tasks_killed: int = 0
+    forcesplits: int = 0
+    window_reads: int = 0
+    window_writes: int = 0
+    window_bytes_read: int = 0
+    window_bytes_written: int = 0
+    message_bytes_sent: int = 0
+
+
+@dataclass
+class RunResult:
+    """Outcome of ``PiscesVM.run``."""
+
+    value: Any
+    task: TaskId
+    elapsed: int
+    console: str
+    stats: RunStats
+    vm: "PiscesVM"
+
+
+class PiscesVM:
+    """One booted PISCES 2 virtual machine."""
+
+    def __init__(self, config: Configuration,
+                 registry: Optional[TaskRegistry] = None,
+                 machine: Optional[FlexMachine] = None,
+                 autoboot: bool = True):
+        self.config = config
+        self.registry = registry if registry is not None else GLOBAL_REGISTRY
+        self.machine = machine if machine is not None else nasa_langley_flex32()
+        config.validate(self.machine.spec)
+        self.kernel = MMOSKernel(self.machine, time_limit=config.time_limit)
+        self.engine = self.kernel.engine
+        self.tracer = Tracer()
+        for name in config.trace_events:
+            self.tracer.enable(TraceEventType(name))
+        self.stats = RunStats()
+        self.default_accept_delay = config.default_accept_delay
+
+        self.clusters: Dict[int, ClusterRuntime] = {}
+        self.tasks: Dict[TaskId, Task] = {}
+        self.controllers: Dict[TaskId, Controller] = {}
+        self.task_controllers: Dict[int, TaskController] = {}
+        self.user_controller: Optional[UserController] = None
+        self.file_controller: Optional[FileController] = None
+        #: Messages delivered to USER: (mtype, args, sender, arrival).
+        self.user_messages: List[Tuple[str, Tuple[Any, ...], TaskId, int]] = []
+        self.loadfile: Optional[Loadfile] = None
+        self._req_counter = itertools.count(1)
+        #: initiate request id -> TaskId once the controller started it.
+        self.initiations: Dict[int, TaskId] = {}
+        self._booted = False
+        if autoboot:
+            self.boot()
+
+    # ---------------------------------------------------------------- boot --
+
+    def boot(self) -> None:
+        """Download the loadfile and start the controllers (section 11)."""
+        if self._booted:
+            return
+        cfg = self.config
+        # 1. Build and download the loadfile to every PE the run uses.
+        lf = Loadfile()
+        lf.add(CAT_MMOS_KERNEL, MMOS_KERNEL_BYTES)
+        lf.add(CAT_PISCES_CODE, PISCES_SYSTEM_CODE_BYTES)
+        lf.add(CAT_PISCES_DATA, PISCES_SYSTEM_DATA_BYTES)
+        lf.add(CAT_USER_CODE, self.registry.total_code_bytes())
+        lf.load_onto(self.machine, cfg.used_pes())
+        self.loadfile = lf
+        # 2. Allocate the static system tables in shared memory.
+        for spec in cfg.clusters:
+            cr = ClusterRuntime(spec.number, spec.primary_pe,
+                                spec.secondary_pes, spec.slots)
+            cr.table_alloc = self.machine.shared.alloc(
+                slot_table_bytes(spec.slots, N_CONTROLLER_SLOTS),
+                tag="system_table")
+            self.clusters[spec.number] = cr
+        # 3. Start the controllers.
+        for num, cr in sorted(self.clusters.items()):
+            tc = TaskController(self, cr)
+            tc.start()
+            self.task_controllers[num] = tc
+            self.controllers[tc.tid] = tc
+        ucr = self.clusters[cfg.effective_user_cluster()]
+        self.user_controller = UserController(self, ucr)
+        self.user_controller.start()
+        self.controllers[self.user_controller.tid] = self.user_controller
+        fcr = self.clusters[cfg.effective_file_cluster()]
+        self.file_controller = FileController(self, fcr)
+        self.file_controller.start()
+        self.controllers[self.file_controller.tid] = self.file_controller
+        self._booted = True
+
+    # ------------------------------------------------------------ initiate --
+
+    def request_initiate(self, tasktype_name: str, args: Tuple[Any, ...],
+                         parent: TaskId, placement: Placement = ANY,
+                         current_cluster: Optional[int] = None) -> int:
+        """Route an initiate request to a task controller; returns a
+        request id (resolvable to the taskid via ``initiations`` once
+        the controller has started the task)."""
+        self.registry.get(tasktype_name)  # fail fast on unknown types
+        target = self._resolve_placement(placement, current_cluster)
+        req_id = next(self._req_counter)
+        self.stats.initiates_requested += 1
+        if self.engine.in_process():
+            self.engine.charge(COST_INITIATE_REQUEST)
+        tc = self.task_controllers[target]
+        tc.cluster.inflight_initiates += 1
+        self._deliver(tc.inq, tc.cluster.number, tc.process, MSG_INITIATE,
+                      (req_id, tasktype_name, tuple(args), parent),
+                      sender=parent,
+                      sender_cluster=current_cluster or target)
+        return req_id
+
+    def _resolve_placement(self, placement: Placement,
+                           current_cluster: Optional[int]) -> int:
+        """ANY / OTHER / SAME / CLUSTER <n> -> a cluster number."""
+        numbers = sorted(self.clusters)
+        if isinstance(placement, Cluster):
+            placement = placement.number
+        if isinstance(placement, int):
+            if placement not in self.clusters:
+                raise NoSuchCluster(f"no cluster {placement} in this run "
+                                    f"(have {numbers})")
+            return placement
+        if placement is SAME:
+            if current_cluster is None:
+                raise NoSuchCluster("SAME used outside a task")
+            return current_cluster
+        if placement is OTHER:
+            candidates = [n for n in numbers if n != current_cluster]
+            if not candidates:
+                raise NoSuchCluster("OTHER: there is no other cluster")
+            return self._least_loaded(candidates)
+        if placement is ANY:
+            return self._least_loaded(numbers)
+        raise NoSuchCluster(f"bad cluster designator {placement!r}")
+
+    def _least_loaded(self, candidates: List[int]) -> int:
+        """System choice: most free slots net of held requests, then
+        lowest cluster number (deterministic)."""
+        def key(n: int) -> Tuple[int, int]:
+            cr = self.clusters[n]
+            free = (cr.free_slot_count() - len(cr.pending)
+                    - cr.inflight_initiates)
+            return (-free, n)
+        return min(candidates, key=key)
+
+    # ------------------------------------------------------ task lifecycle --
+
+    def start_task_in_slot(self, cluster: ClusterRuntime, slot: Slot,
+                           tasktype_name: str, args: Tuple[Any, ...],
+                           parent: TaskId,
+                           req_id: Optional[int] = None) -> Task:
+        """Called by a task controller to place a task into a free slot."""
+        ttype = self.registry.get(tasktype_name)
+        tid = slot.claim()
+        task = Task(self, ttype, tid, parent, cluster, args)
+        slot.task = task
+        self.tasks[tid] = task
+        cluster.tasks_initiated += 1
+        self.stats.tasks_started += 1
+        task.initiated_at = self.engine.now()
+        # Declared SHARED COMMON blocks and LOCK variables are allocated
+        # at initiation ("allocated statically in shared memory").
+        for name, spec in ttype.shared.items():
+            task.shared_state.declare_common(name, spec)
+        for lname in ttype.locks:
+            task.shared_state.declare_lock(lname)
+        task.alive = True
+        task.process = self.kernel.create_process(
+            f"{ttype.name}@{tid}", cluster.primary_pe,
+            lambda: self._task_body(task))
+        # Cleanup runs via on_exit so it happens even when the task is
+        # killed before its first slice ever runs.
+        task.process.on_exit = lambda proc: self._task_cleanup(task)
+        if req_id is not None:
+            self.initiations[req_id] = tid
+        task.trace(TraceEventType.TASK_INIT,
+                   info=f"type={ttype.name}", other=parent)
+        return task
+
+    def _task_body(self, task: Task) -> Any:
+        ctx = TaskContext(task, self.engine.current())
+        task.result = task.ttype.fn(ctx, *task.args)
+        return task.result
+
+    def _task_cleanup(self, task: Task) -> None:
+        """Terminate a task: free its messages and shared storage, then
+        notify the task controller (which frees the slot).
+
+        Must not yield -- it also runs while unwinding a killed task.
+        """
+        if not task.alive:
+            return
+        task.alive = False
+        task.terminated_at = self.engine.now()
+        self.stats.tasks_finished += 1
+        heap = self.machine.shared
+        for m in task.inq.remove_type(None):
+            release_message(heap, m)
+        task.shared_state.release_all()
+        task.trace(TraceEventType.TASK_TERM, info=f"type={task.ttype.name}")
+        self.engine.charge(COST_TASK_TERMINATE) if self.engine.in_process() else None
+        tc = self.task_controllers[task.cluster.number]
+        # The slot is NOT freed here: the task controller frees it when
+        # it processes @TERMINATED, which keeps held initiate requests
+        # strictly FIFO with later ones (section 6).
+        try:
+            self._deliver(tc.inq, tc.cluster.number, tc.process,
+                          "@TERMINATED", (task.tid,), sender=task.tid,
+                          sender_cluster=task.cluster.number)
+        except Exception:
+            pass  # heap exhaustion during unwind must not mask the cause
+
+    def kill_task(self, tid: TaskId) -> bool:
+        """KILL A TASK (monitor option 2).  Returns False if not live."""
+        task = self.tasks.get(tid)
+        if task is None or not task.alive:
+            return False
+        self.stats.tasks_killed += 1
+        if task.force is not None:
+            for p in task.force.member_procs.values():
+                self.engine.kill(p)
+        if task.process is not None:
+            self.engine.kill(task.process)
+        return True
+
+    def find_task(self, tid: TaskId) -> Task:
+        task = self.tasks.get(tid)
+        if task is None:
+            raise UnknownTask(f"no task {tid} was ever initiated")
+        return task
+
+    # ------------------------------------------------------------ messages --
+
+    def send_message(self, dest, mtype: str, args: Tuple[Any, ...],
+                     origin: Union[TaskContext, Controller, None]) -> int:
+        """Deliver a message; returns the number of deliveries made.
+
+        ``origin`` identifies the sender: a task context, a controller,
+        or None for the user at the terminal (the monitor's SEND A
+        MESSAGE).
+        """
+        sender, sender_cluster = self._origin_identity(origin)
+        if self.engine.in_process():
+            _, npackets = message_bytes(args)
+            self.engine.charge(COST_SEND + npackets * COST_PER_PACKET)
+        targets = self._resolve_dest(dest, origin)
+        n = 0
+        for inq, rcluster, proc, rtid in targets:
+            self._deliver(inq, rcluster, proc, mtype, args,
+                          sender=sender, sender_cluster=sender_cluster,
+                          receiver=rtid)
+            n += 1
+        if isinstance(dest, Broadcast):
+            self.stats.broadcast_deliveries += n
+        return n
+
+    def _origin_identity(self, origin) -> Tuple[TaskId, int]:
+        if origin is None:
+            return USER_TERMINAL_ID, self.config.effective_user_cluster()
+        if isinstance(origin, TaskContext):
+            return origin.task.tid, origin.task.cluster.number
+        if isinstance(origin, Controller):
+            return origin.tid, origin.cluster.number
+        raise MessageError(f"bad message origin {origin!r}")
+
+    def _resolve_dest(self, dest, origin) -> List[Tuple[InQueue, int, Any, TaskId]]:
+        """Resolve a destination to (in-queue, cluster, process, tid) list."""
+        if isinstance(dest, SendTarget):
+            if dest is SendTarget.USER:
+                uc = self.user_controller
+                return [(uc.inq, uc.cluster.number, uc.process, uc.tid)]
+            if not isinstance(origin, TaskContext):
+                raise MessageError(f"{dest.value} is only valid inside a task")
+            if dest is SendTarget.PARENT:
+                tid = origin.parent
+            elif dest is SendTarget.SELF:
+                tid = origin.self_id
+            elif dest is SendTarget.SENDER:
+                if origin.sender is None:
+                    raise MessageError("SENDER: no message received yet")
+                tid = origin.sender
+            else:  # pragma: no cover - enum is exhaustive
+                raise MessageError(f"bad send target {dest}")
+            dest = tid
+        if isinstance(dest, TContr):
+            if dest.cluster not in self.task_controllers:
+                raise NoSuchCluster(f"TCONTR {dest.cluster}: no such cluster")
+            tc = self.task_controllers[dest.cluster]
+            return [(tc.inq, tc.cluster.number, tc.process, tc.tid)]
+        if isinstance(dest, Broadcast):
+            if dest.cluster is None:
+                members = sorted(self.clusters)
+            elif dest.cluster in self.clusters:
+                members = [dest.cluster]
+            else:
+                raise NoSuchCluster(f"broadcast to unknown cluster "
+                                    f"{dest.cluster}")
+            sender_tid, _ = self._origin_identity(origin)
+            out = []
+            for n in members:
+                for task in self.clusters[n].running_tasks():
+                    if task.alive and task.tid != sender_tid:
+                        out.append((task.inq, n, task.process, task.tid))
+            return out
+        if isinstance(dest, TaskId):
+            if dest == USER_TERMINAL_ID:
+                uc = self.user_controller
+                return [(uc.inq, uc.cluster.number, uc.process, uc.tid)]
+            ctrl = self.controllers.get(dest)
+            if ctrl is not None:
+                return [(ctrl.inq, ctrl.cluster.number, ctrl.process,
+                         ctrl.tid)]
+            task = self.tasks.get(dest)
+            if task is None:
+                raise UnknownTask(f"send to unknown taskid {dest}")
+            if not task.alive:
+                # Stale taskid (the unique number exists for this): the
+                # message is undeliverable and silently dropped.
+                self.stats.messages_to_dead += 1
+                return []
+            return [(task.inq, task.cluster.number, task.process, task.tid)]
+        raise MessageError(f"bad send destination {dest!r}")
+
+    def _deliver(self, inq: InQueue, receiver_cluster: int, receiver_proc,
+                 mtype: str, args: Tuple[Any, ...], *, sender: TaskId,
+                 sender_cluster: int,
+                 receiver: Optional[TaskId] = None) -> Message:
+        """Allocate, enqueue and wake; the single delivery primitive."""
+        now = self.engine.now()
+        latency = (MSG_LATENCY_INTRA_CLUSTER
+                   if sender_cluster == receiver_cluster
+                   else MSG_LATENCY_INTER_CLUSTER)
+        msg = allocate_message(self.machine.shared, mtype, tuple(args),
+                               sender=sender,
+                               receiver=receiver or inq.owner,
+                               send_time=now, arrival_time=now + latency)
+        inq.enqueue(msg)
+        self.stats.messages_sent += 1
+        self.stats.message_bytes_sent += msg.nbytes
+        sender_task = self.tasks.get(sender)
+        if sender_task is not None:
+            sender_task.trace(TraceEventType.MSG_SEND,
+                              info=f"type={mtype} bytes={msg.nbytes}",
+                              other=inq.owner)
+        self._wake_receiver(receiver_proc, msg.arrival_time)
+        return msg
+
+    def _wake_receiver(self, proc, arrival: int) -> None:
+        """Wake a receiver blocked in accept/controller-wait, unless its
+        own deadline fires before the message would arrive.
+
+        Processes blocked for any *other* reason (barrier, critical,
+        force-join, disk I/O) must NOT be woken by message arrival --
+        the message waits in the in-queue until the next ACCEPT.
+        """
+        if proc is None:
+            return
+        from ..mmos.process import ProcState
+        if proc.state is not ProcState.BLOCKED:
+            return
+        if not (proc.blocked_on.startswith("accept(")
+                or proc.blocked_on.endswith("-wait")):
+            return
+        if proc.deadline is not None and proc.deadline < arrival:
+            return  # let the earlier timeout fire; message stays queued
+        self.engine.wake(proc, at_time=arrival)
+
+    def delete_messages(self, tid: TaskId, mtype: Optional[str] = None) -> int:
+        """DELETE MESSAGES (monitor option 4); returns messages dropped."""
+        task = self.find_task(tid)
+        dropped = task.inq.remove_type(mtype)
+        for m in dropped:
+            release_message(self.machine.shared, m)
+        self.stats.messages_deleted += len(dropped)
+        return len(dropped)
+
+    # -------------------------------------------------------------- windows --
+
+    def _owner_store(self, tid: TaskId) -> ArrayStore:
+        ctrl = self.controllers.get(tid)
+        if isinstance(ctrl, FileController):
+            return ctrl.arrays
+        task = self.tasks.get(tid)
+        if task is None:
+            raise WindowError(f"window owner {tid} does not exist")
+        if not task.alive:
+            raise WindowError(f"window owner {tid} has terminated")
+        return task.arrays
+
+    def _file_io_wait(self, w: Window, write: bool) -> None:
+        """For windows owned by the file controller: occupy the disks
+        and block the requester until the (striped) transfer lands."""
+        fc = self.file_controller
+        if fc is None or w.owner != fc.tid:
+            return
+        base = fc.arrays.get(w.array)
+        itemsize = base.dtype.itemsize
+        # File offset of the window's first element in the byte stream.
+        offset = 0
+        stride = int(base.size) * itemsize
+        for (lo, _), dim in zip(w.bounds, base.shape):
+            stride //= dim
+            offset += lo * stride
+        now = self.engine.now()
+        done = fc.disks.transfer(now, offset, w.nbytes, write)
+        if done > now:
+            self.engine.block("disk-io", deadline=done, cost=0)
+
+    def window_read(self, ctx: TaskContext, w: Window) -> np.ndarray:
+        """Remote read of the data visible in a window.
+
+        Charges the requester the transfer cost and passes the bytes
+        through the shared-memory message heap (transient header+packet
+        allocation, freed on completion), so window traffic shows up in
+        the heap high-water mark like any other message traffic.  Reads
+        of file-controller windows additionally wait for the simulated
+        disks (requests to distinct stripes overlap).
+        """
+        store = self._owner_store(w.owner)
+        nbytes = w.nbytes
+        self.engine.charge(window_transfer_cost(nbytes))
+        self._file_io_wait(w, write=False)
+        total, _ = message_bytes((w, np.zeros(0)))
+        transit = self.machine.shared.alloc(total + nbytes, tag="message")
+        try:
+            data = store.read(w, self.engine.now())
+        finally:
+            self.machine.shared.free(transit)
+        self.stats.window_reads += 1
+        self.stats.window_bytes_read += nbytes
+        self.engine.preempt(0)
+        return data
+
+    def window_write(self, ctx: TaskContext, w: Window,
+                     data: np.ndarray) -> None:
+        """Remote write through a window into the owner's array."""
+        store = self._owner_store(w.owner)
+        nbytes = w.nbytes
+        self.engine.charge(window_transfer_cost(nbytes))
+        self._file_io_wait(w, write=True)
+        total, _ = message_bytes((w, np.zeros(0)))
+        transit = self.machine.shared.alloc(total + nbytes, tag="message")
+        try:
+            store.write(w, data, self.engine.now())
+        finally:
+            self.machine.shared.free(transit)
+        self.stats.window_writes += 1
+        self.stats.window_bytes_written += nbytes
+        self.engine.preempt(0)
+
+    def configure_file_disks(self, n_disks: int,
+                             stripe_unit: Optional[int] = None) -> None:
+        """Give the file controller a striped disk array (the PISCES 3
+        parallel-I/O direction; call before the run starts)."""
+        from .fileio import DEFAULT_STRIPE_UNIT, DiskArray
+        if self.file_controller is None:
+            raise WindowError("no file controller in this configuration")
+        self.file_controller.disks = DiskArray(
+            n_disks, stripe_unit or DEFAULT_STRIPE_UNIT)
+
+    def file_window(self, ctx: TaskContext, name: str) -> Window:
+        """Synchronous window request on a file-store array."""
+        fc = self.file_controller
+        if fc is None:
+            raise WindowError("no file controller in this configuration")
+        self.engine.charge(COST_SEND)
+        self.engine.preempt(0)
+        return fc.window_for(name)
+
+    def export_file(self, name: str, array: np.ndarray) -> None:
+        """Put an array into the simulated file system (pre-run setup)."""
+        if self.file_controller is None:
+            raise WindowError("no file controller in this configuration")
+        self.file_controller.export_file(name, array)
+
+    # ----------------------------------------------------------------- run --
+
+    def run(self, tasktype_name: str, *args: Any,
+            on: Placement = None, shutdown: bool = True) -> RunResult:
+        """Initiate a top-level task as the user and run to completion.
+
+        By default the remaining daemon controllers are reaped once the
+        run finishes (their threads would otherwise outlive the VM); all
+        measured state (clocks, heap, stats, traces) survives shutdown.
+        Pass ``shutdown=False`` to keep the VM live for monitor use, and
+        call :meth:`shutdown` yourself.
+        """
+        self.boot()
+        placement = on if on is not None else min(self.clusters)
+        req = self.request_initiate(tasktype_name, args,
+                                    parent=USER_TERMINAL_ID,
+                                    placement=placement)
+        try:
+            self.engine.run()
+        finally:
+            if shutdown:
+                self.shutdown()
+        tid = self.initiations.get(req)
+        if tid is None:
+            raise RuntimeLibraryError(
+                f"top-level task {tasktype_name!r} was never started "
+                f"(held for a slot that never freed?)")
+        task = self.tasks[tid]
+        return RunResult(value=task.result, task=tid,
+                         elapsed=self.machine.elapsed(),
+                         console=self.kernel.console_text(),
+                         stats=self.stats, vm=self)
+
+    def run_to_idle(self) -> None:
+        """Run until every non-daemon task has finished (monitor use)."""
+        self.boot()
+        self.engine.run()
+
+    def note_initiate_held(self, req_id: int) -> None:
+        self.stats.initiates_held += 1
+
+    # ------------------------------------------------------------- cleanup --
+
+    def shutdown(self) -> None:
+        self.engine.shutdown()
+
+    def __enter__(self) -> "PiscesVM":
+        self.boot()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------ storage ----
+
+    def storage_report(self) -> Dict[str, Any]:
+        """The section-13 measurements, as a dict (see benchmarks)."""
+        shared = self.machine.shared
+        by_tag = shared.live_bytes_by_tag()
+        spec = self.machine.spec
+        local_fracs = {}
+        for pe_num in self.config.used_pes():
+            pe = self.machine.pe(pe_num)
+            sys_bytes = (pe.local.resident_bytes(CAT_PISCES_CODE)
+                         + pe.local.resident_bytes(CAT_PISCES_DATA))
+            local_fracs[pe_num] = sys_bytes / spec.local_memory_bytes
+        return {
+            "local_system_fraction": local_fracs,
+            "shared_table_bytes": by_tag.get("system_table", 0),
+            "shared_table_fraction":
+                by_tag.get("system_table", 0) / spec.shared_memory_bytes,
+            "message_bytes_live": by_tag.get("message", 0),
+            "shared_common_bytes": by_tag.get("shared_common", 0),
+            "heap_high_water": shared.stats.high_water,
+            "heap_live_total": shared.stats.live_total,
+        }

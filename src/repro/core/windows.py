@@ -1,0 +1,198 @@
+"""Windows: parallel data partitioning with generalized pointers (section 8).
+
+"A window in PISCES 2 is a type of generalized pointer that points to a
+rectangular subregion of an array that is 'owned' by another task. ...
+The window value contains the taskid of the owner, the address of the
+array, and a descriptor for the subarray.  Another task may read or
+write the subarray visible in the window, by sending a message to the
+owner.  Another task may also 'shrink' the window to point to a smaller
+subarray."
+
+Windows are immutable values (storable in variables, passable in
+messages); shrinking returns a new window.  The read/write traffic is
+the point of the A2 ablation: partitioning tasks forward *windows* (32
+bytes each), and the array bytes move exactly once, owner to processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..errors import WindowError
+from .taskid import TaskId
+
+#: A bound per dimension: (start, stop), 0-based, stop exclusive,
+#: absolute coordinates in the owner's base array.
+Bounds = Tuple[int, int]
+
+
+def _normalize_region(region, shape: Tuple[int, ...]) -> Tuple[Bounds, ...]:
+    """Accept slices / (start, stop) pairs / ints; return absolute bounds."""
+    if not isinstance(region, tuple):
+        region = (region,)
+    if len(region) != len(shape):
+        raise WindowError(
+            f"region has {len(region)} dims, array has {len(shape)}")
+    out = []
+    for r, n in zip(region, shape):
+        if isinstance(r, slice):
+            if r.step not in (None, 1):
+                raise WindowError("windows are rectangular: step must be 1")
+            start = 0 if r.start is None else r.start
+            stop = n if r.stop is None else r.stop
+        elif isinstance(r, tuple) and len(r) == 2:
+            start, stop = r
+        elif isinstance(r, int):
+            start, stop = r, r + 1
+        else:
+            raise WindowError(f"bad region component {r!r}")
+        if start < 0 or stop > n or start >= stop:
+            raise WindowError(
+                f"region component ({start},{stop}) outside array dim 0..{n}")
+        out.append((start, stop))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class Window:
+    """An immutable window value.
+
+    ``owner`` is the owning task (or file controller) taskid; ``array``
+    names an array exported by the owner; ``bounds`` is the visible
+    rectangular subregion in absolute base-array coordinates.
+    """
+
+    owner: TaskId
+    array: str
+    bounds: Tuple[Bounds, ...]
+    dtype: str
+    base_shape: Tuple[int, ...]
+
+    # --------------------------------------------------------- geometry --
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(b - a for a, b in self.bounds)
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for a, b in self.bounds:
+            n *= b - a
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * np.dtype(self.dtype).itemsize
+
+    def slices(self) -> Tuple[slice, ...]:
+        """The numpy slices selecting this window in the base array."""
+        return tuple(slice(a, b) for a, b in self.bounds)
+
+    # ----------------------------------------------------------- shrink --
+
+    def shrink(self, region) -> "Window":
+        """A new window on a subregion, given in *window-relative*
+        coordinates; must be contained in this window."""
+        rel = _normalize_region(region, self.shape)
+        new_bounds = tuple(
+            (base_a + a, base_a + b)
+            for (base_a, _), (a, b) in zip(self.bounds, rel))
+        for (na, nb), (oa, ob) in zip(new_bounds, self.bounds):
+            if na < oa or nb > ob:
+                raise WindowError("shrink outside the window")  # unreachable
+        return Window(owner=self.owner, array=self.array, bounds=new_bounds,
+                      dtype=self.dtype, base_shape=self.base_shape)
+
+    def split(self, parts: int, axis: int = 0) -> Tuple["Window", ...]:
+        """Convenience: shrink into ``parts`` near-equal windows along
+        ``axis`` -- the top-level partitioning pattern of section 8."""
+        if parts < 1:
+            raise WindowError("need at least one part")
+        lo, hi = self.bounds[axis]
+        n = hi - lo
+        if parts > n:
+            raise WindowError(f"cannot split extent {n} into {parts} parts")
+        cuts = [lo + (n * i) // parts for i in range(parts + 1)]
+        out = []
+        for i in range(parts):
+            b = list(self.bounds)
+            b[axis] = (cuts[i], cuts[i + 1])
+            out.append(Window(owner=self.owner, array=self.array,
+                              bounds=tuple(b), dtype=self.dtype,
+                              base_shape=self.base_shape))
+        return tuple(out)
+
+    def contains(self, other: "Window") -> bool:
+        if (self.owner, self.array) != (other.owner, other.array):
+            return False
+        return all(oa >= sa and ob <= sb
+                   for (sa, sb), (oa, ob) in zip(self.bounds, other.bounds))
+
+    def overlaps(self, other: "Window") -> bool:
+        if (self.owner, self.array) != (other.owner, other.array):
+            return False
+        return all(max(sa, oa) < min(sb, ob)
+                   for (sa, sb), (oa, ob) in zip(self.bounds, other.bounds))
+
+    def describe(self) -> str:
+        b = "x".join(f"[{a}:{z})" for a, z in self.bounds)
+        return f"WINDOW {self.array}{b} owner={self.owner} {self.dtype}"
+
+
+def make_window(owner: TaskId, array_name: str, base: np.ndarray,
+                region=None) -> Window:
+    """Create a window on (a region of) an owned array."""
+    if region is None:
+        region = tuple(slice(0, n) for n in base.shape)
+    bounds = _normalize_region(region, base.shape)
+    return Window(owner=owner, array=array_name, bounds=bounds,
+                  dtype=str(base.dtype), base_shape=tuple(base.shape))
+
+
+class ArrayStore:
+    """Arrays exported by one owner (a task, or the file controller).
+
+    The owner's run-time library serves window reads/writes out of this
+    store; the VM charges transfer costs and accounts transient message
+    bytes (see ``PiscesVM.window_read``/``window_write``).
+    """
+
+    def __init__(self, owner: TaskId):
+        self.owner = owner
+        self._arrays: dict[str, np.ndarray] = {}
+        #: (op, array, bounds, ticks) access log, for the overlap tests.
+        self.access_log: list[tuple[str, str, Tuple[Bounds, ...], int]] = []
+
+    def export(self, name: str, array: np.ndarray) -> None:
+        if name in self._arrays:
+            raise WindowError(f"array {name!r} already exported by {self.owner}")
+        self._arrays[name] = array
+
+    def get(self, name: str) -> np.ndarray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise WindowError(
+                f"owner {self.owner} exports no array {name!r}") from None
+
+    def names(self) -> list[str]:
+        return list(self._arrays)
+
+    def read(self, w: Window, ticks: int) -> np.ndarray:
+        base = self.get(w.array)
+        self.access_log.append(("read", w.array, w.bounds, ticks))
+        return np.array(base[w.slices()], copy=True)
+
+    def write(self, w: Window, data: np.ndarray, ticks: int) -> None:
+        base = self.get(w.array)
+        view = base[w.slices()]
+        data = np.asarray(data, dtype=base.dtype)
+        if data.shape != view.shape:
+            raise WindowError(
+                f"write shape {data.shape} != window shape {view.shape}")
+        self.access_log.append(("write", w.array, w.bounds, ticks))
+        view[...] = data

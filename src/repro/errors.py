@@ -1,0 +1,152 @@
+"""Exception hierarchy for the PISCES 2 reproduction.
+
+Every error raised by the library derives from :class:`PiscesError`, so
+applications can catch one type.  Sub-hierarchies mirror the subsystems:
+the FLEX machine model, the MMOS kernel simulation, the PISCES run-time
+library, the configuration environment and the Pisces Fortran
+preprocessor.
+"""
+
+from __future__ import annotations
+
+
+class PiscesError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# ---------------------------------------------------------------- FLEX ----
+
+class FlexError(PiscesError):
+    """Error in the FLEX/32 machine model."""
+
+
+class MemoryError_(FlexError):
+    """Base for simulated-memory errors (named with a trailing underscore
+    to avoid shadowing the builtin)."""
+
+
+class OutOfMemory(MemoryError_):
+    """A simulated memory allocation could not be satisfied."""
+
+    def __init__(self, requested: int, available: int, where: str = "shared"):
+        self.requested = requested
+        self.available = available
+        self.where = where
+        super().__init__(
+            f"out of {where} memory: requested {requested} bytes, "
+            f"largest satisfiable {available}"
+        )
+
+
+class BadFree(MemoryError_):
+    """free() of an address that is not a live allocation."""
+
+
+class BadPE(FlexError):
+    """Reference to a processing element outside the machine."""
+
+
+# ---------------------------------------------------------------- MMOS ----
+
+class MMOSError(PiscesError):
+    """Error in the MMOS kernel simulation."""
+
+
+class DeadlockError(MMOSError):
+    """All live processes are blocked with no pending timeout.
+
+    Carries a human-readable ``dump`` describing the state of every
+    blocked process, produced by the engine at detection time.
+    """
+
+    def __init__(self, dump: str):
+        self.dump = dump
+        super().__init__("deadlock: all live processes blocked\n" + dump)
+
+
+class ProcessKilled(MMOSError):
+    """Raised *inside* a simulated process when it is killed.
+
+    User task code should not catch this (it unwinds the task thread).
+    """
+
+
+class TimeLimitExceeded(MMOSError):
+    """The configured execution time limit was reached."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        super().__init__(f"execution time limit of {limit} ticks exceeded")
+
+
+class NotInProcess(MMOSError):
+    """A kernel call was made from outside any simulated process."""
+
+
+# ------------------------------------------------------------- run-time ----
+
+class RuntimeLibraryError(PiscesError):
+    """Error in the PISCES 2 run-time library."""
+
+
+class UnknownTaskType(RuntimeLibraryError):
+    """INITIATE of a tasktype that was never defined/registered."""
+
+
+class UnknownTask(RuntimeLibraryError):
+    """A taskid does not name a live task."""
+
+
+class NoSuchCluster(RuntimeLibraryError):
+    """A cluster number is not part of the current configuration."""
+
+
+class MessageError(RuntimeLibraryError):
+    """Malformed send/accept usage."""
+
+
+class AcceptTimeout(RuntimeLibraryError):
+    """An ACCEPT timed out and no DELAY handler was supplied.
+
+    Matches the paper: with no DELAY clause a system-generated "timeout"
+    is delivered; the Python binding surfaces it as this exception unless
+    the caller passed ``on_timeout``/asked for the result object.
+    """
+
+
+class NotInForce(RuntimeLibraryError):
+    """A force-only operation (BARRIER, CRITICAL, PRESCHED ...) was used
+    outside a force region."""
+
+
+class WindowError(RuntimeLibraryError):
+    """Invalid window operation (shrink outside bounds, dead owner ...)."""
+
+
+# ---------------------------------------------------------------- config ----
+
+class ConfigurationError(PiscesError):
+    """Invalid virtual-machine-to-hardware configuration."""
+
+
+# --------------------------------------------------------------- fortran ----
+
+class FortranError(PiscesError):
+    """Base for Pisces Fortran preprocessor errors."""
+
+
+class LexError(FortranError):
+    def __init__(self, msg: str, line: int, col: int = 0):
+        self.line = line
+        self.col = col
+        super().__init__(f"line {line}: {msg}")
+
+
+class ParseError(FortranError):
+    def __init__(self, msg: str, line: int):
+        self.line = line
+        super().__init__(f"line {line}: {msg}")
+
+
+class TranslationError(FortranError):
+    """The parsed program cannot be translated to run-time calls."""

@@ -1,0 +1,22 @@
+"""Execution environment: the run-time monitor and its displays."""
+
+from .cli import ExecutionCLI
+from .display import (
+    render_message_queue,
+    render_pe_loading,
+    render_running_tasks,
+    render_system_dump,
+    render_vm_figure,
+)
+from .monitor import MENU, Monitor
+
+__all__ = [
+    "ExecutionCLI",
+    "MENU",
+    "Monitor",
+    "render_message_queue",
+    "render_pe_loading",
+    "render_running_tasks",
+    "render_system_dump",
+    "render_vm_figure",
+]

@@ -1,0 +1,129 @@
+"""Interactive/scriptable front end to the execution-environment monitor.
+
+Mirrors the paper's numbered menu: each line of input is a menu choice
+followed by its parameters.  Like the configuration menu, input comes
+from any iterator of lines and output goes to any sink, so whole
+monitor sessions are unit-testable (and usable from a terminal via
+``ExecutionCLI(vm, inputs=iter(sys.stdin), output=print)``).
+
+Session grammar (one command per line)::
+
+    0                       terminate the run
+    1 TASKTYPE [cluster] [args...]      initiate (ints parsed, rest str)
+    2 c.s.u                 kill task
+    3 c.s.u TYPE [args...]  send a message
+    4 c.s.u [TYPE]          delete messages
+    5                       display running tasks
+    6 c.s.u                 display message queue
+    7                       dump system state
+    8                       display PE loading
+    9 [+EVENT ...] [-EVENT ...]   change trace options
+    p                       pump (advance until idle)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, List, Optional
+
+from ..core.vm import PiscesVM
+from ..errors import PiscesError
+from .monitor import Monitor
+
+
+def _parse_arg(tok: str) -> Any:
+    try:
+        return int(tok)
+    except ValueError:
+        try:
+            return float(tok)
+        except ValueError:
+            return tok
+
+
+class ExecutionCLI:
+    """Drive a :class:`Monitor` from a stream of command lines."""
+
+    def __init__(self, vm: PiscesVM,
+                 inputs: Optional[Iterable[str]] = None,
+                 output: Optional[Callable[[str], None]] = None,
+                 auto_pump: bool = True):
+        self.monitor = Monitor(vm)
+        self._in: Iterator[str] = iter(inputs) if inputs is not None else iter([])
+        self._out = output or (lambda s: None)
+        self.transcript: List[str] = []
+        #: When set, the machine is pumped after every mutating command,
+        #: so displays reflect the consequences immediately.
+        self.auto_pump = auto_pump
+
+    def _say(self, text: str) -> None:
+        self.transcript.append(text)
+        self._out(text)
+
+    def run(self) -> None:
+        """Process commands until input is exhausted or option 0."""
+        self._say(self.monitor.menu_text())
+        for raw in self._in:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            self.transcript.append("> " + line)
+            try:
+                if self._dispatch(line):
+                    return
+            except PiscesError as e:
+                self._say(f"error: {e}")
+
+    def _dispatch(self, line: str) -> bool:
+        toks = line.split()
+        op, rest = toks[0], toks[1:]
+        m = self.monitor
+        if op == "0":
+            self._say(m.terminate_run())
+            return True
+        if op == "p":
+            n = m.pump()
+            self._say(f"pumped {n} slices, t={m.vm.machine.elapsed()}")
+            return False
+        if op == "1":
+            if not rest:
+                self._say("usage: 1 TASKTYPE [cluster] [args...]")
+                return False
+            name = rest[0]
+            cluster = None
+            args_toks = rest[1:]
+            if args_toks and args_toks[0].isdigit():
+                cluster = int(args_toks[0])
+                args_toks = args_toks[1:]
+            args = tuple(_parse_arg(t) for t in args_toks)
+            req = m.initiate_task(name, *args, cluster=cluster)
+            if self.auto_pump:
+                m.pump()
+            tid = m.vm.initiations.get(req)
+            self._say(f"initiated {name}: {tid if tid else 'held for a slot'}")
+        elif op == "2":
+            self._say(m.kill_task(rest[0]))
+            if self.auto_pump:
+                m.pump()
+        elif op == "3":
+            args = tuple(_parse_arg(t) for t in rest[2:])
+            self._say(m.send_message(rest[0], rest[1], *args))
+            if self.auto_pump:
+                m.pump()
+        elif op == "4":
+            mtype = rest[1] if len(rest) > 1 else None
+            self._say(m.delete_messages(rest[0], mtype))
+        elif op == "5":
+            self._say(m.display_running_tasks())
+        elif op == "6":
+            self._say(m.display_message_queue(rest[0]))
+        elif op == "7":
+            self._say(m.dump_system_state())
+        elif op == "8":
+            self._say(m.display_pe_loading())
+        elif op == "9":
+            enable = tuple(t[1:] for t in rest if t.startswith("+"))
+            disable = tuple(t[1:] for t in rest if t.startswith("-"))
+            self._say(m.change_trace_options(enable=enable, disable=disable))
+        else:
+            self._say(f"no such option {op!r}")
+        return False

@@ -1,0 +1,154 @@
+"""The PISCES execution environment monitor (section 11).
+
+"...control transfers to the PISCES execution environment, a program
+that runs on the 'main' MMOS PE.  This program displays a menu with the
+options:
+
+    0 TERMINATE THE RUN          5 DISPLAY RUNNING TASKS
+    1 INITIATE A TASK            6 DISPLAY MESSAGE QUEUE
+    2 KILL A TASK                7 DUMP SYSTEM STATE
+    3 SEND A MESSAGE             8 DISPLAY PE LOADING
+    4 DELETE MESSAGES            9 CHANGE TRACE OPTIONS"
+
+:class:`Monitor` exposes each option as a method; the interactive CLI
+(:mod:`repro.exec_env.cli`) maps the numbers onto them.  The monitor
+acts *between* engine steps: operations inject work (initiate requests,
+messages, kills) and :meth:`pump` / :meth:`run_to_idle` advance the
+machine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple, Union
+
+from ..core.taskid import TaskId, USER_TERMINAL_ID
+from ..core.tracing import TraceEventType
+from ..core.vm import PiscesVM
+from ..errors import PiscesError
+from . import display
+
+#: (number, label) pairs exactly as the paper lists them.
+MENU = (
+    (0, "TERMINATE THE RUN"),
+    (1, "INITIATE A TASK"),
+    (2, "KILL A TASK"),
+    (3, "SEND A MESSAGE"),
+    (4, "DELETE MESSAGES"),
+    (5, "DISPLAY RUNNING TASKS"),
+    (6, "DISPLAY MESSAGE QUEUE"),
+    (7, "DUMP SYSTEM STATE"),
+    (8, "DISPLAY PE LOADING"),
+    (9, "CHANGE TRACE OPTIONS"),
+)
+
+
+class Monitor:
+    """Programmatic execution-environment monitor for one VM."""
+
+    def __init__(self, vm: PiscesVM):
+        self.vm = vm
+        vm.boot()
+        self.terminated = False
+
+    # ------------------------------------------------------------ pumping --
+
+    def pump(self, max_steps: int = 100_000,
+             window: int = 10_000) -> int:
+        """Advance the machine "now": run every slice that starts within
+        ``window`` ticks of the current time, up to ``max_steps``.
+
+        Long DELAY timeouts beyond the window do not fire -- the monitor
+        is an interactive tool and must not fast-forward virtual time
+        past the operator.  Returns the number of slices executed.
+        """
+        eng = self.vm.engine
+        horizon = eng.now() + window
+        n = 0
+        while n < max_steps and eng.step(horizon=horizon):
+            n += 1
+        return n
+
+    def run_to_idle(self) -> None:
+        self.vm.run_to_idle()
+
+    # ------------------------------------------------------- menu options --
+
+    def terminate_run(self) -> str:
+        """Option 0: TERMINATE THE RUN."""
+        self.vm.shutdown()
+        self.terminated = True
+        return "run terminated"
+
+    def initiate_task(self, tasktype: str, *args: Any,
+                      cluster: Optional[int] = None) -> int:
+        """Option 1: INITIATE A TASK (as the user at the terminal).
+
+        Returns the request id; after :meth:`pump`, the started taskid
+        is ``vm.initiations[req_id]``.
+        """
+        placement = cluster if cluster is not None else min(self.vm.clusters)
+        return self.vm.request_initiate(tasktype, args,
+                                        parent=USER_TERMINAL_ID,
+                                        placement=placement)
+
+    def kill_task(self, tid: Union[TaskId, str]) -> str:
+        """Option 2: KILL A TASK."""
+        tid = TaskId.parse(tid) if isinstance(tid, str) else tid
+        ok = self.vm.kill_task(tid)
+        return f"task {tid} {'killed' if ok else 'is not running'}"
+
+    def send_message(self, tid: Union[TaskId, str], mtype: str,
+                     *args: Any) -> str:
+        """Option 3: SEND A MESSAGE (from the user terminal)."""
+        tid = TaskId.parse(tid) if isinstance(tid, str) else tid
+        n = self.vm.send_message(tid, mtype, args, origin=None)
+        return f"sent {mtype} to {tid}" if n else f"{tid} unreachable"
+
+    def delete_messages(self, tid: Union[TaskId, str],
+                        mtype: Optional[str] = None) -> str:
+        """Option 4: DELETE MESSAGES from a task's in-queue."""
+        tid = TaskId.parse(tid) if isinstance(tid, str) else tid
+        n = self.vm.delete_messages(tid, mtype)
+        what = f"{mtype} messages" if mtype else "messages"
+        return f"deleted {n} {what} from {tid}"
+
+    def display_running_tasks(self) -> str:
+        """Option 5: DISPLAY RUNNING TASKS."""
+        return display.render_running_tasks(self.vm)
+
+    def display_message_queue(self, tid: Union[TaskId, str]) -> str:
+        """Option 6: DISPLAY MESSAGE QUEUE."""
+        tid = TaskId.parse(tid) if isinstance(tid, str) else tid
+        return display.render_message_queue(self.vm, tid)
+
+    def dump_system_state(self) -> str:
+        """Option 7: DUMP SYSTEM STATE."""
+        return display.render_system_dump(self.vm)
+
+    def display_pe_loading(self) -> str:
+        """Option 8: DISPLAY PE LOADING."""
+        return display.render_pe_loading(self.vm)
+
+    def change_trace_options(self, enable: Tuple[str, ...] = (),
+                             disable: Tuple[str, ...] = (),
+                             solo_task: Optional[Union[TaskId, str]] = None,
+                             mute_task: Optional[Union[TaskId, str]] = None,
+                             ) -> str:
+        """Option 9: CHANGE TRACE OPTIONS (per event type and per task)."""
+        tr = self.vm.tracer
+        for name in enable:
+            tr.enable(TraceEventType(name))
+        for name in disable:
+            tr.disable(TraceEventType(name))
+        if solo_task is not None:
+            tid = TaskId.parse(solo_task) if isinstance(solo_task, str) else solo_task
+            tr.solo_task(tid)
+        if mute_task is not None:
+            tid = TaskId.parse(mute_task) if isinstance(mute_task, str) else mute_task
+            tr.mute_task(tid)
+        return tr.describe()
+
+    # ----------------------------------------------------------- extras ----
+
+    def menu_text(self) -> str:
+        return "\n".join(f"{n}   {label}" for n, label in MENU)

@@ -1,0 +1,28 @@
+"""FLEX/32 machine model: PEs, memories, shared-memory heap, clocks."""
+
+from .clock import ClockBank, PEClock
+from .machine import FlexMachine, MachineSpec, ProcessingElement, MBYTE
+from .memory import (
+    Allocation,
+    BLOCK_HEADER_BYTES,
+    HeapAllocator,
+    HeapStats,
+    LocalMemory,
+)
+from .presets import nasa_langley_flex32, small_flex
+
+__all__ = [
+    "Allocation",
+    "BLOCK_HEADER_BYTES",
+    "ClockBank",
+    "FlexMachine",
+    "HeapAllocator",
+    "HeapStats",
+    "LocalMemory",
+    "MBYTE",
+    "MachineSpec",
+    "PEClock",
+    "ProcessingElement",
+    "nasa_langley_flex32",
+    "small_flex",
+]

@@ -1,0 +1,142 @@
+"""The FLEX/32 machine model.
+
+Section 11 of the paper gives the hardware inventory of the NASA Langley
+FLEX/32 and how its software organizes it:
+
+* 20 processors (National Semiconductor 32032), numbered 1..20;
+* 1 Mbyte of local memory per processor;
+* 2.25 Mbyte of shared memory accessible by all processors;
+* disks attached to processors 1 and 2;
+* PEs 1 and 2 run Unix only (and the file system); PEs 3..20 run MMOS
+  and are the ones available to PISCES user programs;
+* the shared memory is not (easily) accessible from the Unix PEs.
+
+:class:`FlexMachine` models exactly that, parameterized so smaller or
+larger sibling machines can be instantiated for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import BadPE
+from .clock import ClockBank
+from .memory import HeapAllocator, LocalMemory
+
+MBYTE = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a FLEX-class machine."""
+
+    n_pes: int = 20
+    local_memory_bytes: int = MBYTE
+    shared_memory_bytes: int = int(2.25 * MBYTE)
+    #: PE numbers reserved for Unix (not available to PISCES user tasks).
+    unix_pes: Tuple[int, ...] = (1, 2)
+    #: PEs with directly attached disks.
+    disk_pes: Tuple[int, ...] = (1, 2)
+    name: str = "FLEX/32"
+
+    def __post_init__(self) -> None:
+        if self.n_pes < 1:
+            raise ValueError("machine needs at least one PE")
+        for pe in self.unix_pes:
+            if not 1 <= pe <= self.n_pes:
+                raise ValueError(f"unix PE {pe} outside 1..{self.n_pes}")
+        for pe in self.disk_pes:
+            if not 1 <= pe <= self.n_pes:
+                raise ValueError(f"disk PE {pe} outside 1..{self.n_pes}")
+
+    @property
+    def mmos_pes(self) -> Tuple[int, ...]:
+        """PEs that run MMOS and may host PISCES tasks."""
+        return tuple(pe for pe in range(1, self.n_pes + 1)
+                     if pe not in self.unix_pes)
+
+
+@dataclass
+class ProcessingElement:
+    """One PE: a number, its local memory, and a running flag."""
+
+    number: int
+    local: LocalMemory
+    runs_unix: bool = False
+    has_disk: bool = False
+    booted: bool = False
+
+    def boot(self) -> None:
+        self.booted = True
+
+    def reboot(self) -> None:
+        """PEs are rebooted after each user program completes (section 11)."""
+        # A reboot drops everything that was loaded except the category
+        # re-loaded by the next loadfile; model it as a full unload.
+        for cat in list(self.local.categories()):
+            self.local.unload(cat)
+        self.booted = False
+
+
+class FlexMachine:
+    """A FLEX/32 instance: PEs, local memories, shared memory, clocks."""
+
+    def __init__(self, spec: Optional[MachineSpec] = None):
+        self.spec = spec or MachineSpec()
+        self.pes: Dict[int, ProcessingElement] = {}
+        for n in range(1, self.spec.n_pes + 1):
+            self.pes[n] = ProcessingElement(
+                number=n,
+                local=LocalMemory(self.spec.local_memory_bytes, pe=n),
+                runs_unix=n in self.spec.unix_pes,
+                has_disk=n in self.spec.disk_pes,
+            )
+        self.shared = HeapAllocator(self.spec.shared_memory_bytes, name="shared")
+        self.clocks = ClockBank(range(1, self.spec.n_pes + 1))
+
+    # ------------------------------------------------------------ access --
+
+    def pe(self, number: int) -> ProcessingElement:
+        try:
+            return self.pes[number]
+        except KeyError:
+            raise BadPE(f"no PE {number} on {self.spec.name} "
+                        f"(valid: 1..{self.spec.n_pes})") from None
+
+    def mmos_pes(self) -> List[int]:
+        return list(self.spec.mmos_pes)
+
+    def validate_user_pe(self, number: int) -> int:
+        """Check that a PE may host PISCES user tasks; return it."""
+        pe = self.pe(number)
+        if pe.runs_unix:
+            raise BadPE(f"PE {number} runs Unix only and is not available "
+                        f"to PISCES user tasks")
+        return number
+
+    # ------------------------------------------------------------ timing --
+
+    def elapsed(self) -> int:
+        """Elapsed virtual time of the run, in ticks."""
+        return self.clocks.elapsed()
+
+    # --------------------------------------------------------- reporting --
+
+    def memory_report(self) -> str:
+        """Human-readable memory usage summary (used by DUMP SYSTEM STATE)."""
+        lines = [f"{self.spec.name} memory report"]
+        st = self.shared.stats
+        lines.append(
+            f"  shared: {st.live_total}/{st.capacity} bytes live "
+            f"({100 * st.utilization:.3f}%), high-water {st.high_water}, "
+            f"{self.shared.live_count()} live blocks"
+        )
+        for tag, nbytes in sorted(self.shared.live_bytes_by_tag().items()):
+            lines.append(f"    [{tag or '-'}] {nbytes} bytes")
+        for n, pe in sorted(self.pes.items()):
+            total = pe.local.resident_bytes()
+            if total or pe.booted:
+                cats = ", ".join(f"{c}={b}" for c, b in sorted(pe.local.categories().items()))
+                lines.append(f"  PE {n:2d} local: {total} bytes ({cats})")
+        return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""Simulated FLEX/32 memories with byte-level accounting.
+
+Two memory kinds appear in the paper (section 11):
+
+* each PE has 1 Mbyte of *local memory*;
+* a 2.25 Mbyte *shared memory* is accessible by all PEs, and the PISCES
+  run-time system carves three areas out of it: the system tables, the
+  message heap (explicit allocate/deallocate as messages are sent and
+  accepted), and the statically-allocated SHARED COMMON blocks.
+
+The shared memory is modelled by :class:`HeapAllocator`, a first-fit
+free-list allocator with block headers and coalescing, because the paper
+explicitly calls the message area "a heap with explicit
+allocation/deallocation".  No payload bytes are stored -- the allocator
+tracks *extents* only -- but the accounting (live bytes, high-water mark,
+fragmentation) is real and drives the section-13 storage benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import BadFree, OutOfMemory
+
+#: Per-allocation bookkeeping overhead, in bytes.  Real allocators keep a
+#: header word or two in front of each block; 8 bytes is typical for a
+#: 32-bit machine of the FLEX/32 era (size word + status/link word).
+BLOCK_HEADER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A live allocation: address of the *payload* and its size."""
+
+    addr: int
+    size: int
+    tag: str = ""
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.size
+
+
+@dataclass
+class HeapStats:
+    """Cumulative and instantaneous heap statistics."""
+
+    capacity: int
+    live_bytes: int = 0          # payload bytes currently allocated
+    live_overhead: int = 0       # header bytes currently allocated
+    high_water: int = 0          # max of live_bytes + live_overhead ever
+    total_allocs: int = 0
+    total_frees: int = 0
+    failed_allocs: int = 0
+
+    @property
+    def live_total(self) -> int:
+        """Payload + header bytes currently in use."""
+        return self.live_bytes + self.live_overhead
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity - self.live_total
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity currently in use (payload + headers)."""
+        return self.live_total / self.capacity if self.capacity else 0.0
+
+
+class HeapAllocator:
+    """First-fit free-list allocator over a fixed-size extent.
+
+    Invariants (exercised by the property-based tests):
+
+    * live blocks never overlap and never extend past ``capacity``;
+    * freeing returns exactly the bytes (payload + header) allocated;
+    * adjacent free regions are coalesced, so a heap with no live
+      allocations is always one free region of ``capacity`` bytes.
+    """
+
+    def __init__(self, capacity: int, name: str = "shared"):
+        if capacity <= 0:
+            raise ValueError("heap capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        # Free list: sorted list of (addr, size) regions, coalesced.
+        self._free: List[Tuple[int, int]] = [(0, capacity)]
+        # addr -> Allocation (addr is the payload address).
+        self._live: Dict[int, Allocation] = {}
+        self.stats = HeapStats(capacity=capacity)
+
+    # ------------------------------------------------------------ alloc --
+
+    def alloc(self, size: int, tag: str = "") -> Allocation:
+        """Allocate ``size`` payload bytes; returns the :class:`Allocation`.
+
+        Raises :class:`~repro.errors.OutOfMemory` when no free region can
+        hold ``size + BLOCK_HEADER_BYTES`` bytes.
+        """
+        if size < 0:
+            raise ValueError("allocation size must be non-negative")
+        need = size + BLOCK_HEADER_BYTES
+        for i, (addr, fsize) in enumerate(self._free):
+            if fsize >= need:
+                payload = addr + BLOCK_HEADER_BYTES
+                rest = fsize - need
+                if rest:
+                    self._free[i] = (addr + need, rest)
+                else:
+                    del self._free[i]
+                a = Allocation(addr=payload, size=size, tag=tag)
+                self._live[payload] = a
+                st = self.stats
+                st.live_bytes += size
+                st.live_overhead += BLOCK_HEADER_BYTES
+                st.total_allocs += 1
+                st.high_water = max(st.high_water, st.live_total)
+                return a
+        self.stats.failed_allocs += 1
+        largest = max((s for _, s in self._free), default=0)
+        raise OutOfMemory(size, max(0, largest - BLOCK_HEADER_BYTES), self.name)
+
+    # ------------------------------------------------------------- free --
+
+    def free(self, alloc_or_addr) -> None:
+        """Release an allocation (by :class:`Allocation` or payload addr)."""
+        addr = alloc_or_addr.addr if isinstance(alloc_or_addr, Allocation) else int(alloc_or_addr)
+        a = self._live.pop(addr, None)
+        if a is None:
+            raise BadFree(f"{self.name}: free of non-live address {addr}")
+        start = a.addr - BLOCK_HEADER_BYTES
+        size = a.size + BLOCK_HEADER_BYTES
+        self._insert_free(start, size)
+        self.stats.live_bytes -= a.size
+        self.stats.live_overhead -= BLOCK_HEADER_BYTES
+        self.stats.total_frees += 1
+
+    def _insert_free(self, start: int, size: int) -> None:
+        """Insert a region into the sorted free list, coalescing neighbours."""
+        free = self._free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid][0] < start:
+                lo = mid + 1
+            else:
+                hi = mid
+        free.insert(lo, (start, size))
+        # Coalesce with successor, then predecessor.
+        if lo + 1 < len(free) and free[lo][0] + free[lo][1] == free[lo + 1][0]:
+            free[lo] = (free[lo][0], free[lo][1] + free[lo + 1][1])
+            del free[lo + 1]
+        if lo > 0 and free[lo - 1][0] + free[lo - 1][1] == free[lo][0]:
+            free[lo - 1] = (free[lo - 1][0], free[lo - 1][1] + free[lo][1])
+            del free[lo]
+
+    # ---------------------------------------------------------- queries --
+
+    def live_allocations(self) -> Iterator[Allocation]:
+        return iter(sorted(self._live.values(), key=lambda a: a.addr))
+
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def live_bytes_by_tag(self) -> Dict[str, int]:
+        """Payload bytes live per allocation tag (for storage accounting)."""
+        out: Dict[str, int] = {}
+        for a in self._live.values():
+            out[a.tag] = out.get(a.tag, 0) + a.size
+        return out
+
+    def free_regions(self) -> List[Tuple[int, int]]:
+        return list(self._free)
+
+    def largest_free(self) -> int:
+        return max((s for _, s in self._free), default=0)
+
+    def fragmentation(self) -> float:
+        """1 - largest_free/free_bytes; 0 when free space is one region."""
+        free = self.stats.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free() / free
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; used by tests."""
+        regions: List[Tuple[int, int, str]] = []
+        for a in self._live.values():
+            regions.append((a.addr - BLOCK_HEADER_BYTES,
+                            a.size + BLOCK_HEADER_BYTES, "live"))
+        for addr, size in self._free:
+            regions.append((addr, size, "free"))
+        regions.sort()
+        pos = 0
+        prev_kind: Optional[str] = None
+        for addr, size, kind in regions:
+            if addr != pos:
+                raise AssertionError(f"gap or overlap at {pos}..{addr}")
+            if kind == "free" and prev_kind == "free":
+                raise AssertionError(f"uncoalesced free regions at {addr}")
+            pos = addr + size
+            prev_kind = kind
+        if pos != self.capacity:
+            raise AssertionError(f"regions cover {pos} of {self.capacity}")
+
+
+class LocalMemory:
+    """A PE's private memory: a simple bump accounting of *resident* bytes.
+
+    MMOS loads the kernel plus the complete user/system code image into
+    every selected PE (section 11: "all selected PE's are loaded with the
+    same code").  Local memory is not a heap in the paper's measurements;
+    what matters is how many bytes are resident, broken out by category
+    (kernel, pisces system code, pisces system data, user code, user data).
+    """
+
+    def __init__(self, capacity: int, pe: int):
+        self.capacity = capacity
+        self.pe = pe
+        self._resident: Dict[str, int] = {}
+
+    def load(self, category: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot load a negative number of bytes")
+        new_total = self.resident_bytes() + nbytes
+        if new_total > self.capacity:
+            raise OutOfMemory(nbytes, self.capacity - self.resident_bytes(),
+                              f"local(PE {self.pe})")
+        self._resident[category] = self._resident.get(category, 0) + nbytes
+
+    def unload(self, category: str) -> int:
+        """Remove a category entirely; returns the bytes released."""
+        return self._resident.pop(category, 0)
+
+    def resident_bytes(self, category: Optional[str] = None) -> int:
+        if category is not None:
+            return self._resident.get(category, 0)
+        return sum(self._resident.values())
+
+    def categories(self) -> Dict[str, int]:
+        return dict(self._resident)
+
+    def fraction_used(self, categories: Optional[List[str]] = None) -> float:
+        """Fraction of capacity used by the given categories (all if None)."""
+        if categories is None:
+            used = self.resident_bytes()
+        else:
+            used = sum(self._resident.get(c, 0) for c in categories)
+        return used / self.capacity

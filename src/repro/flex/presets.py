@@ -1,0 +1,41 @@
+"""Canonical machine instances.
+
+``nasa_langley_flex32()`` is the machine the paper measured: 20 PEs,
+1 MB local each, 2.25 MB shared, PEs 1-2 reserved for Unix and holding
+the disks (so the FLEX at NASA has *no local disks* on MMOS PEs, which
+is why the file controller of section 5 was hypothetical there).
+"""
+
+from __future__ import annotations
+
+from .machine import FlexMachine, MachineSpec, MBYTE
+
+
+def nasa_langley_flex32() -> FlexMachine:
+    """The NASA Langley FLEX/32 exactly as described in section 11."""
+    return FlexMachine(MachineSpec(
+        n_pes=20,
+        local_memory_bytes=MBYTE,
+        shared_memory_bytes=int(2.25 * MBYTE),
+        unix_pes=(1, 2),
+        disk_pes=(1, 2),
+        name="FLEX/32 (NASA Langley)",
+    ))
+
+
+def small_flex(n_pes: int = 6, shared_kb: int = 256) -> FlexMachine:
+    """A scaled-down sibling for fast unit tests.
+
+    Keeps the structural rules (PEs 1-2 run Unix) but shrinks memories so
+    exhaustion paths are cheap to exercise.
+    """
+    if n_pes < 3:
+        raise ValueError("small_flex needs at least 3 PEs (1-2 run Unix)")
+    return FlexMachine(MachineSpec(
+        n_pes=n_pes,
+        local_memory_bytes=256 * 1024,
+        shared_memory_bytes=shared_kb * 1024,
+        unix_pes=(1, 2),
+        disk_pes=(1, 2),
+        name=f"FLEX/{n_pes} (test)",
+    ))

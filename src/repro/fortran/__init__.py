@@ -1,0 +1,66 @@
+"""Pisces Fortran: the extended-Fortran front end (section 10).
+
+Grammar summary (concrete syntax reconstructed from the paper's text;
+the original User's Manual [6] is not in the paper):
+
+Program units::
+
+    TASK NAME(P1, P2) ... END TASK
+    SUBROUTINE NAME(P1) ... END
+    HANDLER MSGTYPE(A1, A2) ... END HANDLER
+
+Declarations (inside units)::
+
+    INTEGER I, A(10)            REAL X          DOUBLE PRECISION D
+    LOGICAL FLAG                CHARACTER S     TASKID T, KIDS(8)
+    WINDOW W                    LOCK L
+    SHARED COMMON /BLK/ G(100), N
+    SIGNAL GO, DONE             HANDLER RESULT
+
+Pisces statements::
+
+    ON ANY INITIATE WORKER(I)            (also CLUSTER <n>, OTHER, SAME)
+    TO PARENT SEND HELLO(K)              (also SELF, SENDER, USER,
+                                          TCONTR <n>, ALL [CLUSTER <n>],
+                                          a TASKID variable)
+    ACCEPT 3 OF A, B                     (single-line, total count)
+    ACCEPT OF                            (block form, per-type counts)
+      2 OF A
+      ALL OF B
+    DELAY 500 THEN
+      ...statements...
+    END ACCEPT
+    FORCESPLIT
+    BARRIER ... END BARRIER
+    CRITICAL L ... END CRITICAL
+    PRESCHED DO 10 I = 1, N ... 10 CONTINUE      (also SELFSCHED, END DO)
+    PARSEG ... NEXTSEG ... ENDSEG
+    COMPUTE <ticks>                      (reproduction extension: charge
+                                          virtual work for measurement)
+
+Fortran subset: assignment, block IF/ELSE IF/ELSE/END IF, logical IF,
+DO (labelled or END DO), DO WHILE, CALL, PRINT * / WRITE (*,*),
+PARAMETER, DATA, RETURN, STOP, CONTINUE; expressions with ** // and the
+dotted operators; intrinsics ABS MAX MIN MOD SQRT SIN COS TAN EXP LOG
+ATAN INT REAL FLOAT DBLE NINT.  GOTO is rejected with a clear error.
+"""
+
+from .lexer import LogicalLine, TokKind, Token, logical_lines, tokenize_line
+from .parser import parse_source
+from .preprocessor import (
+    PiscesFortranProgram,
+    generate_python,
+    preprocess,
+)
+
+__all__ = [
+    "LogicalLine",
+    "PiscesFortranProgram",
+    "TokKind",
+    "Token",
+    "generate_python",
+    "logical_lines",
+    "parse_source",
+    "preprocess",
+    "tokenize_line",
+]

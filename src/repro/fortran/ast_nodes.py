@@ -1,0 +1,320 @@
+"""AST node definitions for Pisces Fortran.
+
+Expressions are kept as small dataclass trees; statements carry their
+source line for error messages.  The grammar implemented is the Fortran
+77 subset a scientific code of the era needs, plus every Pisces
+extension statement the paper defines (sections 6, 7, 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+# ------------------------------------------------------------ expressions --
+
+
+@dataclass(frozen=True)
+class Num:
+    text: str          # canonical numeric literal text
+
+
+@dataclass(frozen=True)
+class Str:
+    value: str
+
+
+@dataclass(frozen=True)
+class LogicalConst:
+    value: bool
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """``A(I, J)`` -- also the spelling of a function call; resolved by
+    the code generator against declarations and intrinsics."""
+
+    name: str
+    args: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class UnOp:
+    op: str            # "-", "+", ".NOT."
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str            # + - * / ** // .EQ. .AND. ...
+    left: "Expr"
+    right: "Expr"
+
+
+Expr = Union[Num, Str, LogicalConst, Var, ArrayRef, UnOp, BinOp]
+
+# ------------------------------------------------------------ declarations --
+
+
+@dataclass
+class DimSpec:
+    """One declared entity: name plus optional array dimensions."""
+
+    name: str
+    dims: Tuple[Expr, ...] = ()
+
+
+@dataclass
+class Declaration:
+    """INTEGER/REAL/DOUBLEPRECISION/LOGICAL/CHARACTER/TASKID/WINDOW."""
+
+    ftype: str
+    entities: List[DimSpec]
+    line: int = 0
+
+
+@dataclass
+class SharedCommonDecl:
+    """``SHARED COMMON /NAME/ A(100), B`` (section 7a)."""
+
+    block: str
+    entities: List[DimSpec]
+    line: int = 0
+
+
+@dataclass
+class LockDecl:
+    """``LOCK L1, L2`` (section 7b)."""
+
+    names: List[str]
+    line: int = 0
+
+
+@dataclass
+class SignalDecl:
+    """``SIGNAL T1, T2`` -- message types counted only (section 6)."""
+
+    names: List[str]
+    line: int = 0
+
+
+@dataclass
+class HandlerDecl:
+    """``HANDLER H1, H2`` -- types processed by handler subroutines."""
+
+    names: List[str]
+    line: int = 0
+
+
+# -------------------------------------------------------------- statements --
+
+
+@dataclass
+class Assign:
+    target: Union[Var, ArrayRef]
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class IfBlock:
+    """IF (...) THEN / ELSE IF / ELSE / END IF."""
+
+    conditions: List[Expr]             # one per THEN/ELSE IF arm
+    arms: List[List["Stmt"]]
+    else_arm: Optional[List["Stmt"]] = None
+    line: int = 0
+
+
+@dataclass
+class LogicalIf:
+    """One-line ``IF (cond) stmt``."""
+
+    condition: Expr
+    stmt: "Stmt"
+    line: int = 0
+
+
+@dataclass
+class DoLoop:
+    """DO loop; ``sched`` is None, "PRESCHED" or "SELFSCHED"."""
+
+    var: str
+    first: Expr
+    last: Expr
+    step: Optional[Expr]
+    body: List["Stmt"]
+    sched: Optional[str] = None
+    label: Optional[int] = None
+    line: int = 0
+
+
+@dataclass
+class WhileLoop:
+    """``DO WHILE (cond)`` ... ``END DO`` (the common F77 extension)."""
+
+    condition: Expr
+    body: List["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class CallStmt:
+    name: str
+    args: Tuple[Expr, ...]
+    line: int = 0
+
+
+@dataclass
+class PrintStmt:
+    items: List[Expr]
+    line: int = 0
+
+
+@dataclass
+class ReturnStmt:
+    line: int = 0
+
+
+@dataclass
+class StopStmt:
+    line: int = 0
+
+
+@dataclass
+class ContinueStmt:
+    label: Optional[int] = None
+    line: int = 0
+
+
+@dataclass
+class MultiStmt:
+    """Several statements produced by one source line (PARAMETER and
+    DATA lists expand into per-name assignments)."""
+
+    stmts: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ComputeStmt:
+    """``COMPUTE <expr>`` -- charge virtual work ticks (an extension of
+    this reproduction, used to give Fortran programs measurable cost)."""
+
+    ticks: Expr
+    line: int = 0
+
+
+# ------------------------------------------------------ Pisces statements --
+
+
+@dataclass
+class InitiateStmt:
+    """``ON <cluster> INITIATE <tasktype>(<args>)``."""
+
+    placement: Union[str, Expr]        # "ANY"/"OTHER"/"SAME" or expr
+    tasktype: str
+    args: Tuple[Expr, ...]
+    line: int = 0
+
+
+@dataclass
+class SendStmt:
+    """``TO <dest> SEND <type>(<args>)`` and the broadcast form."""
+
+    dest_kind: str     # PARENT SELF SENDER USER TCONTR VAR ALL
+    dest_expr: Optional[Expr]          # for TCONTR/VAR/ALL-CLUSTER
+    mtype: str
+    args: Tuple[Expr, ...]
+    line: int = 0
+
+
+@dataclass
+class AcceptSpecItem:
+    """One line of an ACCEPT: count (expr or "ALL") OF type."""
+
+    count: Union[Expr, str, None]      # None in total-count mode
+    mtype: str
+
+
+@dataclass
+class AcceptStmt:
+    total: Optional[Expr]              # ACCEPT <n> OF ...
+    items: List[AcceptSpecItem]
+    delay: Optional[Expr] = None
+    delay_body: Optional[List["Stmt"]] = None
+    line: int = 0
+
+
+@dataclass
+class ForceSplitStmt:
+    """``FORCESPLIT``: the rest of the task body runs in every member."""
+
+    rest: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class BarrierStmt:
+    body: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class CriticalStmt:
+    lock: str
+    body: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ParsegStmt:
+    segments: List[List["Stmt"]] = field(default_factory=list)
+    line: int = 0
+
+
+Stmt = Union[
+    Assign, MultiStmt, IfBlock, LogicalIf, DoLoop, WhileLoop, CallStmt, PrintStmt,
+    ReturnStmt, StopStmt, ContinueStmt, ComputeStmt, InitiateStmt,
+    SendStmt, AcceptStmt, ForceSplitStmt, BarrierStmt, CriticalStmt,
+    ParsegStmt,
+]
+
+# ------------------------------------------------------------------ units --
+
+
+@dataclass
+class ProgramUnit:
+    """A TASK, SUBROUTINE or HANDLER definition."""
+
+    kind: str                          # "TASK" | "SUBROUTINE" | "HANDLER"
+    name: str
+    params: List[str]
+    decls: List[Declaration] = field(default_factory=list)
+    shared: List[SharedCommonDecl] = field(default_factory=list)
+    locks: List[str] = field(default_factory=list)
+    signal_types: List[str] = field(default_factory=list)
+    handler_types: List[str] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A complete Pisces Fortran program: a set of unit definitions."""
+
+    units: List[ProgramUnit] = field(default_factory=list)
+
+    def tasks(self) -> List[ProgramUnit]:
+        return [u for u in self.units if u.kind == "TASK"]
+
+    def unit(self, name: str) -> ProgramUnit:
+        for u in self.units:
+            if u.name == name:
+                return u
+        raise KeyError(name)

@@ -1,0 +1,187 @@
+"""Tokenizer for Pisces Fortran (section 10).
+
+The preprocessor accepts a liberal Fortran-77-style source form:
+
+* one statement per line (a trailing ``&`` continues onto the next);
+* comments: a ``C`` or ``*`` in column 1, or ``!`` anywhere;
+* an optional numeric statement label at the start of a line;
+* case-insensitive keywords and names (canonicalized to upper case);
+* the usual F77 operator spellings, including ``.EQ.``/``.AND.``/ etc.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..errors import LexError
+
+
+class TokKind(enum.Enum):
+    NAME = "name"
+    INT = "int"
+    REAL = "real"
+    STRING = "string"
+    OP = "op"
+    EOL = "eol"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+    col: int
+
+    def is_name(self, *names: str) -> bool:
+        return self.kind is TokKind.NAME and self.text in names
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind is TokKind.OP and self.text in ops
+
+
+#: Multi-character operators, longest first (dotted forms first of all).
+_DOTTED = [".EQ.", ".NE.", ".LT.", ".LE.", ".GT.", ".GE.",
+           ".AND.", ".OR.", ".NOT.", ".TRUE.", ".FALSE."]
+_OPS = ["**", "//", "(", ")", ",", "+", "-", "*", "/", "=",
+        "<", ">", ":", "'"]
+
+_NAME_RE = re.compile(r"[A-Za-z][A-Za-z0-9_]*")
+_NUM_RE = re.compile(
+    r"(\d+\.\d*([EeDd][+-]?\d+)?|\.\d+([EeDd][+-]?\d+)?"
+    r"|\d+[EeDd][+-]?\d+|\d+)")
+
+
+@dataclass
+class LogicalLine:
+    """One statement after comment stripping and continuation joining."""
+
+    label: Optional[int]
+    tokens: List[Token]
+    line: int
+
+    @property
+    def text(self) -> str:
+        return " ".join(t.text for t in self.tokens)
+
+
+def strip_comment(raw: str) -> str:
+    """Remove comments; respects quoted strings for the ``!`` form.
+
+    Column-1 ``*`` is always a comment; column-1 ``C`` only when
+    followed by whitespace (so unindented CALL/CONTINUE still parse).
+    """
+    if raw[:1] == "*":
+        return ""
+    if raw[:1] in ("C", "c") and (len(raw) == 1 or raw[1] in " \t"):
+        return ""
+    out = []
+    in_str = False
+    for ch in raw:
+        if ch == "'":
+            in_str = not in_str
+        if ch == "!" and not in_str:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def tokenize_line(text: str, line_no: int) -> List[Token]:
+    """Tokenize one (comment-free) source line."""
+    toks: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t":
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while True:
+                if j >= n:
+                    raise LexError("unterminated string", line_no, i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":   # '' escape
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            toks.append(Token(TokKind.STRING, "".join(buf), line_no, i))
+            i = j + 1
+            continue
+        if ch == ".":
+            matched = False
+            up = text[i:i + 7].upper()
+            for d in _DOTTED:
+                if up.startswith(d):
+                    toks.append(Token(TokKind.OP, d, line_no, i))
+                    i += len(d)
+                    matched = True
+                    break
+            if matched:
+                continue
+        m = _NUM_RE.match(text, i)
+        if m and (ch.isdigit() or ch == "."):
+            txt = m.group(0)
+            kind = (TokKind.REAL if any(c in txt for c in ".EeDd")
+                    else TokKind.INT)
+            toks.append(Token(kind, txt.upper().replace("D", "E"),
+                              line_no, i))
+            i = m.end()
+            continue
+        m = _NAME_RE.match(text, i)
+        if m:
+            toks.append(Token(TokKind.NAME, m.group(0).upper(), line_no, i))
+            i = m.end()
+            continue
+        two = text[i:i + 2]
+        if two in ("**", "//", "<=", ">=", "<>", "=="):
+            toks.append(Token(TokKind.OP, two, line_no, i))
+            i += 2
+            continue
+        if ch in "()+-*/=,<>:":
+            toks.append(Token(TokKind.OP, ch, line_no, i))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r}", line_no, i)
+    return toks
+
+
+def logical_lines(source: str) -> Iterator[LogicalLine]:
+    """Split source into labelled, continuation-joined statement lines."""
+    pending: Optional[Tuple[int, str]] = None
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        body = strip_comment(raw).rstrip()
+        if not body.strip():
+            continue
+        if pending is not None:
+            start, acc = pending
+            body_strip = body.strip()
+            acc = acc + " " + body_strip
+            if acc.rstrip().endswith("&"):
+                pending = (start, acc.rstrip()[:-1])
+                continue
+            pending = None
+            yield _finish(acc, start)
+            continue
+        if body.rstrip().endswith("&"):
+            pending = (line_no, body.rstrip()[:-1])
+            continue
+        yield _finish(body, line_no)
+    if pending is not None:
+        yield _finish(pending[1], pending[0])
+
+
+def _finish(text: str, line_no: int) -> LogicalLine:
+    toks = tokenize_line(text, line_no)
+    label = None
+    if toks and toks[0].kind is TokKind.INT and len(toks) > 1:
+        label = int(toks[0].text)
+        toks = toks[1:]
+    return LogicalLine(label=label, tokens=toks, line=line_no)

@@ -1,0 +1,62 @@
+"""Loadfile model.
+
+Section 11: "The user may select any subset of the MMOS PE's for
+loading; all selected PE's are loaded with the same code, which includes
+the MMOS kernel and all user code."  A :class:`Loadfile` is that image:
+a set of (category, bytes) sections.  Loading it onto a machine makes
+the bytes resident in each selected PE's local memory, which is what the
+section-13 local-memory measurement reads back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from ..flex.machine import FlexMachine
+
+#: Canonical section categories.
+CAT_MMOS_KERNEL = "mmos_kernel"
+CAT_PISCES_CODE = "pisces_system_code"
+CAT_PISCES_DATA = "pisces_system_data"
+CAT_USER_CODE = "user_code"
+CAT_USER_DATA = "user_data"
+
+#: Categories that count as "PISCES 2 system" in the paper's local-memory
+#: overhead claim ("system code and data").
+PISCES_SYSTEM_CATEGORIES = (CAT_PISCES_CODE, CAT_PISCES_DATA)
+
+
+@dataclass
+class Loadfile:
+    """An MMOS load image: named sections with byte sizes."""
+
+    sections: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, category: str, nbytes: int) -> "Loadfile":
+        if nbytes < 0:
+            raise ValueError("section size must be non-negative")
+        self.sections[category] = self.sections.get(category, 0) + nbytes
+        return self
+
+    def total_bytes(self) -> int:
+        return sum(self.sections.values())
+
+    def load_onto(self, machine: FlexMachine, pes: Iterable[int]) -> List[int]:
+        """Download the image to each PE; returns the loaded PE list."""
+        loaded = []
+        for pe_num in pes:
+            machine.validate_user_pe(pe_num)
+            pe = machine.pe(pe_num)
+            pe.reboot()
+            for cat, nbytes in self.sections.items():
+                pe.local.load(cat, nbytes)
+            pe.boot()
+            loaded.append(pe_num)
+        return loaded
+
+    def describe(self) -> str:
+        lines = [f"loadfile: {self.total_bytes()} bytes"]
+        for cat, nbytes in sorted(self.sections.items()):
+            lines.append(f"  {cat}: {nbytes}")
+        return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Kernel process objects for the MMOS simulation.
+
+Each PISCES task (and each force member) is one :class:`KernelProcess`:
+a Python thread that the engine admits one-at-a-time, switching only at
+kernel points.  The paper (section 11) says MMOS provides exactly this:
+"multiprogramming, I/O to files and terminals, storage allocation, and a
+few other services"; PISCES calls the kernel "primarily for process
+creation and termination, input/output to the terminal, and swapping the
+CPU among ready processes".
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from typing import Any, Callable, Optional
+
+
+class ProcState(enum.Enum):
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+
+
+_pid_counter = itertools.count(1)
+
+
+class KernelProcess:
+    """One simulated process: thread + scheduling metadata.
+
+    Scheduling fields are only touched while the caller holds the
+    engine's condition variable or is the single admitted runner.
+    """
+
+    def __init__(self, name: str, pe: int, target: Callable[[], Any],
+                 daemon: bool = False):
+        self.pid: int = next(_pid_counter)
+        self.name = name
+        self.pe = pe
+        self.target = target
+        #: Daemon processes (controllers) do not keep the run alive and
+        #: are not counted as deadlocked parties.
+        self.daemon = daemon
+
+        self.state = ProcState.NEW
+        #: Virtual time at which the process may next be dispatched.
+        self.ready_time: int = 0
+        #: Absolute virtual deadline for a blocked-with-timeout process.
+        self.deadline: Optional[int] = None
+        #: Human-readable reason while blocked (for the deadlock dump).
+        self.blocked_on: str = ""
+        #: Value handed over by whoever woke us.
+        self.wake_info: Any = None
+        #: True when the last block ended by timeout, not by a wake.
+        self.timed_out: bool = False
+
+        #: Virtual time the current slice started (set by the engine).
+        self.slice_start: int = 0
+        #: Ticks charged so far in the current slice.
+        self.pending_cost: int = 0
+
+        self.killed = False
+        self.exc: Optional[BaseException] = None
+        self.result: Any = None
+        #: Cleanup hook that runs in the process thread after the target
+        #: returns, errors, OR is killed -- even if killed before its
+        #: first slice.  Must not yield (no kernel blocking calls).
+        self.on_exit: Optional[Callable[["KernelProcess"], None]] = None
+
+        self.run_granted = False
+        self.thread: Optional[threading.Thread] = None
+        #: Dispatch sequence number of the last slice (for round-robin
+        #: tie-breaking among processes sharing a PE).
+        self.last_dispatched: int = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def live(self) -> bool:
+        return self.state not in (ProcState.DONE,)
+
+    def describe(self) -> str:
+        extra = ""
+        if self.state is ProcState.BLOCKED:
+            extra = f" on {self.blocked_on!r}"
+            if self.deadline is not None:
+                extra += f" (deadline {self.deadline})"
+        return (f"pid {self.pid} {self.name!r} pe={self.pe} "
+                f"{self.state.value}{extra} ready_time={self.ready_time}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelProcess {self.describe()}>"

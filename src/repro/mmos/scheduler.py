@@ -1,0 +1,353 @@
+"""Deterministic discrete-event multiprocessor engine.
+
+This is the substrate substitution for the real MMOS kernel running on
+20 FLEX/32 processors (DESIGN.md section 3).  The contract:
+
+* every simulated process runs in its own Python thread, but the engine
+  admits **exactly one** thread at a time;
+* threads hand control back at *kernel points* -- every PISCES run-time
+  library call, plus explicit ``compute(ticks)`` charges;
+* each slice executed on PE *p* advances *p*'s virtual clock by the
+  ticks charged during the slice; distinct PEs overlap in virtual time,
+  processes sharing a PE serialize on it (multiprogramming);
+* dispatch order: the runnable process with the least slice start time
+  ``max(ready_time, pe_clock)``, ties broken by pid.  Dispatch starts
+  are therefore non-decreasing, which guarantees no causality violation
+  (a wake or message can never arrive in a receiver's past);
+* a blocked process with a deadline is runnable at its deadline (the
+  DELAY clause of ACCEPT); whoever wakes it earlier clears the deadline;
+* when nothing is runnable and a non-daemon process is still blocked,
+  the engine raises :class:`~repro.errors.DeadlockError` with a state
+  dump instead of hanging.
+
+Determinism: given the same program and configuration, every dispatch,
+message arrival and timeout happens in the same order with the same
+virtual timestamps.  The whole test-suite relies on this.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from ..errors import DeadlockError, NotInProcess, ProcessKilled, TimeLimitExceeded
+from ..flex.machine import FlexMachine
+from .process import KernelProcess, ProcState
+
+#: Default ticks charged by a kernel point when the caller gives none.
+DEFAULT_KERNEL_COST = 5
+
+
+class Engine:
+    """The MMOS scheduler/dispatcher for one machine."""
+
+    def __init__(self, machine: FlexMachine, time_limit: Optional[int] = None):
+        self.machine = machine
+        self.time_limit = time_limit
+        self._cv = threading.Condition()
+        self._procs: Dict[int, KernelProcess] = {}
+        self._current: Optional[KernelProcess] = None
+        self._now: int = 0          # start time of the latest dispatch
+        self._dispatch_seq: int = 0
+        self._shutdown = False
+        #: When True, every executed slice is appended to ``slices`` as
+        #: (pe, start, end, process name) -- the raw material for the
+        #: per-PE timeline in :mod:`repro.analysis`.
+        self.record_slices = False
+        self.slices: List[tuple] = []
+        #: Hook invoked (from the engine thread, between slices) after
+        #: every dispatch; the execution-environment monitor uses it.
+        self.on_idle_check: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------ spawn --
+
+    def spawn(self, name: str, pe: int, target: Callable[[], Any], *,
+              daemon: bool = False, start_time: Optional[int] = None,
+              ) -> KernelProcess:
+        """Create a process on PE ``pe``.
+
+        ``target`` is called with no arguments in the new thread.  The
+        process becomes READY at ``start_time`` (default: now).
+        """
+        if pe not in self.machine.pes:
+            raise ValueError(f"no PE {pe}")
+        p = KernelProcess(name, pe, target, daemon=daemon)
+        p.ready_time = self._now if start_time is None else start_time
+        p.state = ProcState.READY
+        t = threading.Thread(target=self._thread_body, args=(p,),
+                             name=f"pisces-{name}-{p.pid}", daemon=True)
+        p.thread = t
+        self._procs[p.pid] = p
+        t.start()
+        return p
+
+    def _thread_body(self, p: KernelProcess) -> None:
+        with self._cv:
+            while not p.run_granted:
+                self._cv.wait()
+            p.run_granted = False
+        try:
+            if p.killed:
+                raise ProcessKilled(p.name)
+            p.result = p.target()
+        except ProcessKilled:
+            pass
+        except BaseException as e:  # surface in the engine thread
+            p.exc = e
+        finally:
+            if p.on_exit is not None:
+                try:
+                    p.on_exit(p)
+                except BaseException as e:
+                    if p.exc is None:
+                        p.exc = e
+            with self._cv:
+                cost = p.pending_cost
+                end = self.machine.clocks[p.pe].run(p.slice_start, cost)
+                if self.record_slices and cost > 0:
+                    self.slices.append((p.pe, end - cost, end, p.name))
+                p.pending_cost = 0
+                p.ready_time = end
+                p.state = ProcState.DONE
+                self._cv.notify_all()
+
+    # ---------------------------------------------------- process-side ----
+
+    def current(self) -> KernelProcess:
+        """The process whose thread is calling; raises if external."""
+        p = self._current
+        if p is None or p.thread is not threading.current_thread():
+            raise NotInProcess("kernel call from outside a simulated process")
+        return p
+
+    def in_process(self) -> bool:
+        p = self._current
+        return p is not None and p.thread is threading.current_thread()
+
+    def now(self) -> int:
+        """Current virtual time as seen by the caller.
+
+        Inside a process: slice start + ticks charged so far.  Outside
+        (the monitor, between runs): the global elapsed time.
+        """
+        if self.in_process():
+            p = self._current
+            return p.slice_start + p.pending_cost
+        return max(self._now, self.machine.clocks.elapsed())
+
+    def charge(self, ticks: int) -> None:
+        """Charge compute ticks to the current slice without yielding."""
+        if ticks < 0:
+            raise ValueError("cannot charge negative ticks")
+        self.current().pending_cost += ticks
+
+    def preempt(self, cost: int = DEFAULT_KERNEL_COST) -> None:
+        """A kernel point: charge ``cost`` and let the scheduler switch."""
+        p = self.current()
+        p.pending_cost += cost
+        self._yield(p, ProcState.READY)
+
+    def block(self, reason: str, *, deadline: Optional[int] = None,
+              cost: int = DEFAULT_KERNEL_COST) -> Any:
+        """Block the current process until woken (or until ``deadline``).
+
+        Returns the waker's ``info`` value; sets ``timed_out`` on the
+        process when the deadline fired first.
+        """
+        p = self.current()
+        p.pending_cost += cost
+        p.timed_out = False
+        p.wake_info = None
+        self._yield(p, ProcState.BLOCKED, reason=reason, deadline=deadline)
+        return p.wake_info
+
+    def wake(self, p: KernelProcess, info: Any = None,
+             at_time: Optional[int] = None) -> bool:
+        """Make a blocked process runnable; returns False if not blocked.
+
+        ``at_time`` is the virtual time of the waking event (defaults to
+        the caller's current time); the wakee cannot resume earlier than
+        both that and the moment it blocked.
+        """
+        if p.state is not ProcState.BLOCKED:
+            return False
+        t = self.now() if at_time is None else at_time
+        p.ready_time = max(p.ready_time, t)
+        p.deadline = None
+        p.wake_info = info
+        p.timed_out = False
+        p.blocked_on = ""
+        p.state = ProcState.READY
+        return True
+
+    def kill(self, p: KernelProcess) -> None:
+        """Mark a process killed; it unwinds at its next dispatch."""
+        if not p.live:
+            return
+        p.killed = True
+        if p.state is ProcState.BLOCKED:
+            p.deadline = None
+            p.blocked_on = "killed"
+            p.ready_time = max(p.ready_time, self.now())
+            p.state = ProcState.READY
+
+    def _yield(self, p: KernelProcess, new_state: ProcState, *,
+               reason: str = "", deadline: Optional[int] = None) -> None:
+        """Finish the current slice and hand control to the engine."""
+        with self._cv:
+            cost = p.pending_cost
+            end = self.machine.clocks[p.pe].run(p.slice_start, cost)
+            if self.record_slices and cost > 0:
+                self.slices.append((p.pe, end - cost, end, p.name))
+            p.pending_cost = 0
+            p.ready_time = end
+            if p.killed and new_state is ProcState.BLOCKED:
+                # A killed process must not park where nothing will wake
+                # it: stay runnable so the next dispatch raises.
+                new_state, reason, deadline = ProcState.READY, "killed", None
+            p.state = new_state
+            p.blocked_on = reason
+            p.deadline = deadline
+            self._current = None
+            self._cv.notify_all()
+            while not p.run_granted:
+                self._cv.wait()
+            p.run_granted = False
+        if p.killed:
+            raise ProcessKilled(p.name)
+
+    # ----------------------------------------------------- engine-side ----
+
+    def _runnable_key(self, p: KernelProcess):
+        # Round-robin among equals: earliest start first, then the
+        # process that has waited longest since its last slice, then pid.
+        pe_clock = self.machine.clocks[p.pe].ticks
+        if p.state is ProcState.READY:
+            return (max(p.ready_time, pe_clock), p.last_dispatched, p.pid)
+        # blocked with a deadline: runnable at the deadline
+        return (max(p.deadline, pe_clock), p.last_dispatched, p.pid)
+
+    def _pick(self) -> Optional[KernelProcess]:
+        best = None
+        best_key = None
+        for p in self._procs.values():
+            if p.state is ProcState.READY or (
+                    p.state is ProcState.BLOCKED and p.deadline is not None):
+                k = self._runnable_key(p)
+                if best_key is None or k < best_key:
+                    best, best_key = p, k
+        return best
+
+    def step(self, horizon: Optional[int] = None) -> bool:
+        """Dispatch one slice.  Returns False when nothing is runnable.
+
+        With ``horizon``, refuses to dispatch a slice that would start
+        after that virtual time -- the monitor uses this so that pumping
+        the machine "now" does not fast-forward through long DELAYs.
+        """
+        p = self._pick()
+        if p is None:
+            return False
+        if horizon is not None:
+            start_key = self._runnable_key(p)[0]
+            if start_key > horizon:
+                return False
+        if p.state is ProcState.BLOCKED:
+            # Deadline fired: resume with timed_out set.
+            p.timed_out = True
+            p.wake_info = None
+            p.ready_time = max(p.ready_time, p.deadline)
+            p.deadline = None
+            p.state = ProcState.READY
+        start = max(p.ready_time, self.machine.clocks[p.pe].ticks)
+        if self.time_limit is not None and start > self.time_limit:
+            raise TimeLimitExceeded(self.time_limit)
+        self._now = max(self._now, start)
+        self._dispatch_seq += 1
+        p.last_dispatched = self._dispatch_seq
+        self.machine.clocks[p.pe].advance_to(start)
+        with self._cv:
+            p.slice_start = start
+            p.state = ProcState.RUNNING
+            self._current = p
+            p.run_granted = True
+            self._cv.notify_all()
+            while p.state is ProcState.RUNNING:
+                self._cv.wait()
+        self._current = None
+        if p.exc is not None:
+            exc, p.exc = p.exc, None
+            self.shutdown()
+            raise exc
+        if self.on_idle_check is not None:
+            self.on_idle_check()
+        return True
+
+    def run(self) -> None:
+        """Run until no non-daemon process is live, or deadlock.
+
+        On normal completion the remaining daemon (controller) processes
+        are left blocked; call :meth:`shutdown` to reap them.
+        """
+        try:
+            while True:
+                progressed = self.step()
+                if progressed:
+                    continue
+                live_users = [p for p in self._procs.values()
+                              if p.live and not p.daemon]
+                if live_users:
+                    raise DeadlockError(self.state_dump())
+                return
+        except Exception:
+            self.shutdown()
+            raise
+
+    def run_while(self, predicate: Callable[[], bool]) -> None:
+        """Run until ``predicate()`` is false or nothing is runnable."""
+        while predicate() and self.step():
+            pass
+
+    # --------------------------------------------------------- shutdown --
+
+    def shutdown(self) -> None:
+        """Kill every live process and join their threads."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for p in list(self._procs.values()):
+            if p.live:
+                p.killed = True
+        # Grant every live thread once so it can observe `killed` and exit.
+        for p in list(self._procs.values()):
+            while p.live and p.thread is not None and p.thread.is_alive():
+                with self._cv:
+                    if p.state is ProcState.DONE:
+                        break
+                    p.state = ProcState.RUNNING
+                    self._current = p
+                    p.run_granted = True
+                    self._cv.notify_all()
+                    while p.state is ProcState.RUNNING:
+                        self._cv.wait()
+                self._current = None
+                p.exc = None
+        for p in self._procs.values():
+            if p.thread is not None:
+                p.thread.join(timeout=5)
+
+    # ------------------------------------------------------- inspection --
+
+    def processes(self) -> List[KernelProcess]:
+        return list(self._procs.values())
+
+    def live_processes(self) -> List[KernelProcess]:
+        return [p for p in self._procs.values() if p.live]
+
+    def state_dump(self) -> str:
+        lines = [f"engine time {self.now()}, "
+                 f"{len(self.live_processes())} live processes:"]
+        for p in sorted(self._procs.values(), key=lambda q: q.pid):
+            if p.live:
+                lines.append("  " + p.describe())
+        return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Small shared utilities."""
+
+from .tables import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,52 @@
+"""Plain-text table formatting for displays, reports and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned monospace table.
+
+    Numbers are right-aligned, everything else left-aligned; floats are
+    shown with 4 significant digits unless already strings.
+    """
+    def cell(v: Any) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    srows: List[List[str]] = [[cell(v) for v in r] for r in rows]
+    cols = len(headers)
+    for r in srows:
+        if len(r) != cols:
+            raise ValueError(f"row {r} has {len(r)} cells, expected {cols}")
+    widths = [len(h) for h in headers]
+    for r in srows:
+        for i, c in enumerate(r):
+            widths[i] = max(widths[i], len(c))
+
+    def numeric(col: int) -> bool:
+        return all(not r or _is_num(rows[j][col])
+                   for j, r in enumerate(srows))
+
+    def _is_num(v: Any) -> bool:
+        return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+    aligns = [numeric(i) for i in range(cols)]
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        out = []
+        for i, c in enumerate(cells):
+            out.append(c.rjust(widths[i]) if aligns[i] else c.ljust(widths[i]))
+        return "  ".join(out).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in srows:
+        lines.append(fmt_row(r))
+    return "\n".join(lines)

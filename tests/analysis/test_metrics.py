@@ -1,0 +1,110 @@
+"""Unit tests: run metrics, speedup tables, load balance."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    ScalingPoint,
+    collect_metrics,
+    load_balance,
+    lock_contention,
+    speedup_table,
+)
+from repro.core.taskid import SELF
+
+
+class TestCollectMetrics:
+    def test_metrics_reflect_run(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.compute(500)
+            ctx.send(SELF, "X")
+            ctx.accept("X")
+
+        vm = make_vm(registry=registry)
+        vm.run("MAIN")
+        m = collect_metrics(vm)
+        assert m.elapsed >= 500
+        assert m.messages_sent >= 1
+        assert m.accepts == 1
+        assert m.tasks_started == 1
+        assert 0.0 < m.mean_utilization <= 1.0
+        assert "RUN METRICS" in m.table()
+
+    def test_lock_contention_listing(self, make_vm, registry):
+        def region(mm):
+            with mm.critical("L"):
+                mm.compute(50)
+
+        @registry.tasktype("T", locks=("L",))
+        def t(ctx):
+            ctx.forcesplit(region)
+
+        from repro.config.configuration import ClusterSpec, Configuration
+        cfg = Configuration(clusters=(
+            ClusterSpec(1, 3, 2, secondary_pes=(4, 5)),))
+        vm = make_vm(config=cfg, registry=registry)
+        vm.run("T")
+        rows = lock_contention(vm)
+        assert len(rows) == 1
+        name, acq, contended = rows[0]
+        assert acq == 3 and name.endswith("/L")
+
+
+class TestSpeedupTable:
+    def test_relative_to_first_point(self):
+        pts = [ScalingPoint("serial", 1, 1000),
+               ScalingPoint("force4", 4, 300)]
+        tbl = speedup_table(pts)
+        assert "3.33x" in tbl and "83%" in tbl
+
+    def test_empty(self):
+        assert "no scaling points" in speedup_table([])
+
+
+class TestLoadBalance:
+    def test_perfect_balance_is_one(self):
+        assert load_balance({0: 5, 1: 5, 2: 5}) == pytest.approx(1.0)
+
+    def test_imbalance_grows(self):
+        assert load_balance({0: 10, 1: 0}) == pytest.approx(2.0)
+
+    def test_empty_map(self):
+        assert load_balance({}) == 1.0
+
+
+class TestTrafficMatrix:
+    def test_counts_flows_by_tasktype(self, make_vm, registry):
+        from repro.analysis.metrics import traffic_matrix, traffic_table
+        from repro.core.taskid import PARENT, SAME, USER
+
+        @registry.tasktype("CHILD")
+        def child(ctx):
+            ctx.send(PARENT, "A")
+            ctx.send(PARENT, "B")
+            ctx.send(USER, "NOTE")
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("CHILD", on=SAME)
+            ctx.accept("A")
+            ctx.accept("B")
+
+        vm = make_vm(registry=registry)
+        vm.tracer.enable_all()
+        vm.run("MAIN")
+        m = traffic_matrix(vm)
+        assert m[("CHILD", "MAIN")] == 2
+        assert m[("CHILD", "<ucontr>")] == 1
+        txt = traffic_table(vm)
+        assert "CHILD" in txt and "messages" in txt
+
+    def test_without_tracing_reports_empty(self, make_vm, registry):
+        from repro.analysis.metrics import traffic_table
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            pass
+
+        vm = make_vm(registry=registry)
+        vm.run("MAIN")
+        assert "no MSG_SEND" in traffic_table(vm)

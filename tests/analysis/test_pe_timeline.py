@@ -1,0 +1,66 @@
+"""Unit tests: per-PE timelines from recorded engine slices."""
+
+import pytest
+
+from repro.analysis.pe_timeline import activities, idle_report, pe_gantt
+
+
+SLICES = [
+    (3, 0, 100, "a"),
+    (3, 150, 200, "b"),
+    (4, 0, 200, "c"),
+]
+
+
+class TestActivities:
+    def test_busy_and_utilization(self):
+        acts = activities(SLICES)
+        assert acts[3].busy == 150
+        assert acts[4].busy == 200
+        assert acts[4].utilization == pytest.approx(1.0)
+        assert acts[3].utilization == pytest.approx(0.75)
+
+    def test_largest_gap(self):
+        acts = activities(SLICES)
+        assert acts[3].largest_gap() == 50
+        assert acts[4].largest_gap() == 0
+
+    def test_idle_report_rows(self):
+        rows = idle_report(SLICES)
+        assert [r[0] for r in rows] == [3, 4]
+
+    def test_empty(self):
+        assert activities([]) == {}
+        assert "no slices recorded" in pe_gantt([])
+
+
+class TestGantt:
+    def test_renders_rows_per_pe(self):
+        g = pe_gantt(SLICES, width=40)
+        assert "PE  3" in g and "PE  4" in g
+        assert g.count("#") > 0
+
+    def test_live_recording_from_vm(self, make_vm, registry):
+        from repro.core.taskid import ANY, PARENT
+
+        @registry.tasktype("W")
+        def w(ctx, k):
+            ctx.compute(300)
+            ctx.send(PARENT, "DONE")
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            for k in range(2):
+                ctx.initiate("W", k, on=ANY)
+            ctx.accept("DONE", count=2)
+
+        vm = make_vm(registry=registry)
+        vm.engine.record_slices = True
+        vm.run("MAIN")
+        pes = {s[0] for s in vm.engine.slices}
+        assert {3, 4} <= pes
+        g = pe_gantt(vm.engine.slices)
+        assert "PE  3" in g
+        # both worker PEs show real utilization
+        rows = {pe: u for pe, u, _ in idle_report(vm.engine.slices)}
+        assert rows[4] > 0

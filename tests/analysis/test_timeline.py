@@ -1,0 +1,72 @@
+"""Unit tests: off-line timeline reconstruction and rendering."""
+
+import io
+
+import pytest
+
+from repro.analysis.timeline import Timeline
+from repro.core.taskid import PARENT, SAME
+
+
+@pytest.fixture
+def traced_run(make_vm, registry):
+    @registry.tasktype("CHILD")
+    def child(ctx, k):
+        ctx.compute(200)
+        ctx.send(PARENT, "DONE", k)
+
+    @registry.tasktype("MAIN")
+    def main(ctx):
+        for k in range(3):
+            ctx.initiate("CHILD", k, on=SAME)
+        ctx.accept("DONE", count=3)
+
+    vm = make_vm(registry=registry)
+    vm.tracer.enable_all()
+    vm.run("MAIN")
+    return vm
+
+
+class TestReconstruction:
+    def test_spans_have_start_end_and_type(self, traced_run):
+        tl = Timeline.from_events(traced_run.tracer.events)
+        spans = tl.completed_spans()
+        assert len(spans) == 4    # MAIN + 3 children
+        for s in spans:
+            assert s.end > s.start >= 0
+        types = sorted(s.tasktype for s in spans)
+        assert types == ["CHILD", "CHILD", "CHILD", "MAIN"]
+
+    def test_counters_accumulate(self, traced_run):
+        tl = Timeline.from_events(traced_run.tracer.events)
+        main = [s for s in tl.spans.values() if s.tasktype == "MAIN"][0]
+        assert main.accepts == 3
+        child = [s for s in tl.spans.values() if s.tasktype == "CHILD"][0]
+        assert child.sends >= 1
+
+    def test_message_edges_extracted(self, traced_run):
+        tl = Timeline.from_events(traced_run.tracer.events)
+        done_edges = [e for e in tl.edges if e.mtype == "DONE"]
+        assert len(done_edges) == 3
+
+    def test_file_roundtrip(self, traced_run):
+        buf = io.StringIO()
+        for e in traced_run.tracer.events:
+            buf.write(e.line() + "\n")
+        buf.seek(0)
+        tl = Timeline.from_file(buf)
+        assert len(tl.completed_spans()) == 4
+
+    def test_gantt_renders_all_tasks(self, traced_run):
+        tl = Timeline.from_events(traced_run.tracer.events)
+        g = tl.gantt(width=40)
+        assert g.count("#") > 0
+        assert "MAIN" in g and "CHILD" in g
+
+    def test_gantt_empty_trace(self):
+        assert "no completed task spans" in Timeline().gantt()
+
+    def test_concurrency_profile_peaks_during_children(self, traced_run):
+        tl = Timeline.from_events(traced_run.tracer.events)
+        prof = tl.concurrency_profile(buckets=20)
+        assert max(prof) >= 2

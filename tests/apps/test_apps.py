@@ -1,0 +1,119 @@
+"""Behavioral tests: the four application workloads."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    FEMProblem,
+    reference_solution,
+    run_fem,
+    run_integrate,
+    run_jacobi_force,
+    run_jacobi_windows,
+    run_pipeline,
+)
+from repro.flex.presets import small_flex
+
+
+class TestJacobi:
+    def test_windows_variant_matches_serial_reference(self):
+        r = run_jacobi_windows(n=16, sweeps=3, n_workers=2,
+                               machine=small_flex(10))
+        r.vm.shutdown()
+        assert np.allclose(r.grid, reference_solution(16, 3))
+        assert r.stats_window_bytes > 0
+
+    def test_force_variant_matches_serial_reference(self):
+        r = run_jacobi_force(n=16, sweeps=3, force_pes=3,
+                             machine=small_flex(10))
+        r.vm.shutdown()
+        assert np.allclose(r.grid, reference_solution(16, 3))
+
+    def test_both_variants_agree(self):
+        rw = run_jacobi_windows(n=12, sweeps=2, n_workers=3,
+                                machine=small_flex(10))
+        rw.vm.shutdown()
+        rf = run_jacobi_force(n=12, sweeps=2, force_pes=2,
+                              machine=small_flex(10))
+        rf.vm.shutdown()
+        assert np.allclose(rw.grid, rf.grid)
+
+    def test_force_scaling_reduces_elapsed(self):
+        e1 = run_jacobi_force(n=24, sweeps=2, force_pes=0,
+                              machine=small_flex(12))
+        e1.vm.shutdown()
+        e4 = run_jacobi_force(n=24, sweeps=2, force_pes=3,
+                              machine=small_flex(12))
+        e4.vm.shutdown()
+        assert e4.elapsed < e1.elapsed
+
+
+class TestFEM:
+    def test_solution_matches_direct_solver(self):
+        r = run_fem(n_elements=10, force_pes=2, machine=small_flex(10))
+        r.vm.shutdown()
+        prob = FEMProblem(10)
+        exact = np.linalg.solve(prob.stiffness(), prob.load_vector())
+        assert np.allclose(r.displacements, exact, atol=1e-8)
+
+    def test_tip_displacement_matches_analytic(self):
+        prob = FEMProblem(8, youngs_modulus=2.0e3, area=0.5, load=4.0)
+        r = run_fem(n_elements=8, force_pes=3, machine=small_flex(10),
+                    problem=prob)
+        r.vm.shutdown()
+        assert r.tip_displacement == pytest.approx(
+            prob.exact_tip_displacement(), rel=1e-6)
+
+    def test_residual_is_small(self):
+        r = run_fem(n_elements=6, force_pes=1, machine=small_flex(10))
+        r.vm.shutdown()
+        assert r.residual < 1e-6
+
+    def test_force_size_does_not_change_answer(self):
+        sols = []
+        for pes in (0, 3):
+            r = run_fem(n_elements=6, force_pes=pes,
+                        machine=small_flex(10))
+            r.vm.shutdown()
+            sols.append(r.displacements)
+        assert np.allclose(sols[0], sols[1], atol=1e-9)
+
+
+class TestPipeline:
+    def test_each_stage_increments(self):
+        r = run_pipeline(n_stages=4, items=[0, 5, 9],
+                         machine=small_flex(10))
+        r.vm.shutdown()
+        assert r.outputs == [4, 9, 13]
+
+    def test_item_order_preserved(self):
+        r = run_pipeline(n_stages=2, items=list(range(8)),
+                         machine=small_flex(10))
+        r.vm.shutdown()
+        assert r.outputs == [i + 2 for i in range(8)]
+
+    def test_empty_stream(self):
+        r = run_pipeline(n_stages=2, items=[], machine=small_flex(10))
+        r.vm.shutdown()
+        assert r.outputs == []
+
+
+class TestIntegrate:
+    def test_value_close_to_reference(self):
+        r = run_integrate(pieces=16, points_per_piece=8, n_workers=3,
+                          machine=small_flex(10))
+        r.vm.shutdown()
+        assert r.value == pytest.approx(r.exact, rel=0.02)
+
+    def test_all_pieces_completed(self):
+        r = run_integrate(pieces=10, points_per_piece=4, n_workers=4,
+                          machine=small_flex(10))
+        r.vm.shutdown()
+        assert sum(r.per_worker.values()) == 10
+
+    def test_dynamic_distribution_uses_multiple_workers(self):
+        r = run_integrate(pieces=20, points_per_piece=6, n_workers=4,
+                          machine=small_flex(10))
+        r.vm.shutdown()
+        busy = [k for k, n in r.per_worker.items() if n > 0]
+        assert len(busy) >= 2

@@ -1,0 +1,102 @@
+"""Behavioral tests: the scriptable configuration menu dialogue."""
+
+import pytest
+
+from repro.config.configuration import Configuration
+from repro.config.menus import ConfigurationMenu
+from repro.errors import ConfigurationError
+
+
+def run_menu(inputs, machine=None):
+    menu = ConfigurationMenu(machine=machine, inputs=iter(inputs))
+    return menu.run(), menu
+
+
+class TestDialogue:
+    def test_build_two_cluster_configuration(self):
+        cfg, menu = run_menu([
+            "1", "demo",                       # new configuration
+            "2", "1", "3", "4", "7,8",         # cluster 1: PE3, 4 slots
+            "2", "2", "4", "2", "-",           # cluster 2: PE4, 2 slots
+            "4", "100000",                     # time limit
+            "0",                               # done
+        ])
+        assert cfg.name == "demo"
+        assert cfg.cluster(1).secondary_pes == (7, 8)
+        assert cfg.cluster(2).slots == 2
+        assert cfg.time_limit == 100000
+
+    def test_invalid_pe_reported_and_retryable(self):
+        cfg, menu = run_menu([
+            "2", "1", "3", "4", "2",    # secondary PE 2 runs Unix -> error
+            "2", "1", "3", "4", "-",    # corrected
+            "0",
+        ])
+        assert cfg.cluster(1).primary_pe == 3
+        assert cfg.cluster(1).secondary_pes == ()
+        assert any("error" in t for t in menu.transcript)
+
+    def test_non_numeric_answer_reprompts(self):
+        cfg, menu = run_menu([
+            "2", "x", "1", "3", "4", "-",
+            "0",
+        ])
+        assert cfg.cluster(1).primary_pe == 3
+        assert any("not a number" in t for t in menu.transcript)
+
+    def test_trace_options(self):
+        cfg, _ = run_menu([
+            "2", "1", "3", "4", "-",
+            "5", "MSG_SEND LOCK",
+            "0",
+        ])
+        assert cfg.trace_events == ("MSG_SEND", "LOCK")
+
+    def test_trace_all(self):
+        cfg, _ = run_menu([
+            "2", "1", "3", "4", "-",
+            "5", "ALL",
+            "0",
+        ])
+        assert len(cfg.trace_events) == 8
+
+    def test_remove_cluster(self):
+        cfg, _ = run_menu([
+            "2", "1", "3", "4", "-",
+            "2", "2", "4", "4", "-",
+            "3", "2",
+            "0",
+        ])
+        assert cfg.cluster_numbers() == [1]
+
+    def test_save_and_load_via_menu(self, tmp_path):
+        path = str(tmp_path / "saved.pcfg")
+        run_menu([
+            "2", "1", "3", "4", "7",
+            "7", path,        # save
+            "0",
+        ])
+        cfg, _ = run_menu(["8", path, "0"])
+        assert cfg.cluster(1).secondary_pes == (7,)
+
+    def test_done_with_invalid_config_reports_error(self):
+        # No clusters yet -> validation fails; menu surfaces it and the
+        # caller sees the exhausted-input error.
+        with pytest.raises(ConfigurationError):
+            run_menu(["0"])
+
+    def test_unknown_option_handled(self):
+        cfg, menu = run_menu([
+            "z",
+            "2", "1", "3", "4", "-",
+            "0",
+        ])
+        assert any("no such option" in t for t in menu.transcript)
+
+    def test_loadfile_description(self):
+        cfg, menu = run_menu([
+            "2", "1", "3", "4", "-",
+            "9",
+            "0",
+        ])
+        assert any("loadfile" in t for t in menu.transcript)

@@ -1,0 +1,116 @@
+"""Unit tests: ACCEPT specification normalization and progress logic."""
+
+import pytest
+
+from repro.core.accept import (
+    ALL_RECEIVED,
+    AcceptResult,
+    AcceptState,
+    normalize_specs,
+)
+from repro.core.messages import Message
+from repro.core.taskid import TaskId
+from repro.errors import MessageError
+
+A = TaskId(1, 1, 1)
+
+
+def mk(mtype, args=()):
+    return Message(mtype=mtype, args=tuple(args), sender=A, receiver=A,
+                   send_time=0, arrival_time=0)
+
+
+class TestNormalize:
+    def test_plain_names_want_one_each(self):
+        s = normalize_specs(("A", "B"), None)
+        assert s.per_type == {"A": 1, "B": 1}
+        assert s.total is None
+
+    def test_total_count_mode(self):
+        s = normalize_specs(("A", "B"), 3)
+        assert s.total == 3
+        assert set(s.per_type) == {"A", "B"}
+
+    def test_per_type_counts(self):
+        s = normalize_specs((("A", 2), ("B", ALL_RECEIVED)), None)
+        assert s.per_type == {"A": 2, "B": None}
+
+    def test_mixing_total_with_tuples_rejected(self):
+        with pytest.raises(MessageError):
+            normalize_specs((("A", 2),), 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(MessageError):
+            normalize_specs((), None)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(MessageError):
+            normalize_specs((("A", -1),), None)
+        with pytest.raises(MessageError):
+            normalize_specs(("A",), -2)
+
+    def test_bad_spec_shape_rejected(self):
+        with pytest.raises(MessageError):
+            normalize_specs((42,), None)
+
+
+class TestAcceptState:
+    def test_total_mode_counts_across_types(self):
+        st = AcceptState(normalize_specs(("A", "B"), 3))
+        assert st.wants("A") and st.wants("B")
+        st.take(mk("A"))
+        st.take(mk("B"))
+        assert not st.satisfied()
+        st.take(mk("A"))
+        assert st.satisfied()
+        assert not st.wants("A")
+
+    def test_per_type_mode_tracks_each(self):
+        st = AcceptState(normalize_specs((("A", 2), ("B", 1)), None))
+        st.take(mk("A"))
+        assert st.wants("A") and st.wants("B")
+        st.take(mk("A"))
+        assert not st.wants("A")
+        assert not st.satisfied()
+        st.take(mk("B"))
+        assert st.satisfied()
+
+    def test_all_received_is_satisfied_immediately(self):
+        st = AcceptState(normalize_specs((("A", ALL_RECEIVED),), None))
+        assert st.satisfied()
+        assert st.wants("A")        # still drains what is present
+
+    def test_unlisted_type_never_wanted(self):
+        st = AcceptState(normalize_specs(("A",), None))
+        assert not st.wants("Z")
+
+    def test_wanted_types_open(self):
+        st = AcceptState(normalize_specs((("A", 1), ("B", ALL_RECEIVED)),
+                                         None))
+        assert st.wanted_types_open() == ["A"]
+        st.take(mk("A"))
+        assert st.wanted_types_open() == []
+
+    def test_zero_count_spec_is_trivially_satisfied(self):
+        st = AcceptState(normalize_specs((("A", 0),), None))
+        assert st.satisfied()
+        st2 = AcceptState(normalize_specs(("A",), 0))
+        assert st2.satisfied()
+
+
+class TestAcceptResult:
+    def test_counts_and_by_type(self):
+        r = AcceptResult(messages=[mk("A"), mk("B"), mk("A")])
+        assert r.count == 3
+        assert r.by_type() == {"A": 2, "B": 1}
+        assert len(r.of_type("A")) == 2
+
+    def test_args_of_first_message(self):
+        r = AcceptResult(messages=[mk("A", (1, 2))])
+        assert r.args == (1, 2)
+
+    def test_args_on_empty_result_raises(self):
+        with pytest.raises(MessageError):
+            AcceptResult().args
+        with pytest.raises(MessageError):
+            AcceptResult().sender

@@ -1,0 +1,190 @@
+"""Deeper behavioral tests: reentrant handlers, taskid values in data
+structures, window chains through messages, tracer task filters."""
+
+import numpy as np
+import pytest
+
+from repro.core.taskid import ANY, PARENT, SAME, SELF, TaskId
+from repro.core.tracing import TraceEventType
+
+
+class TestHandlerReentrancy:
+    def test_handler_may_send_replies(self, make_vm, registry):
+        """A HANDLER runs in the accepting task's context and can use
+        the full API -- including replying to the sender."""
+
+        def on_ping(ctx, n):
+            ctx.send(ctx.sender, "PONG", n + 1)
+
+        @registry.tasktype("SERVER", handlers={"PING": on_ping})
+        def server(ctx):
+            ctx.send(PARENT, "READY")
+            ctx.accept(("PING", 3))
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("SERVER", on=SAME)
+            ctx.accept("READY")
+            srv = ctx.sender
+            out = []
+            for i in range(3):
+                ctx.send(srv, "PING", i)
+                out.append(ctx.accept("PONG").args[0])
+            return out
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value == [1, 2, 3]
+
+    def test_handler_may_accept_nested(self, make_vm, registry):
+        """A handler that itself ACCEPTs (nested receive) drains from
+        the same in-queue without corrupting the outer accept."""
+
+        def on_outer(ctx):
+            inner = ctx.accept("INNER")
+            ctx.task.handler_saw.append(inner.args[0])
+
+        @registry.tasktype("MAIN", handlers={"OUTER": on_outer})
+        def main(ctx):
+            ctx.task.handler_saw = []
+            ctx.send(SELF, "OUTER")
+            ctx.send(SELF, "INNER", 42)
+            ctx.send(SELF, "AFTER")
+            ctx.accept("OUTER")
+            ctx.accept("AFTER")
+            return ctx.task.handler_saw
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value == [42]
+
+    def test_handler_initiating_tasks(self, make_vm, registry):
+        def on_spawn(ctx, k):
+            ctx.initiate("LEAF", k, on=ANY)
+
+        @registry.tasktype("LEAF")
+        def leaf(ctx, k):
+            ctx.send(PARENT, "LEAFDONE", k)
+
+        @registry.tasktype("MAIN", handlers={"SPAWN": on_spawn})
+        def main(ctx):
+            ctx.send(SELF, "SPAWN", 5)
+            ctx.accept("SPAWN")
+            return ctx.accept("LEAFDONE").args[0]
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value == 5
+
+
+class TestTaskidsAsData:
+    def test_taskid_dict_routing_table(self, make_vm, registry):
+        """Taskids in containers route correctly after passing through
+        messages (value semantics, hashability)."""
+
+        @registry.tasktype("NODE")
+        def node(ctx, name):
+            ctx.send(PARENT, "REG", name, ctx.self_id)
+            res = ctx.accept("VISIT")
+            ctx.send(PARENT, "VISITED", name)
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            names = ["a", "b", "c"]
+            for n in names:
+                ctx.initiate("NODE", n, on=ANY)
+            table = {}
+            for _ in names:
+                r = ctx.accept("REG")
+                nm, tid = r.args
+                assert tid == r.sender      # taskid arg == actual sender
+                table[nm] = tid
+            for n in reversed(names):
+                ctx.send(table[n], "VISIT")
+            res = ctx.accept(("VISITED", 3))
+            return [m.args[0] for m in res.messages]
+
+        vm = make_vm(registry=registry)
+        assert sorted(vm.run("MAIN").value) == ["a", "b", "c"]
+
+    def test_taskid_roundtrip_preserves_identity(self, make_vm, registry):
+        @registry.tasktype("ECHO")
+        def echo(ctx):
+            r = ctx.accept("Q")
+            ctx.send(PARENT, "A", r.args[0])    # echo a taskid back
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("ECHO", on=SAME)
+            ctx.accept("X", delay=500, timeout_ok=True)
+            ctx.broadcast("Q", ctx.self_id, cluster=1)
+            back = ctx.accept("A").args[0]
+            return back == ctx.self_id
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value is True
+
+
+class TestWindowChains:
+    def test_three_level_shrink_chain_through_messages(self, make_vm,
+                                                       registry):
+        """owner -> mid -> leaf, each level shrinking: coordinates stay
+        absolute and correct through two message hops."""
+
+        @registry.tasktype("LEAF")
+        def leaf(ctx):
+            w = ctx.accept("WIN").args[0]
+            data = ctx.window_read(w)
+            ctx.send(PARENT, "VAL", float(data[0, 0]), w.bounds)
+
+        @registry.tasktype("MID")
+        def mid(ctx):
+            w = ctx.accept("WIN").args[0]          # rows 2..6
+            ctx.initiate("LEAF", on=SAME)
+            ctx.accept("X", delay=500, timeout_ok=True)
+            inner = w.shrink((slice(1, 2), slice(3, 5)))   # abs row 3
+            ctx.broadcast("WIN", inner, cluster=ctx.cluster_number)
+            r = ctx.accept("VAL")
+            ctx.send(PARENT, "VAL", *r.args)
+
+        @registry.tasktype("OWNER")
+        def owner(ctx):
+            a = np.arange(64.0).reshape(8, 8)
+            ctx.export_array("A", a)
+            ctx.initiate("MID", on=2)
+            ctx.accept("X", delay=500, timeout_ok=True)
+            w = ctx.window("A", (slice(2, 6), slice(None)))
+            ctx.broadcast("WIN", w, cluster=2)
+            r = ctx.accept("VAL")
+            return r.args
+
+        vm = make_vm(registry=registry)
+        val, bounds = vm.run("OWNER").value
+        assert bounds == ((3, 4), (3, 5))
+        assert val == 8 * 3 + 3      # a[3, 3]
+
+
+class TestTracerTaskFilters:
+    def test_solo_and_mute_through_monitor(self, make_vm, registry):
+        from repro.exec_env.monitor import Monitor
+
+        @registry.tasktype("CHATTY")
+        def chatty(ctx, n):
+            for i in range(3):
+                ctx.send(SELF, "NOTE", i)
+                ctx.accept("NOTE")
+
+        vm = make_vm(registry=registry)
+        mon = Monitor(vm)
+        mon.change_trace_options(enable=("MSG_SEND",))
+        r1 = mon.initiate_task("CHATTY", 1, cluster=1)
+        r2 = mon.initiate_task("CHATTY", 2, cluster=2)
+        mon.pump()
+        t1 = vm.initiations[r1]
+        # everything traced so far came from both tasks
+        tasks_seen = {e.task for e in vm.tracer.events}
+        assert len(tasks_seen) == 2
+        # solo one task and run two more
+        vm.tracer.events.clear()
+        mon.change_trace_options(solo_task=str(t1))
+        r3 = mon.initiate_task("CHATTY", 3, cluster=1)
+        mon.pump()
+        assert all(e.task == t1 for e in vm.tracer.events)
+        mon.terminate_run()

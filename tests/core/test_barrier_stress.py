@@ -1,0 +1,67 @@
+"""Stress tests: barrier generations under asymmetric member timing."""
+
+import pytest
+
+from repro.config.configuration import ClusterSpec, Configuration
+
+
+def force_cfg(n_secondary):
+    return Configuration(clusters=(
+        ClusterSpec(1, 3, 2, secondary_pes=tuple(range(4, 4 + n_secondary))),),
+        name="bstress")
+
+
+class TestBarrierStress:
+    @pytest.mark.parametrize("size,rounds", [(2, 25), (4, 15), (8, 10)])
+    def test_many_generations_with_skewed_arrivals(self, make_vm, registry,
+                                                   size, rounds):
+        """Members arrive at each barrier in wildly different orders
+        (cost depends on member and round); the generation protocol must
+        deliver exactly one body execution per round and perfect
+        phase alignment."""
+
+        def region(m):
+            blk = m.common("S")
+            for r in range(rounds):
+                # skew: a different member is slowest each round
+                m.compute(10 + 200 * ((m.member + r) % m.force_size == 0))
+                before = int(blk.gen[()])
+                assert before == r, f"member {m.member} entered round " \
+                                    f"{r} seeing generation {before}"
+                m.barrier(lambda: blk.gen.__setitem__((), blk.gen[()] + 1))
+            return int(blk.gen[()])
+
+        @registry.tasktype("T", shared={"S": {"gen": ("i8", ())}})
+        def t(ctx):
+            return ctx.forcesplit(region)
+
+        vm = make_vm(config=force_cfg(size - 1), registry=registry)
+        results = vm.run("T").value
+        assert results == [rounds] * size
+
+    def test_alternating_barrier_and_critical(self, make_vm, registry):
+        """Interleaved synchronization primitives across rounds."""
+
+        def region(m):
+            blk = m.common("S")
+            for r in range(10):
+                with m.critical("L"):
+                    blk.acc[()] += m.member + 1
+                m.barrier(lambda: blk.sums.__setitem__(
+                    (int(blk.rounds[()]),), blk.acc[()]))
+                m.barrier(lambda: (blk.acc.__setitem__((), 0),
+                                   blk.rounds.__setitem__(
+                                       (), blk.rounds[()] + 1)))
+            return None
+
+        spec = {"acc": ("i8", ()), "rounds": ("i8", ()),
+                "sums": ("i8", (10,))}
+
+        @registry.tasktype("T", shared={"S": spec}, locks=("L",))
+        def t(ctx):
+            ctx.forcesplit(region)
+            return list(ctx.common("S").sums)
+
+        vm = make_vm(config=force_cfg(3), registry=registry)
+        sums = vm.run("T").value
+        assert sums == [1 + 2 + 3 + 4] * 10

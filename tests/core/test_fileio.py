@@ -1,0 +1,178 @@
+"""Unit + behavioral tests: simulated disks and striped file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.core.fileio import (
+    DEFAULT_STRIPE_UNIT,
+    DISK_BYTES_PER_TICK,
+    DISK_SEEK_TICKS,
+    DiskArray,
+    SimDisk,
+)
+from repro.errors import WindowError
+
+
+class TestSimDisk:
+    def test_transfer_cost_model(self):
+        d = SimDisk(0)
+        end = d.transfer(100, 160, write=False)
+        assert end == 100 + DISK_SEEK_TICKS + 160 // DISK_BYTES_PER_TICK
+        assert d.bytes_read == 160 and d.bytes_written == 0
+
+    def test_requests_to_one_disk_serialize(self):
+        d = SimDisk(0)
+        e1 = d.transfer(0, 1600, write=False)
+        e2 = d.transfer(0, 1600, write=True)   # queued behind the first
+        assert e2 > e1
+        assert d.busy_until == e2
+        assert d.requests == 2
+
+
+class TestDiskArray:
+    def test_stripe_spread_round_robin(self):
+        da = DiskArray(n_disks=4, stripe_unit=100)
+        spread = da.stripe_spread(0, 400)
+        assert spread == {0: 100, 1: 100, 2: 100, 3: 100}
+
+    def test_stripe_spread_with_offset(self):
+        da = DiskArray(n_disks=2, stripe_unit=100)
+        # offset 150: 50B finish chunk 1 (disk 1), 100B chunk 2 (disk 0),
+        # 50B of chunk 3 (disk 1).
+        assert da.stripe_spread(150, 200) == {1: 100, 0: 100}
+
+    def test_spread_conserves_bytes(self):
+        da = DiskArray(n_disks=3, stripe_unit=64)
+        for offset, nbytes in ((0, 1), (63, 2), (100, 999), (5000, 12345)):
+            assert sum(da.stripe_spread(offset, nbytes).values()) == nbytes
+
+    def test_striped_transfer_faster_than_single(self):
+        single = DiskArray(1, stripe_unit=256)
+        striped = DiskArray(4, stripe_unit=256)
+        t1 = single.transfer(0, 0, 64 * 1024, write=False)
+        t4 = striped.transfer(0, 0, 64 * 1024, write=False)
+        assert t4 < t1 / 2   # near-4x minus seek overhead
+
+    def test_zero_byte_transfer_is_free(self):
+        da = DiskArray(2)
+        assert da.transfer(500, 0, 0, write=False) == 500
+
+    def test_validation(self):
+        with pytest.raises(WindowError):
+            DiskArray(0)
+        with pytest.raises(WindowError):
+            DiskArray(1, stripe_unit=0)
+
+    def test_describe_and_stats(self):
+        da = DiskArray(2, stripe_unit=128)
+        da.transfer(0, 0, 512, write=True)
+        text = da.describe()
+        assert "2 disks" in text and "written" in text
+        assert da.total_bytes() == 512
+
+
+class TestFileWindowIO:
+    def test_file_read_waits_for_disk(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            w = ctx.file_window("BIG")
+            t0 = ctx.now()
+            ctx.window_read(w)
+            return ctx.now() - t0
+
+        vm = make_vm(registry=registry)
+        vm.export_file("BIG", np.zeros(8192))   # 64 KB
+        dt = vm.run("MAIN").value
+        assert dt >= DISK_SEEK_TICKS + (8192 * 8) // DISK_BYTES_PER_TICK
+
+    def test_striping_speeds_up_large_reads(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            w = ctx.file_window("BIG")
+            t0 = ctx.now()
+            ctx.window_read(w)
+            return ctx.now() - t0
+
+        def run_with(n_disks):
+            vm = make_vm(registry=registry)
+            vm.export_file("BIG", np.zeros(16384))
+            vm.configure_file_disks(n_disks, stripe_unit=4096)
+            return vm.run("MAIN").value
+
+        t1 = run_with(1)
+        t4 = run_with(4)
+        assert t4 < t1 / 2
+
+    def test_parallel_readers_overlap_on_distinct_disks(self, make_vm,
+                                                        registry):
+        from repro.core.taskid import PARENT, SAME
+
+        @registry.tasktype("READER")
+        def reader(ctx, k):
+            w = ctx.file_window("BIG")
+            half = w.split(2, axis=0)[k]
+            ctx.window_read(half)
+            ctx.send(PARENT, "DONE", ctx.now())
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            for k in range(2):
+                ctx.initiate("READER", k, on=SAME)
+            res = ctx.accept("DONE", count=2)
+            return max(m.args[0] for m in res.messages)
+
+        def run_with(n_disks):
+            vm = make_vm(registry=registry)
+            vm.export_file("BIG", np.zeros(16384))
+            vm.configure_file_disks(n_disks, stripe_unit=8192 * 8)
+            r = vm.run("MAIN")
+            return r.value
+
+        # With one disk the two half-reads queue; with two large-stripe
+        # disks each half lives on its own disk and they overlap.
+        t1 = run_with(1)
+        t2 = run_with(2)
+        assert t2 < t1
+
+    def test_disk_counters_reflect_traffic(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            w = ctx.file_window("F")
+            ctx.window_read(w)
+            ctx.window_write(w, np.ones(100))
+
+        vm = make_vm(registry=registry)
+        vm.export_file("F", np.zeros(100))
+        vm.run("MAIN")
+        da = vm.file_controller.disks
+        assert da.total_bytes() == 2 * 800
+        assert da.disks[0].requests == 2
+
+
+class TestMessageWakeFilter:
+    def test_message_does_not_release_a_barrier(self, make_vm, registry):
+        """A stray message to a task blocked at a BARRIER must stay
+        queued, not wake the member early."""
+        from repro.core.taskid import PARENT, SAME
+
+        def region(m):
+            if m.member == 0:
+                m.task.vm.send_message(  # pester ourselves mid-barrier
+                    m.self_id, "STRAY", (1,), origin=m)
+            m.barrier()
+            return "past-barrier"
+
+        @registry.tasktype("T")
+        def t(ctx):
+            results = ctx.forcesplit(region)
+            # the stray message is still queued afterwards
+            res = ctx.accept("STRAY")
+            return results, res.count
+
+        from repro.config.configuration import ClusterSpec, Configuration
+        cfg = Configuration(clusters=(
+            ClusterSpec(1, 3, 2, secondary_pes=(4,)),))
+        vm = make_vm(config=cfg, registry=registry)
+        (results, stray_count) = vm.run("T").value
+        assert results == ["past-barrier", "past-barrier"]
+        assert stray_count == 1

@@ -1,0 +1,108 @@
+"""Unit tests: messages, in-queues and heap accounting."""
+
+import pytest
+
+from repro.core.messages import (
+    InQueue,
+    Message,
+    allocate_message,
+    release_message,
+)
+from repro.core.taskid import TaskId
+from repro.flex.memory import HeapAllocator
+
+A = TaskId(1, 1, 1)
+B = TaskId(2, 1, 1)
+
+
+def msg(mtype, arrival, heap=None, args=()):
+    if heap is None:
+        return Message(mtype=mtype, args=tuple(args), sender=A, receiver=B,
+                       send_time=max(0, arrival - 10), arrival_time=arrival)
+    return allocate_message(heap, mtype, tuple(args), A, B,
+                            max(0, arrival - 10), arrival)
+
+
+class TestAllocation:
+    def test_allocate_claims_and_release_frees(self):
+        h = HeapAllocator(4096)
+        m = msg("T", 10, heap=h, args=(1, 2))
+        assert h.stats.live_bytes == m.nbytes
+        release_message(h, m)
+        assert h.stats.live_bytes == 0
+
+    def test_release_is_idempotent(self):
+        h = HeapAllocator(4096)
+        m = msg("T", 10, heap=h)
+        release_message(h, m)
+        release_message(h, m)   # second call is a no-op
+        assert h.stats.live_bytes == 0
+
+    def test_nbytes_survives_release_for_statistics(self):
+        h = HeapAllocator(4096)
+        m = msg("T", 10, heap=h, args=("abc",))
+        n = m.nbytes
+        release_message(h, m)
+        assert m.nbytes == n > 0
+
+
+class TestInQueue:
+    def test_enqueue_orders_by_arrival_then_seq(self):
+        q = InQueue(B)
+        m1 = msg("A", 30)
+        m2 = msg("B", 10)
+        m3 = msg("C", 30)   # same arrival as m1, later seq
+        for m in (m1, m2, m3):
+            q.enqueue(m)
+        assert [m.mtype for m in q.messages()] == ["B", "A", "C"]
+
+    def test_first_matching_respects_not_after(self):
+        q = InQueue(B)
+        q.enqueue(msg("T", 100))
+        assert q.first_matching(["T"], not_after=50) is None
+        assert q.first_matching(["T"], not_after=100).mtype == "T"
+
+    def test_first_matching_filters_types(self):
+        q = InQueue(B)
+        q.enqueue(msg("X", 5))
+        q.enqueue(msg("Y", 6))
+        assert q.first_matching(["Y"], not_after=10).mtype == "Y"
+
+    def test_earliest_arrival_after(self):
+        q = InQueue(B)
+        q.enqueue(msg("T", 40))
+        q.enqueue(msg("T", 90))
+        assert q.earliest_arrival(["T"], after=40) == 90
+        assert q.earliest_arrival(["T"], after=90) is None
+        assert q.earliest_arrival(["Z"], after=0) is None
+
+    def test_remove_type_specific_and_all(self):
+        q = InQueue(B)
+        q.enqueue(msg("A", 1))
+        q.enqueue(msg("B", 2))
+        q.enqueue(msg("A", 3))
+        dropped = q.remove_type("A")
+        assert len(dropped) == 2 and len(q) == 1
+        dropped = q.remove_type(None)
+        assert len(dropped) == 1 and len(q) == 0
+
+    def test_total_received_counts_all_enqueues(self):
+        q = InQueue(B)
+        for i in range(5):
+            q.enqueue(msg("T", i))
+        q.remove_type(None)
+        assert q.total_received == 5
+
+    def test_live_bytes_sums_queued_messages(self):
+        h = HeapAllocator(8192)
+        q = InQueue(B)
+        m1, m2 = msg("A", 1, heap=h), msg("B", 2, heap=h, args=(1.5,))
+        q.enqueue(m1)
+        q.enqueue(m2)
+        assert q.live_bytes() == m1.nbytes + m2.nbytes
+
+    def test_describe_mentions_contents(self):
+        q = InQueue(B)
+        assert "empty" in q.describe()
+        q.enqueue(msg("HELLO", 4))
+        assert "HELLO" in q.describe()

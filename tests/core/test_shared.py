@@ -1,0 +1,86 @@
+"""Unit tests: SHARED COMMON blocks and lock storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.shared import LockState, SharedState
+from repro.core.sizes import LOCK_BYTES
+from repro.errors import RuntimeLibraryError
+from repro.flex.memory import HeapAllocator
+
+
+def make_state(cap=64 * 1024):
+    heap = HeapAllocator(cap)
+    return SharedState(heap), heap
+
+
+class TestSharedCommon:
+    def test_declared_arrays_allocated_in_shared_memory(self):
+        st, heap = make_state()
+        blk = st.declare_common("G", {"u": ("f8", (10, 10)),
+                                      "n": ("i8", ())})
+        expected = 10 * 10 * 8 + 8
+        assert blk.nbytes == expected
+        assert heap.live_bytes_by_tag()["shared_common"] == expected
+
+    def test_attribute_access_returns_arrays(self):
+        st, _ = make_state()
+        blk = st.declare_common("G", {"u": ("f8", 4)})
+        blk.u[2] = 7.5
+        assert blk.u[2] == 7.5
+        assert blk["u"] is blk.u
+
+    def test_scalars_are_zero_d_arrays(self):
+        st, _ = make_state()
+        blk = st.declare_common("G", {"n": ("i8", ())})
+        blk.n[()] = 42
+        assert int(blk.n[()]) == 42
+
+    def test_unknown_variable_raises_attribute_error(self):
+        st, _ = make_state()
+        blk = st.declare_common("G", {"u": ("f8", 4)})
+        with pytest.raises(AttributeError):
+            blk.missing
+
+    def test_duplicate_block_rejected(self):
+        st, _ = make_state()
+        st.declare_common("G", {})
+        with pytest.raises(RuntimeLibraryError):
+            st.declare_common("G", {})
+
+    def test_lookup_unknown_block_rejected(self):
+        st, _ = make_state()
+        with pytest.raises(RuntimeLibraryError):
+            st.common("NOPE")
+
+    def test_release_all_returns_bytes(self):
+        st, heap = make_state()
+        st.declare_common("A", {"x": ("f8", 100)})
+        st.declare_lock("L")
+        assert heap.stats.live_bytes > 0
+        st.release_all()
+        assert heap.stats.live_bytes == 0
+
+    def test_variables_listing(self):
+        st, _ = make_state()
+        blk = st.declare_common("G", {"a": ("f8", 1), "b": ("i8", ())})
+        assert sorted(blk.variables()) == ["a", "b"]
+
+
+class TestLocks:
+    def test_lock_storage_is_four_bytes(self):
+        st, heap = make_state()
+        st.declare_lock("L")
+        assert heap.live_bytes_by_tag()["lock"] == LOCK_BYTES
+
+    def test_duplicate_lock_rejected(self):
+        st, _ = make_state()
+        st.declare_lock("L")
+        with pytest.raises(RuntimeLibraryError):
+            st.declare_lock("L")
+
+    def test_lazy_declaration_on_first_use(self):
+        st, _ = make_state()
+        lk = st.lock("L")
+        assert isinstance(lk, LockState)
+        assert st.lock("L") is lk

@@ -1,0 +1,83 @@
+"""Unit tests: packed sizes and table sizing."""
+
+import numpy as np
+import pytest
+
+from repro.core.sizes import (
+    CLUSTER_ENTRY_BYTES,
+    MSG_HEADER_BYTES,
+    PACKET_HEADER_BYTES,
+    PACKET_PAYLOAD_BYTES,
+    SLOT_ENTRY_BYTES,
+    TASKID_BYTES,
+    TASK_RECORD_BYTES,
+    WINDOW_BYTES,
+    message_bytes,
+    packed_size,
+    slot_table_bytes,
+    window_transfer_cost,
+)
+from repro.core.taskid import TaskId
+from repro.core.windows import Window
+
+
+class TestPackedSize:
+    def test_numbers_are_8_bytes(self):
+        assert packed_size(5) == 8
+        assert packed_size(3.14) == 8
+        assert packed_size(np.int64(2)) == 8
+        assert packed_size(np.float64(2.5)) == 8
+
+    def test_bool_is_4(self):
+        assert packed_size(True) == 4
+
+    def test_strings_rounded_to_word(self):
+        assert packed_size("") == 4
+        assert packed_size("ab") == 4
+        assert packed_size("abcde") == 8
+
+    def test_taskid_and_window_struct_sizes(self):
+        assert packed_size(TaskId(1, 2, 3)) == TASKID_BYTES
+        w = Window(owner=TaskId(1, 1, 1), array="A", bounds=((0, 4),),
+                   dtype="float64", base_shape=(4,))
+        assert packed_size(w) == WINDOW_BYTES
+
+    def test_array_is_raw_bytes(self):
+        a = np.zeros(10, dtype="f8")
+        assert packed_size(a) == 80
+
+    def test_sequences_sum(self):
+        assert packed_size([1, 2.0, "ab"]) == 8 + 8 + 4
+        assert packed_size((1,)) == 8
+
+    def test_dict_and_none(self):
+        assert packed_size(None) == 4
+        assert packed_size({"a": 1}) == 4 + 8
+
+
+class TestMessageBytes:
+    def test_empty_message_is_header_only(self):
+        total, npk = message_bytes(())
+        assert total == MSG_HEADER_BYTES
+        assert npk == 0
+
+    def test_payload_splits_into_packets(self):
+        args = (np.zeros(20, dtype="f8"),)   # 160 bytes -> 3 packets
+        total, npk = message_bytes(args)
+        assert npk == 3
+        assert total == MSG_HEADER_BYTES + 3 * (PACKET_HEADER_BYTES
+                                                + PACKET_PAYLOAD_BYTES)
+
+    def test_small_args_fit_one_packet(self):
+        total, npk = message_bytes((1, 2, 3))
+        assert npk == 1
+
+
+class TestTableSizes:
+    def test_slot_table_formula(self):
+        got = slot_table_bytes(4, 3)
+        assert got == CLUSTER_ENTRY_BYTES + 7 * (SLOT_ENTRY_BYTES
+                                                 + TASK_RECORD_BYTES)
+
+    def test_window_transfer_cost_scales_with_bytes(self):
+        assert window_transfer_cost(1600) > window_transfer_cost(16)

@@ -1,0 +1,433 @@
+"""Behavioral tests: task initiation, messaging and ACCEPT semantics."""
+
+import pytest
+
+from repro.core.accept import ALL_RECEIVED
+from repro.core.taskid import (
+    ANY, Broadcast, Cluster, OTHER, PARENT, SAME, SELF, SENDER, TContr,
+    TaskId, USER,
+)
+from repro.errors import (
+    AcceptTimeout,
+    MessageError,
+    NoSuchCluster,
+    UnknownTask,
+    UnknownTaskType,
+)
+
+
+class TestInitiateAndTopology:
+    def test_initiate_does_not_return_taskid(self, make_vm, registry):
+        """Section 6: INITIATE just messages the task controller; the
+        parent learns the child's taskid from the child's first message."""
+
+        @registry.tasktype("CHILD")
+        def child(ctx):
+            ctx.send(PARENT, "HELLO")
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            assert ctx.initiate("CHILD", on=SAME) is None
+            res = ctx.accept("HELLO")
+            return res.sender
+
+        vm = make_vm(registry=registry)
+        r = vm.run("MAIN")
+        assert isinstance(r.value, TaskId)
+        assert r.value.cluster == 1
+
+    def test_child_knows_parent_and_self(self, make_vm, registry):
+        @registry.tasktype("CHILD")
+        def child(ctx):
+            ctx.send(PARENT, "IDS", ctx.self_id, ctx.parent)
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("CHILD", on=SAME)
+            res = ctx.accept("IDS")
+            return res.args, ctx.self_id
+
+        vm = make_vm(registry=registry)
+        r = vm.run("MAIN")
+        (child_self, child_parent), main_id = r.value
+        assert child_parent == main_id
+        assert child_self != main_id
+
+    def test_same_other_cluster_placement(self, make_vm, registry):
+        @registry.tasktype("CHILD")
+        def child(ctx):
+            ctx.send(PARENT, "WHERE", ctx.cluster_number)
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("CHILD", on=SAME)
+            ctx.initiate("CHILD", on=OTHER)
+            ctx.initiate("CHILD", on=Cluster(2))
+            res = ctx.accept("WHERE", count=3)
+            return sorted(m.args[0] for m in res.messages)
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value == [1, 2, 2]
+
+    def test_any_prefers_most_free_cluster(self, make_vm, registry):
+        @registry.tasktype("SLEEPER")
+        def sleeper(ctx):
+            ctx.accept("GO", delay=5000, timeout_ok=True)
+
+        @registry.tasktype("CHILD")
+        def child(ctx):
+            ctx.send(PARENT, "WHERE", ctx.cluster_number)
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            # Fill two slots of cluster 1 (ours), leaving cluster 2 freer.
+            ctx.initiate("SLEEPER", on=SAME)
+            ctx.initiate("SLEEPER", on=SAME)
+            ctx.accept("NOTHING", delay=200, timeout_ok=True)  # let them start
+            ctx.initiate("CHILD", on=ANY)
+            res = ctx.accept("WHERE")
+            return res.args[0]
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value == 2
+
+    def test_unknown_tasktype_fails_fast(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("NOPE")
+
+        vm = make_vm(registry=registry)
+        with pytest.raises(UnknownTaskType):
+            vm.run("MAIN")
+
+    def test_other_with_single_cluster_fails(self, make_vm, registry):
+        from repro.config.configuration import ClusterSpec, Configuration
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("MAIN", on=OTHER)
+
+        cfg = Configuration(clusters=(ClusterSpec(1, 3, 4),))
+        vm = make_vm(config=cfg, registry=registry)
+        with pytest.raises(NoSuchCluster):
+            vm.run("MAIN")
+
+    def test_taskid_unique_number_distinguishes_slot_reuse(self, make_vm,
+                                                           registry):
+        @registry.tasktype("BRIEF")
+        def brief(ctx):
+            ctx.send(PARENT, "IAM", ctx.self_id)
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            from repro.config.configuration import ClusterSpec
+            ids = []
+            for _ in range(3):
+                ctx.initiate("BRIEF", on=Cluster(2))
+                ids.append(ctx.accept("IAM").args[0])
+            return ids
+
+        from repro.config.configuration import ClusterSpec, Configuration
+        cfg = Configuration(clusters=(ClusterSpec(1, 3, 2),
+                                      ClusterSpec(2, 4, 1)))
+        vm = make_vm(config=cfg, registry=registry)
+        ids = vm.run("MAIN").value
+        assert [t.slot for t in ids] == [1, 1, 1]           # same slot
+        assert [t.unique for t in ids] == [1, 2, 3]          # new uniques
+
+
+class TestSendTargets:
+    def test_self_send(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.send(SELF, "NOTE", 7)
+            return ctx.accept("NOTE").args[0]
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value == 7
+
+    def test_sender_replies_to_last_received(self, make_vm, registry):
+        @registry.tasktype("PINGER")
+        def pinger(ctx, n):
+            ctx.send(PARENT, "PING", n)
+            return ctx.accept("PONG").args[0]
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("PINGER", 1, on=SAME)
+            ctx.accept("PING")
+            ctx.send(SENDER, "PONG", 99)
+
+        vm = make_vm(registry=registry)
+        r = vm.run("MAIN")
+        pinger_task = [t for t in r.vm.tasks.values()
+                       if t.ttype.name == "PINGER"][0]
+        assert pinger_task.result == 99
+
+    def test_sender_before_any_receive_is_error(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.send(SENDER, "X")
+
+        vm = make_vm(registry=registry)
+        with pytest.raises(MessageError):
+            vm.run("MAIN")
+
+    def test_user_messages_reach_terminal(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.send(USER, "REPORT", 42, "done")
+
+        vm = make_vm(registry=registry)
+        r = vm.run("MAIN")
+        assert len(r.vm.user_messages) == 1
+        mtype, args, sender, _ = r.vm.user_messages[0]
+        assert mtype == "REPORT" and args == (42, "done")
+        assert "REPORT" in r.console
+
+    def test_tcontr_destination_reaches_controller(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.send(TContr(2), "WHATEVER")   # unknown types are dropped
+
+        vm = make_vm(registry=registry)
+        r = vm.run("MAIN")
+        assert r.stats.messages_sent >= 1
+
+    def test_send_to_stale_taskid_is_dropped(self, make_vm, registry):
+        @registry.tasktype("BRIEF")
+        def brief(ctx):
+            ctx.send(PARENT, "IAM", ctx.self_id)
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("BRIEF", on=SAME)
+            tid = ctx.accept("IAM").args[0]
+            ctx.accept("X", delay=2000, timeout_ok=True)  # let BRIEF die
+            ctx.send(tid, "LATE")
+            return tid
+
+        vm = make_vm(registry=registry)
+        r = vm.run("MAIN")
+        assert r.stats.messages_to_dead == 1
+
+    def test_send_to_never_existing_taskid_raises(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.send(TaskId(1, 1, 999), "X")
+
+        vm = make_vm(registry=registry)
+        with pytest.raises(UnknownTask):
+            vm.run("MAIN")
+
+
+class TestBroadcast:
+    def test_broadcast_all_clusters_excludes_sender(self, make_vm, registry):
+        @registry.tasktype("LISTENER")
+        def listener(ctx):
+            ctx.send(PARENT, "READY")
+            ctx.accept("SHOUT")
+            ctx.send(PARENT, "HEARD", ctx.cluster_number)
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("LISTENER", on=Cluster(1))
+            ctx.initiate("LISTENER", on=Cluster(2))
+            ctx.accept("READY", count=2)
+            n = ctx.broadcast("SHOUT")
+            res = ctx.accept("HEARD", count=2)
+            return n, sorted(m.args[0] for m in res.messages)
+
+        vm = make_vm(registry=registry)
+        n, clusters = vm.run("MAIN").value
+        assert n == 2 and clusters == [1, 2]
+
+    def test_broadcast_single_cluster(self, make_vm, registry):
+        @registry.tasktype("LISTENER")
+        def listener(ctx):
+            ctx.send(PARENT, "READY")
+            res = ctx.accept("SHOUT", delay=3000, timeout_ok=True)
+            ctx.send(PARENT, "HEARD", 0 if res.timed_out else 1)
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("LISTENER", on=Cluster(1))
+            ctx.initiate("LISTENER", on=Cluster(2))
+            ctx.accept("READY", count=2)
+            ctx.broadcast("SHOUT", cluster=2)
+            res = ctx.accept("HEARD", count=2)
+            return sum(m.args[0] for m in res.messages)
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value == 1   # only the cluster-2 listener
+
+    def test_broadcast_to_unknown_cluster_raises(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.broadcast("X", cluster=9)
+
+        vm = make_vm(registry=registry)
+        with pytest.raises(NoSuchCluster):
+            vm.run("MAIN")
+
+
+class TestAcceptBehaviour:
+    def test_accept_releases_message_storage(self, make_vm, registry):
+        """Section 11/13: explicit deallocation as messages are accepted."""
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.send(SELF, "A", 1, 2, 3)
+            heap = ctx.vm.machine.shared
+            before = heap.live_bytes_by_tag().get("message", 0)
+            assert before > 0
+            ctx.accept("A")
+            after = heap.live_bytes_by_tag().get("message", 0)
+            return before, after
+
+        vm = make_vm(registry=registry)
+        before, after = vm.run("MAIN").value
+        assert after < before
+
+    def test_handler_called_with_message_args(self, make_vm, registry):
+        seen = []
+
+        def on_data(ctx, a, b):
+            seen.append((a, b))
+
+        @registry.tasktype("MAIN", handlers={"DATA": on_data})
+        def main(ctx):
+            ctx.send(SELF, "DATA", 4, 5)
+            ctx.accept("DATA")
+
+        vm = make_vm(registry=registry)
+        vm.run("MAIN")
+        assert seen == [(4, 5)]
+
+    def test_same_message_type_interpreted_differently_per_receiver(
+            self, make_vm, registry):
+        """Section 6: the receiver decides signal-vs-handler, so one
+        message type can mean different things to different tasks."""
+        handled = []
+
+        def handler(ctx, x):
+            handled.append(x)
+
+        @registry.tasktype("WITHHANDLER", handlers={"EVENT": handler})
+        def withhandler(ctx):
+            ctx.send(PARENT, "READY")
+            ctx.accept("EVENT")
+            ctx.send(PARENT, "OK")
+
+        @registry.tasktype("ASSIGNAL")
+        def assignal(ctx):
+            ctx.send(PARENT, "READY")
+            res = ctx.accept("EVENT")           # plain signal: counted
+            ctx.send(PARENT, "OK", res.count)
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("WITHHANDLER", on=SAME)
+            ctx.initiate("ASSIGNAL", on=SAME)
+            kids = [ctx.accept("READY").sender for _ in range(2)]
+            for k in kids:
+                ctx.send(k, "EVENT", 7)
+            ctx.accept("OK", count=2)
+
+        vm = make_vm(registry=registry)
+        vm.run("MAIN")
+        assert handled == [7]
+
+    def test_dynamic_handler_registration(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            got = []
+            ctx.handler("LATE", lambda c, v: got.append(v))
+            ctx.send(SELF, "LATE", 3)
+            ctx.accept("LATE")
+            return got
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value == [3]
+
+    def test_accept_timeout_raises_without_delay_handler(self, make_vm,
+                                                         registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.accept("NEVER", delay=100)
+
+        vm = make_vm(registry=registry)
+        with pytest.raises(AcceptTimeout):
+            vm.run("MAIN")
+
+    def test_accept_timeout_runs_delay_clause(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ran = []
+            res = ctx.accept("NEVER", delay=100, on_timeout=lambda: ran.append(1))
+            return ran, res.timed_out
+
+        vm = make_vm(registry=registry)
+        ran, timed_out = vm.run("MAIN").value
+        assert ran == [1] and timed_out
+
+    def test_accept_timeout_ok_returns_partial(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.send(SELF, "A")
+            res = ctx.accept("A", "B", count=2, delay=100, timeout_ok=True)
+            return res.timed_out, res.by_type()
+
+        vm = make_vm(registry=registry)
+        timed_out, by_type = vm.run("MAIN").value
+        assert timed_out and by_type == {"A": 1}
+
+    def test_all_received_drains_without_waiting(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            for i in range(3):
+                ctx.send(SELF, "NOTE", i)
+            # let them arrive
+            ctx.accept("NOTE")   # takes the first
+            res = ctx.accept(("NOTE", ALL_RECEIVED))
+            return res.count
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value == 2
+
+    def test_messages_not_matching_stay_queued(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.send(SELF, "B", 1)
+            ctx.send(SELF, "A", 2)
+            a = ctx.accept("A")          # skips over the queued B
+            b = ctx.accept("B")
+            return a.args[0], b.args[0]
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value == (2, 1)
+
+    def test_fifo_order_within_type(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            for i in range(4):
+                ctx.send(SELF, "SEQ", i)
+            res = ctx.accept(("SEQ", 4))
+            return [m.args[0] for m in res.messages]
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value == [0, 1, 2, 3]
+
+    def test_default_delay_comes_from_configuration(self, make_vm, registry):
+        from repro.config.configuration import ClusterSpec, Configuration
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.accept("NEVER")   # uses the system-provided timeout
+
+        cfg = Configuration(clusters=(ClusterSpec(1, 3, 2),),
+                            default_accept_delay=50)
+        vm = make_vm(config=cfg, registry=registry)
+        with pytest.raises(AcceptTimeout):
+            vm.run("MAIN")
+        assert vm.machine.elapsed() < 5000

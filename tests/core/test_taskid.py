@@ -1,0 +1,49 @@
+"""Unit tests: taskids and symbolic designators."""
+
+import pytest
+
+from repro.core.taskid import (
+    ANY, Broadcast, Cluster, Designator, OTHER, PARENT, SAME, SELF, SENDER,
+    SendTarget, TContr, TaskId, USER, USER_TERMINAL_ID,
+)
+
+
+class TestTaskId:
+    def test_structure_is_cluster_slot_unique(self):
+        t = TaskId(3, 2, 7)
+        assert (t.cluster, t.slot, t.unique) == (3, 2, 7)
+
+    def test_str_and_parse_roundtrip(self):
+        t = TaskId(12, 4, 99)
+        assert str(t) == "12.4.99"
+        assert TaskId.parse("12.4.99") == t
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TaskId.parse("1.2")
+        with pytest.raises(ValueError):
+            TaskId.parse("a.b.c")
+
+    def test_taskids_are_hashable_values(self):
+        # Taskids are data values: storable in variables, arrays, dicts.
+        d = {TaskId(1, 1, 1): "x"}
+        assert d[TaskId(1, 1, 1)] == "x"
+
+    def test_user_terminal_id_is_reserved(self):
+        assert USER_TERMINAL_ID == TaskId(0, 0, 0)
+
+
+class TestDesignators:
+    def test_cluster_designators(self):
+        assert ANY is Designator.ANY
+        assert OTHER is Designator.OTHER
+        assert SAME is Designator.SAME
+        assert Cluster(4).number == 4
+
+    def test_send_targets(self):
+        assert {PARENT, SELF, SENDER, USER} == set(SendTarget)
+
+    def test_tcontr_and_broadcast(self):
+        assert TContr(3).cluster == 3
+        assert Broadcast().cluster is None
+        assert Broadcast(2).cluster == 2

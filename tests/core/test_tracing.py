@@ -1,0 +1,120 @@
+"""Unit tests: trace events, filtering and the file format."""
+
+import io
+
+import pytest
+
+from repro.core.taskid import TaskId
+from repro.core.tracing import (
+    ALL_EVENT_TYPES,
+    TraceEvent,
+    TraceEventType,
+    Tracer,
+)
+
+T1 = TaskId(1, 1, 1)
+T2 = TaskId(2, 1, 1)
+
+
+def ev(etype=TraceEventType.MSG_SEND, task=T1, info="type=GO", other=None):
+    return TraceEvent(etype=etype, task=task, pe=3, ticks=123, info=info,
+                      other=other)
+
+
+class TestEventTypes:
+    def test_the_eight_paper_event_types_exist(self):
+        names = {t.value for t in TraceEventType}
+        assert names == {"TASK_INIT", "TASK_TERM", "MSG_SEND", "MSG_ACCEPT",
+                         "LOCK", "UNLOCK", "BARRIER_ENTER", "FORCE_SPLIT"}
+
+
+class TestLineFormat:
+    def test_line_contains_type_task_pe_ticks(self):
+        line = ev().line()
+        assert line.startswith("TRACE MSG_SEND")
+        assert "task=1.1.1" in line and "pe=3" in line and "ticks=123" in line
+
+    def test_parse_roundtrip(self):
+        e = ev(other=T2)
+        assert TraceEvent.parse(e.line()) == e
+
+    def test_parse_rejects_non_trace_lines(self):
+        with pytest.raises(ValueError):
+            TraceEvent.parse("hello world")
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        tr = Tracer()
+        tr.emit(ev())
+        assert tr.events == [] and tr.dropped == 1
+
+    def test_enable_specific_type(self):
+        tr = Tracer()
+        tr.enable(TraceEventType.MSG_SEND)
+        tr.emit(ev())
+        tr.emit(ev(etype=TraceEventType.LOCK))
+        assert len(tr.events) == 1
+
+    def test_enable_with_no_args_enables_all(self):
+        tr = Tracer()
+        tr.enable()
+        assert tr.enabled_types == set(ALL_EVENT_TYPES)
+
+    def test_disable_specific_and_all(self):
+        tr = Tracer()
+        tr.enable_all()
+        tr.disable(TraceEventType.LOCK)
+        assert TraceEventType.LOCK not in tr.enabled_types
+        tr.disable()
+        assert not tr.enabled_types
+
+    def test_mute_task(self):
+        tr = Tracer()
+        tr.enable_all()
+        tr.mute_task(T1)
+        tr.emit(ev(task=T1))
+        tr.emit(ev(task=T2))
+        assert [e.task for e in tr.events] == [T2]
+
+    def test_solo_task(self):
+        tr = Tracer()
+        tr.enable_all()
+        tr.solo_task(T2)
+        tr.emit(ev(task=T1))
+        tr.emit(ev(task=T2))
+        assert [e.task for e in tr.events] == [T2]
+
+    def test_file_sink_writes_parseable_lines(self):
+        tr = Tracer()
+        tr.enable_all()
+        buf = io.StringIO()
+        tr.to_file(buf)
+        tr.emit(ev())
+        tr.emit(ev(etype=TraceEventType.LOCK, info="lock=L"))
+        lines = buf.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert TraceEvent.parse(lines[1]).etype is TraceEventType.LOCK
+
+    def test_screen_sink(self):
+        tr = Tracer()
+        tr.enable_all()
+        seen = []
+        tr.to_screen(seen.append)
+        tr.emit(ev())
+        assert len(seen) == 1 and seen[0].startswith("TRACE")
+
+    def test_queries(self):
+        tr = Tracer()
+        tr.enable_all()
+        tr.emit(ev())
+        tr.emit(ev(etype=TraceEventType.LOCK, task=T2, info="lock=L"))
+        assert len(tr.of_type(TraceEventType.LOCK)) == 1
+        assert len(tr.for_task(T2)) == 1
+
+    def test_keep_in_memory_off(self):
+        tr = Tracer()
+        tr.enable_all()
+        tr.keep_in_memory = False
+        tr.emit(ev())
+        assert tr.events == []

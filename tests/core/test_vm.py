@@ -1,0 +1,162 @@
+"""Behavioral tests: VM boot, storage accounting, run mechanics."""
+
+import pytest
+
+from repro.config.configuration import ClusterSpec, Configuration
+from repro.core.sizes import (
+    PISCES_SYSTEM_CODE_BYTES,
+    PISCES_SYSTEM_DATA_BYTES,
+    slot_table_bytes,
+)
+from repro.core.vm import N_CONTROLLER_SLOTS, PiscesVM
+from repro.errors import OutOfMemory, TimeLimitExceeded
+from repro.flex.presets import small_flex
+
+
+class TestBoot:
+    def test_boot_loads_every_used_pe(self, make_vm, registry):
+        cfg = Configuration(clusters=(
+            ClusterSpec(1, 3, 2, secondary_pes=(5, 6)),
+            ClusterSpec(2, 4, 2)))
+        vm = make_vm(config=cfg, registry=registry)
+        for pe in (3, 4, 5, 6):
+            assert vm.machine.pe(pe).booted
+            assert vm.machine.pe(pe).local.resident_bytes() > 0
+        assert not vm.machine.pe(7).booted
+
+    def test_boot_is_idempotent(self, make_vm, registry):
+        vm = make_vm(registry=registry)
+        tables = vm.machine.shared.live_bytes_by_tag()["system_table"]
+        vm.boot()
+        assert vm.machine.shared.live_bytes_by_tag()["system_table"] == tables
+
+    def test_system_tables_sized_per_cluster(self, make_vm, registry):
+        cfg = Configuration(clusters=(ClusterSpec(1, 3, 4),
+                                      ClusterSpec(2, 4, 2)))
+        vm = make_vm(config=cfg, registry=registry)
+        expected = (slot_table_bytes(4, N_CONTROLLER_SLOTS)
+                    + slot_table_bytes(2, N_CONTROLLER_SLOTS))
+        assert vm.machine.shared.live_bytes_by_tag()["system_table"] == expected
+
+    def test_loadfile_records_user_code(self, make_vm, registry):
+        @registry.tasktype("T")
+        def t(ctx):
+            pass
+
+        vm = make_vm(registry=registry)
+        from repro.mmos.loader import CAT_USER_CODE
+        assert vm.loadfile.sections[CAT_USER_CODE] > 0
+
+    def test_config_validated_against_machine(self, registry):
+        cfg = Configuration(clusters=(ClusterSpec(1, 19, 2),))
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            PiscesVM(cfg, registry=registry, machine=small_flex(6))
+
+
+class TestStorageReport:
+    def test_local_fraction_counts_only_pisces_system(self, make_vm,
+                                                      registry):
+        vm = make_vm(registry=registry)
+        rep = vm.storage_report()
+        expected = ((PISCES_SYSTEM_CODE_BYTES + PISCES_SYSTEM_DATA_BYTES)
+                    / vm.machine.spec.local_memory_bytes)
+        for frac in rep["local_system_fraction"].values():
+            assert frac == pytest.approx(expected)
+
+    def test_message_bytes_live_reflects_queues(self, make_vm, registry):
+        from repro.core.taskid import SELF
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.send(SELF, "KEPT", 1.0, 2.0)
+            return ctx.vm.storage_report()["message_bytes_live"]
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value > 0
+        # after termination the queue was freed
+        assert vm.storage_report()["message_bytes_live"] == 0
+
+
+class TestRun:
+    def test_run_returns_value_elapsed_console(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.compute(123)
+            ctx.print("hi")
+            return "val"
+
+        vm = make_vm(registry=registry)
+        r = vm.run("MAIN")
+        assert r.value == "val"
+        assert r.elapsed >= 123
+        assert "hi" in r.console
+        assert r.task.cluster == 1
+
+    def test_run_with_args(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx, a, b):
+            return a + b
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN", 2, 3).value == 5
+
+    def test_user_task_exception_propagates(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            raise RuntimeError("user bug")
+
+        vm = make_vm(registry=registry)
+        with pytest.raises(RuntimeError, match="user bug"):
+            vm.run("MAIN")
+
+    def test_time_limit_from_configuration(self, make_vm, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            while True:
+                ctx.compute(1000)
+
+        cfg = Configuration(clusters=(ClusterSpec(1, 3, 2),),
+                            time_limit=5000)
+        vm = make_vm(config=cfg, registry=registry)
+        with pytest.raises(TimeLimitExceeded):
+            vm.run("MAIN")
+
+    def test_trace_events_enabled_from_configuration(self, make_vm,
+                                                     registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            pass
+
+        cfg = Configuration(clusters=(ClusterSpec(1, 3, 2),),
+                            trace_events=("TASK_INIT", "TASK_TERM"))
+        vm = make_vm(config=cfg, registry=registry)
+        vm.run("MAIN")
+        assert len(vm.tracer.events) == 2
+
+    def test_context_manager_shuts_down(self, registry):
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            return 1
+
+        cfg = Configuration(clusters=(ClusterSpec(1, 3, 2),))
+        with PiscesVM(cfg, registry=registry,
+                      machine=small_flex(6)) as vm:
+            pass
+        # all controller threads were reaped
+        assert all(not p.live for p in vm.engine.processes())
+
+    def test_shared_memory_exhaustion_surfaces(self, make_vm, registry):
+        from repro.core.taskid import SELF
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            import numpy as np
+            for i in range(10_000):
+                ctx.send(SELF, "BIG", np.zeros(1024))   # never accepted
+
+        cfg = Configuration(clusters=(ClusterSpec(1, 3, 2),))
+        vm = make_vm(config=cfg, registry=registry,
+                     machine=small_flex(6, shared_kb=64))
+        with pytest.raises(OutOfMemory):
+            vm.run("MAIN")

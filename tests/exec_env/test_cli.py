@@ -1,0 +1,93 @@
+"""Behavioral tests: the scriptable execution-environment CLI."""
+
+import pytest
+
+from repro.exec_env.cli import ExecutionCLI
+
+
+@pytest.fixture
+def cli_vm(make_vm, registry):
+    @registry.tasktype("SLEEPER")
+    def sleeper(ctx):
+        ctx.accept("STOP", delay=500_000, timeout_ok=True)
+        return "stopped"
+
+    return make_vm(registry=registry)
+
+
+def run_session(vm, lines):
+    out = []
+    cli = ExecutionCLI(vm, inputs=iter(lines), output=out.append)
+    cli.run()
+    return "\n".join(out), cli
+
+
+class TestSessions:
+    def test_menu_shown_first(self, cli_vm):
+        text, _ = run_session(cli_vm, ["0"])
+        assert "INITIATE A TASK" in text
+        assert "run terminated" in text
+
+    def test_initiate_display_kill(self, cli_vm):
+        text, cli = run_session(cli_vm, [
+            "1 SLEEPER",
+            "5",
+            "2 1.1.1",
+            "5",
+            "0",
+        ])
+        assert "initiated SLEEPER: 1.1.1" in text
+        assert "SLEEPER" in text
+        assert "killed" in text
+        assert "no user tasks running" in text
+
+    def test_send_and_queue_inspection(self, cli_vm):
+        text, cli = run_session(cli_vm, [
+            "1 SLEEPER",
+            "3 1.1.1 JUNK 42",       # queued, not accepted by SLEEPER
+            "6 1.1.1",
+            "4 1.1.1 JUNK",
+            "6 1.1.1",
+            "0",
+        ])
+        assert "JUNK" in text
+        assert "deleted 1 JUNK messages" in text
+
+    def test_stop_message_completes_task(self, cli_vm):
+        text, cli = run_session(cli_vm, [
+            "1 SLEEPER",
+            "3 1.1.1 STOP",
+            "p",
+            "0",
+        ])
+        tid = list(cli.monitor.vm.tasks)[0]
+        assert cli.monitor.vm.tasks[tid].result == "stopped"
+
+    def test_trace_options_and_dump(self, cli_vm):
+        text, _ = run_session(cli_vm, [
+            "9 +MSG_SEND +TASK_INIT -MSG_SEND",
+            "7",
+            "8",
+            "0",
+        ])
+        assert "TASK_INIT" in text
+        assert "SYSTEM STATE DUMP" in text
+        assert "PE LOADING" in text
+
+    def test_errors_are_reported_not_fatal(self, cli_vm):
+        text, _ = run_session(cli_vm, [
+            "1 NOSUCHTYPE",
+            "6 9.9.9",
+            "zz",
+            "0",
+        ])
+        assert "error:" in text
+        assert "no such option" in text
+
+    def test_comments_and_blanks_ignored(self, cli_vm):
+        text, _ = run_session(cli_vm, [
+            "# a comment",
+            "",
+            "0",
+        ])
+        assert "run terminated" in text

@@ -1,0 +1,46 @@
+"""Unit tests: display renderers, including the Figure 1 regeneration."""
+
+import pytest
+
+from repro.config.configuration import ClusterSpec, Configuration
+from repro.exec_env.display import render_vm_figure
+from repro.exec_env.monitor import Monitor
+
+
+class TestFigure1:
+    def test_figure_shows_clusters_slots_and_network(self, make_vm,
+                                                     registry):
+        cfg = Configuration(clusters=(ClusterSpec(1, 3, 3),
+                                      ClusterSpec(2, 4, 2),
+                                      ClusterSpec(3, 5, 2)),
+                            name="fig1")
+        vm = make_vm(config=cfg, registry=registry)
+        fig = render_vm_figure(vm)
+        assert "PISCES 2 VIRTUAL MACHINE ORGANIZATION" in fig
+        for c in (1, 2, 3):
+            assert f"CLUSTER {c}" in fig
+        assert fig.count("Task controller") == 3
+        assert fig.count("User controller") == 1     # terminal cluster only
+        assert fig.count("File controller") == 1
+        assert fig.count("<not in use>") == 3 + 2 + 2
+        assert "Message-passing network" in fig
+        assert "Intra-" in fig          # intra-cluster network label
+
+    def test_figure_shows_running_tasks_in_slots(self, make_vm, registry):
+        @registry.tasktype("WORKER")
+        def worker(ctx):
+            ctx.accept("STOP", delay=100_000, timeout_ok=True)
+
+        vm = make_vm(registry=registry)
+        m = Monitor(vm)
+        m.initiate_task("WORKER")
+        m.pump()
+        fig = render_vm_figure(vm)
+        assert "User task WORKER" in fig
+        m.terminate_run()
+
+    def test_figure_mentions_force_pes(self, make_vm, registry):
+        cfg = Configuration(clusters=(
+            ClusterSpec(1, 3, 2, secondary_pes=(7, 8)),))
+        vm = make_vm(config=cfg, registry=registry)
+        assert "force PEs 7,8" in render_vm_figure(vm)

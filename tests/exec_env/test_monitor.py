@@ -1,0 +1,130 @@
+"""Behavioral tests: the 10-option execution-environment monitor."""
+
+import pytest
+
+from repro.core.taskid import PARENT, TaskId
+from repro.exec_env.monitor import MENU, Monitor
+
+
+@pytest.fixture
+def vm_with_sleeper(make_vm, registry):
+    """A VM with a SLEEPER tasktype that waits for a STOP message."""
+
+    @registry.tasktype("SLEEPER")
+    def sleeper(ctx, tag=0):
+        res = ctx.accept("STOP", delay=500_000, timeout_ok=True)
+        return tag
+
+    @registry.tasktype("ECHO")
+    def echo(ctx):
+        res = ctx.accept("PING")
+        ctx.send(ctx.sender, "PONG", *res.args)
+
+    return make_vm(registry=registry)
+
+
+class TestMenu:
+    def test_menu_lists_the_papers_ten_options(self):
+        labels = [label for _, label in MENU]
+        assert labels == [
+            "TERMINATE THE RUN", "INITIATE A TASK", "KILL A TASK",
+            "SEND A MESSAGE", "DELETE MESSAGES", "DISPLAY RUNNING TASKS",
+            "DISPLAY MESSAGE QUEUE", "DUMP SYSTEM STATE",
+            "DISPLAY PE LOADING", "CHANGE TRACE OPTIONS"]
+
+
+class TestOperations:
+    def test_initiate_and_display_running(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        req = m.initiate_task("SLEEPER", 1)
+        m.pump()
+        tid = vm_with_sleeper.initiations[req]
+        shown = m.display_running_tasks()
+        assert str(tid) in shown and "SLEEPER" in shown
+
+    def test_kill_task(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        req = m.initiate_task("SLEEPER")
+        m.pump()
+        tid = vm_with_sleeper.initiations[req]
+        out = m.kill_task(str(tid))
+        assert "killed" in out
+        m.pump()
+        assert not vm_with_sleeper.tasks[tid].alive
+        assert "no user tasks running" in m.display_running_tasks()
+
+    def test_kill_unknown_task(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        assert "not running" in m.kill_task("1.1.77")
+
+    def test_send_message_from_user(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        req = m.initiate_task("SLEEPER", 7)
+        m.pump()
+        tid = vm_with_sleeper.initiations[req]
+        out = m.send_message(tid, "STOP")
+        assert "sent STOP" in out
+        m.pump()
+        assert vm_with_sleeper.tasks[tid].result == 7
+
+    def test_display_and_delete_message_queue(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        req = m.initiate_task("SLEEPER")
+        m.pump()
+        tid = vm_with_sleeper.initiations[req]
+        m.send_message(tid, "JUNK", 1)
+        m.send_message(tid, "JUNK", 2)
+        m.send_message(tid, "OTHER")
+        shown = m.display_message_queue(tid)
+        assert "JUNK" in shown and "3 messages" in shown
+        out = m.delete_messages(tid, "JUNK")
+        assert "deleted 2" in out
+        assert "1 messages" in m.display_message_queue(tid)
+        m.kill_task(tid)
+        m.pump()
+
+    def test_dump_system_state(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        m.initiate_task("SLEEPER")
+        m.pump()
+        dump = m.dump_system_state()
+        assert "SYSTEM STATE DUMP" in dump
+        assert "cluster 1" in dump
+        assert "shared:" in dump
+
+    def test_display_pe_loading(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        m.initiate_task("SLEEPER")
+        m.pump()
+        out = m.display_pe_loading()
+        assert "PE LOADING" in out and "primary c1" in out
+
+    def test_change_trace_options(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        out = m.change_trace_options(enable=("MSG_SEND", "TASK_INIT"))
+        assert "MSG_SEND" in out
+        m.change_trace_options(disable=("MSG_SEND",))
+        from repro.core.tracing import TraceEventType
+        assert (TraceEventType.MSG_SEND
+                not in vm_with_sleeper.tracer.enabled_types)
+
+    def test_terminate_run(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        m.initiate_task("SLEEPER")
+        m.pump()
+        out = m.terminate_run()
+        assert "terminated" in out and m.terminated
+        assert all(not p.live for p in vm_with_sleeper.engine.processes())
+
+    def test_full_interactive_session(self, vm_with_sleeper):
+        """A whole session: initiate, message, inspect, kill, terminate."""
+        m = Monitor(vm_with_sleeper)
+        r1 = m.initiate_task("ECHO")
+        m.pump()
+        tid = vm_with_sleeper.initiations[r1]
+        m.send_message(tid, "PING", "payload")
+        m.pump()
+        # the PONG went back to USER (the terminal initiated ECHO)
+        assert any(mt == "PONG" and args == ("payload",)
+                   for mt, args, _, _ in vm_with_sleeper.user_messages)
+        m.terminate_run()

@@ -1,0 +1,63 @@
+"""Unit tests: PE clocks and the clock bank."""
+
+import pytest
+
+from repro.flex.clock import ClockBank, PEClock
+
+
+class TestPEClock:
+    def test_run_advances_and_counts_busy(self):
+        c = PEClock(3)
+        end = c.run(0, 100)
+        assert end == 100
+        assert c.ticks == 100
+        assert c.busy_ticks == 100
+
+    def test_run_with_idle_gap(self):
+        c = PEClock(3)
+        c.run(0, 50)
+        c.run(120, 30)      # idle 50..120
+        assert c.ticks == 150
+        assert c.busy_ticks == 80
+
+    def test_advance_to_never_goes_backwards(self):
+        c = PEClock(3)
+        c.run(0, 100)
+        c.advance_to(40)
+        assert c.ticks == 100
+
+    def test_negative_cost_rejected(self):
+        c = PEClock(3)
+        with pytest.raises(ValueError):
+            c.run(0, -1)
+
+    def test_utilization(self):
+        c = PEClock(3)
+        c.run(0, 25)
+        assert c.utilization(100) == pytest.approx(0.25)
+        assert c.utilization(0) == 0.0
+
+
+class TestClockBank:
+    def test_elapsed_is_max_over_pes(self):
+        bank = ClockBank([1, 2, 3])
+        bank[1].run(0, 10)
+        bank[3].run(0, 99)
+        assert bank.elapsed() == 99
+
+    def test_empty_bank_elapsed_zero(self):
+        assert ClockBank([]).elapsed() == 0
+
+    def test_utilizations_use_common_horizon(self):
+        bank = ClockBank([1, 2])
+        bank[1].run(0, 100)
+        bank[2].run(0, 50)
+        u = bank.utilizations()
+        assert u[1] == pytest.approx(1.0)
+        assert u[2] == pytest.approx(0.5)
+
+    def test_snapshot_and_contains(self):
+        bank = ClockBank([4, 5])
+        bank[4].run(0, 7)
+        assert bank.snapshot() == {4: 7, 5: 0}
+        assert 4 in bank and 9 not in bank

@@ -1,0 +1,73 @@
+"""Unit tests: the FLEX/32 machine model and presets."""
+
+import pytest
+
+from repro.errors import BadPE
+from repro.flex.machine import FlexMachine, MachineSpec, MBYTE
+from repro.flex.presets import nasa_langley_flex32, small_flex
+
+
+class TestMachineSpec:
+    def test_nasa_inventory_matches_section_11(self):
+        m = nasa_langley_flex32()
+        assert m.spec.n_pes == 20
+        assert m.spec.local_memory_bytes == MBYTE
+        assert m.spec.shared_memory_bytes == int(2.25 * MBYTE)
+        assert m.spec.unix_pes == (1, 2)
+        assert m.spec.disk_pes == (1, 2)
+
+    def test_mmos_pes_are_3_through_20(self):
+        m = nasa_langley_flex32()
+        assert m.mmos_pes() == list(range(3, 21))
+
+    def test_pe_numbering_validated(self):
+        m = small_flex(6)
+        with pytest.raises(BadPE):
+            m.pe(0)
+        with pytest.raises(BadPE):
+            m.pe(7)
+
+    def test_unix_pes_rejected_for_user_tasks(self):
+        m = small_flex(6)
+        with pytest.raises(BadPE):
+            m.validate_user_pe(1)
+        assert m.validate_user_pe(3) == 3
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(n_pes=0)
+        with pytest.raises(ValueError):
+            MachineSpec(n_pes=4, unix_pes=(9,))
+
+    def test_small_flex_requires_three_pes(self):
+        with pytest.raises(ValueError):
+            small_flex(2)
+
+
+class TestProcessingElement:
+    def test_boot_and_reboot_clear_local_memory(self):
+        m = small_flex(6)
+        pe = m.pe(3)
+        pe.local.load("code", 1000)
+        pe.boot()
+        assert pe.booted
+        pe.reboot()
+        assert not pe.booted
+        assert pe.local.resident_bytes() == 0
+
+    def test_disk_flags(self):
+        m = nasa_langley_flex32()
+        assert m.pe(1).has_disk and m.pe(2).has_disk
+        assert not m.pe(3).has_disk
+
+
+class TestMemoryReport:
+    def test_report_mentions_shared_and_loaded_pes(self):
+        m = small_flex(6)
+        m.shared.alloc(100, tag="message")
+        m.pe(3).local.load("code", 10)
+        m.pe(3).boot()
+        rep = m.memory_report()
+        assert "shared:" in rep
+        assert "[message] 100 bytes" in rep
+        assert "PE  3 local: 10 bytes" in rep

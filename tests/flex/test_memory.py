@@ -1,0 +1,178 @@
+"""Unit tests: the shared-memory heap allocator and local memories."""
+
+import pytest
+
+from repro.errors import BadFree, OutOfMemory
+from repro.flex.memory import (
+    Allocation,
+    BLOCK_HEADER_BYTES,
+    HeapAllocator,
+    LocalMemory,
+)
+
+
+class TestHeapAllocator:
+    def test_alloc_returns_payload_address_past_header(self):
+        h = HeapAllocator(1024)
+        a = h.alloc(100)
+        assert a.addr == BLOCK_HEADER_BYTES
+        assert a.size == 100
+
+    def test_alloc_accounts_payload_and_overhead(self):
+        h = HeapAllocator(1024)
+        h.alloc(100)
+        assert h.stats.live_bytes == 100
+        assert h.stats.live_overhead == BLOCK_HEADER_BYTES
+        assert h.stats.live_total == 100 + BLOCK_HEADER_BYTES
+
+    def test_free_returns_all_bytes(self):
+        h = HeapAllocator(1024)
+        a = h.alloc(100)
+        h.free(a)
+        assert h.stats.live_total == 0
+        assert h.free_regions() == [(0, 1024)]
+
+    def test_sequential_allocs_are_adjacent(self):
+        h = HeapAllocator(1024)
+        a = h.alloc(16)
+        b = h.alloc(16)
+        assert b.addr == a.addr + 16 + BLOCK_HEADER_BYTES
+
+    def test_free_coalesces_with_both_neighbours(self):
+        h = HeapAllocator(1024)
+        a, b, c = h.alloc(32), h.alloc(32), h.alloc(32)
+        h.free(a)
+        h.free(c)                            # c merges with the tail
+        assert len(h.free_regions()) == 2    # left hole + merged tail
+        h.free(b)                            # joins everything
+        assert h.free_regions() == [(0, 1024)]
+        h.check_invariants()
+
+    def test_first_fit_reuses_freed_hole(self):
+        h = HeapAllocator(1024)
+        a = h.alloc(64)
+        h.alloc(64)
+        h.free(a)
+        c = h.alloc(32)
+        assert c.addr == a.addr   # the hole at the front is reused
+
+    def test_out_of_memory_raises_and_counts(self):
+        h = HeapAllocator(128)
+        with pytest.raises(OutOfMemory) as ei:
+            h.alloc(1024)
+        assert ei.value.requested == 1024
+        assert h.stats.failed_allocs == 1
+
+    def test_oom_reports_largest_satisfiable(self):
+        h = HeapAllocator(128)
+        with pytest.raises(OutOfMemory) as ei:
+            h.alloc(1000)
+        assert ei.value.available == 128 - BLOCK_HEADER_BYTES
+
+    def test_exhaustion_then_recovery(self):
+        h = HeapAllocator(10 * (50 + BLOCK_HEADER_BYTES))
+        allocs = [h.alloc(50) for _ in range(10)]
+        with pytest.raises(OutOfMemory):
+            h.alloc(50)
+        for a in allocs:
+            h.free(a)
+        assert h.alloc(50).size == 50
+
+    def test_double_free_raises(self):
+        h = HeapAllocator(1024)
+        a = h.alloc(10)
+        h.free(a)
+        with pytest.raises(BadFree):
+            h.free(a)
+
+    def test_free_of_unknown_address_raises(self):
+        h = HeapAllocator(1024)
+        with pytest.raises(BadFree):
+            h.free(12345)
+
+    def test_high_water_tracks_peak_not_current(self):
+        h = HeapAllocator(1024)
+        a = h.alloc(200)
+        peak = h.stats.live_total
+        h.free(a)
+        h.alloc(10)
+        assert h.stats.high_water == peak
+
+    def test_tags_breakdown(self):
+        h = HeapAllocator(4096)
+        h.alloc(100, tag="message")
+        h.alloc(50, tag="message")
+        h.alloc(30, tag="system_table")
+        by = h.live_bytes_by_tag()
+        assert by == {"message": 150, "system_table": 30}
+
+    def test_zero_size_alloc_is_legal(self):
+        h = HeapAllocator(1024)
+        a = h.alloc(0)
+        assert a.size == 0
+        h.free(a)
+        assert h.free_regions() == [(0, 1024)]
+
+    def test_negative_alloc_rejected(self):
+        h = HeapAllocator(1024)
+        with pytest.raises(ValueError):
+            h.alloc(-1)
+
+    def test_fragmentation_zero_when_one_region(self):
+        h = HeapAllocator(1024)
+        assert h.fragmentation() == 0.0
+
+    def test_fragmentation_positive_when_holey(self):
+        h = HeapAllocator(1024)
+        a = h.alloc(64)
+        h.alloc(64)
+        h.free(a)
+        assert h.fragmentation() > 0.0
+
+    def test_live_allocations_sorted_by_address(self):
+        h = HeapAllocator(1024)
+        allocs = [h.alloc(8) for _ in range(5)]
+        live = list(h.live_allocations())
+        assert [a.addr for a in live] == sorted(a.addr for a in allocs)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HeapAllocator(0)
+
+    def test_utilization_fraction(self):
+        h = HeapAllocator(1000)
+        h.alloc(492)  # + 8 header = 500
+        assert h.stats.utilization == pytest.approx(0.5)
+
+
+class TestLocalMemory:
+    def test_load_and_fraction(self):
+        lm = LocalMemory(1000, pe=3)
+        lm.load("kernel", 250)
+        lm.load("user", 250)
+        assert lm.resident_bytes() == 500
+        assert lm.fraction_used() == pytest.approx(0.5)
+        assert lm.fraction_used(["kernel"]) == pytest.approx(0.25)
+
+    def test_load_accumulates_per_category(self):
+        lm = LocalMemory(1000, pe=3)
+        lm.load("code", 100)
+        lm.load("code", 50)
+        assert lm.resident_bytes("code") == 150
+
+    def test_overflow_raises(self):
+        lm = LocalMemory(100, pe=3)
+        with pytest.raises(OutOfMemory):
+            lm.load("big", 101)
+
+    def test_unload_releases(self):
+        lm = LocalMemory(100, pe=3)
+        lm.load("x", 60)
+        assert lm.unload("x") == 60
+        assert lm.resident_bytes() == 0
+        assert lm.unload("x") == 0
+
+    def test_negative_load_rejected(self):
+        lm = LocalMemory(100, pe=3)
+        with pytest.raises(ValueError):
+            lm.load("x", -5)

@@ -1,0 +1,87 @@
+"""Unit tests: the Pisces Fortran tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.fortran.lexer import (
+    LogicalLine,
+    TokKind,
+    logical_lines,
+    strip_comment,
+    tokenize_line,
+)
+
+
+def toks(text):
+    return [(t.kind, t.text) for t in tokenize_line(text, 1)]
+
+
+class TestTokens:
+    def test_names_uppercased(self):
+        assert toks("foo Bar") == [(TokKind.NAME, "FOO"),
+                                   (TokKind.NAME, "BAR")]
+
+    def test_integers_and_reals(self):
+        assert toks("42") == [(TokKind.INT, "42")]
+        assert toks("3.14") == [(TokKind.REAL, "3.14")]
+        assert toks("1E3") == [(TokKind.REAL, "1E3")]
+        assert toks("2.5D-2") == [(TokKind.REAL, "2.5E-2")]
+        assert toks(".5") == [(TokKind.REAL, ".5")]
+
+    def test_strings_with_escape(self):
+        assert toks("'it''s'") == [(TokKind.STRING, "it's")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize_line("'oops", 1)
+
+    def test_dotted_operators(self):
+        got = toks("A .EQ. B .AND. .NOT. C")
+        ops = [t for k, t in got if k is TokKind.OP]
+        assert ops == [".EQ.", ".AND.", ".NOT."]
+
+    def test_logical_constants(self):
+        assert toks(".TRUE.")[0] == (TokKind.OP, ".TRUE.")
+
+    def test_power_and_concat(self):
+        assert (TokKind.OP, "**") in toks("A ** 2")
+        assert (TokKind.OP, "//") in toks("A // B")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize_line("a @ b", 1)
+
+
+class TestComments:
+    def test_column_one_c_comment(self):
+        assert strip_comment("C this is a comment") == ""
+        assert strip_comment("c lower too") == ""
+        assert strip_comment("C") == ""
+
+    def test_star_comment(self):
+        assert strip_comment("* anything") == ""
+
+    def test_call_not_a_comment(self):
+        assert strip_comment("CALL SUB(X)") == "CALL SUB(X)"
+        assert strip_comment("CONTINUE") == "CONTINUE"
+
+    def test_bang_comment_respects_strings(self):
+        assert strip_comment("X = 'a!b' ! trailing") == "X = 'a!b' "
+
+
+class TestLogicalLines:
+    def test_labels_extracted(self):
+        lines = list(logical_lines("10 CONTINUE"))
+        assert lines[0].label == 10
+        assert lines[0].tokens[0].text == "CONTINUE"
+
+    def test_continuation_joining(self):
+        lines = list(logical_lines("X = 1 + &\n    2 + &\n    3"))
+        assert len(lines) == 1
+        assert lines[0].text.count("+") == 2
+
+    def test_blank_and_comment_lines_skipped(self):
+        src = "\nC comment\n\nX = 1\n"
+        lines = list(logical_lines(src))
+        assert len(lines) == 1
+        assert lines[0].line == 4    # original line number preserved

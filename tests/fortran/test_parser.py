@@ -1,0 +1,190 @@
+"""Unit tests: the Pisces Fortran parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.fortran.ast_nodes import (
+    AcceptStmt, Assign, BarrierStmt, BinOp, CriticalStmt, DoLoop,
+    ForceSplitStmt, IfBlock, InitiateStmt, LogicalIf, Num, ParsegStmt,
+    PrintStmt, SendStmt, Var, WhileLoop,
+)
+from repro.fortran.parser import parse_source
+
+
+def body_of(src, name="T"):
+    prog = parse_source(src)
+    return prog.unit(name).body
+
+
+def wrap(stmts):
+    return f"TASK T\n{stmts}\nEND TASK"
+
+
+class TestUnits:
+    def test_task_with_params(self):
+        prog = parse_source("TASK W(A, B)\nEND TASK")
+        u = prog.unit("W")
+        assert u.kind == "TASK" and u.params == ["A", "B"]
+
+    def test_multiple_units(self):
+        prog = parse_source(
+            "TASK A\nEND TASK\nSUBROUTINE S(X)\nEND\n"
+            "HANDLER H(V)\nEND HANDLER")
+        assert [u.kind for u in prog.units] == ["TASK", "SUBROUTINE",
+                                                "HANDLER"]
+
+    def test_garbage_at_top_level_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("X = 1")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("C only a comment\n")
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source("TASK T\nX = 1")
+
+
+class TestDeclarations:
+    def test_types_collected(self):
+        prog = parse_source(wrap(
+            "INTEGER I, A(10)\nREAL X\nDOUBLE PRECISION D\n"
+            "LOGICAL F\nTASKID TID\nWINDOW W"))
+        u = prog.unit("T")
+        types = {e.name: d.ftype for d in u.decls for e in d.entities}
+        assert types == {"I": "INTEGER", "A": "INTEGER", "X": "REAL",
+                         "D": "DOUBLEPRECISION", "F": "LOGICAL",
+                         "TID": "TASKID", "W": "WINDOW"}
+
+    def test_shared_common_and_locks_and_msg_decls(self):
+        prog = parse_source(wrap(
+            "SHARED COMMON /G/ U(4,4), N\nLOCK L1, L2\n"
+            "SIGNAL GO\nHANDLER RES"))
+        u = prog.unit("T")
+        assert u.shared[0].block == "G"
+        assert [e.name for e in u.shared[0].entities] == ["U", "N"]
+        assert u.locks == ["L1", "L2"]
+        assert u.signal_types == ["GO"]
+        assert u.handler_types == ["RES"]
+
+    def test_malformed_shared_common_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source(wrap("SHARED COMMON G X"))
+
+
+class TestPiscesStatements:
+    def test_initiate_forms(self):
+        body = body_of(wrap(
+            "ON ANY INITIATE W(1)\nON CLUSTER 3 INITIATE W\n"
+            "ON SAME INITIATE W\nON OTHER INITIATE W"))
+        kinds = [s.placement for s in body]
+        assert kinds[0] == "ANY"
+        assert isinstance(kinds[1], Num)
+        assert kinds[2:] == ["SAME", "OTHER"]
+
+    def test_send_forms(self):
+        body = body_of(wrap(
+            "TO PARENT SEND A(1)\nTO SENDER SEND B\nTO USER SEND C\n"
+            "TO TCONTR 2 SEND D\nTO ALL SEND E\nTO ALL CLUSTER 1 SEND F\n"
+            "TO TID SEND G\nTO KIDS(I) SEND H"))
+        kinds = [s.dest_kind for s in body]
+        assert kinds == ["PARENT", "SENDER", "USER", "TCONTR", "ALL",
+                         "ALL", "VAR", "VAR"]
+        assert body[5].dest_expr is not None    # ALL CLUSTER 1
+
+    def test_accept_single_line_total(self):
+        (s,) = body_of(wrap("ACCEPT N OF A, B"))
+        assert isinstance(s, AcceptStmt)
+        assert isinstance(s.total, Var)
+        assert [i.mtype for i in s.items] == ["A", "B"]
+
+    def test_accept_plain_types(self):
+        (s,) = body_of(wrap("ACCEPT A"))
+        assert s.total is None and s.items[0].mtype == "A"
+
+    def test_accept_block_with_delay(self):
+        (s,) = body_of(wrap(
+            "ACCEPT OF\n2 OF A\nALL OF B\nDELAY 500 THEN\nPRINT *, 'T'\n"
+            "END ACCEPT"))
+        assert [(i.mtype, i.count if isinstance(i.count, str) else "N")
+                for i in s.items] == [("A", "N"), ("B", "ALL")]
+        assert s.delay is not None
+        assert len(s.delay_body) == 1
+
+    def test_accept_block_without_delay(self):
+        (s,) = body_of(wrap("ACCEPT OF\n1 OF A\nEND ACCEPT"))
+        assert s.delay is None
+
+    def test_forcesplit_captures_rest(self):
+        body = body_of(wrap("X = 1\nFORCESPLIT\nY = 2\nZ = 3"))
+        assert isinstance(body[1], ForceSplitStmt)
+        assert len(body) == 2             # rest folded into forcesplit
+        assert len(body[1].rest) == 2
+
+    def test_barrier_and_critical_blocks(self):
+        body = body_of(wrap(
+            "BARRIER\nX = 1\nEND BARRIER\nCRITICAL L\nY = 2\nEND CRITICAL"))
+        assert isinstance(body[0], BarrierStmt) and len(body[0].body) == 1
+        assert isinstance(body[1], CriticalStmt) and body[1].lock == "L"
+
+    def test_parseg(self):
+        (s,) = body_of(wrap("PARSEG\nX = 1\nNEXTSEG\nY = 2\nENDSEG"))
+        assert isinstance(s, ParsegStmt) and len(s.segments) == 2
+
+    def test_presched_selfsched(self):
+        body = body_of(wrap(
+            "PRESCHED DO 10 I = 1, N\n10 CONTINUE\n"
+            "SELFSCHED DO J = 1, 5\nEND DO"))
+        assert body[0].sched == "PRESCHED" and body[0].label == 10
+        assert body[1].sched == "SELFSCHED" and body[1].label is None
+
+    def test_presched_requires_do(self):
+        with pytest.raises(ParseError):
+            parse_source(wrap("PRESCHED I = 1, 5"))
+
+
+class TestFortranStatements:
+    def test_block_if_elseif_else(self):
+        (s,) = body_of(wrap(
+            "IF (A .GT. 1) THEN\nX = 1\nELSE IF (A .GT. 0) THEN\nX = 2\n"
+            "ELSE\nX = 3\nEND IF"))
+        assert isinstance(s, IfBlock)
+        assert len(s.conditions) == 2 and len(s.arms) == 2
+        assert len(s.else_arm) == 1
+
+    def test_logical_if(self):
+        (s,) = body_of(wrap("IF (A .EQ. 0) X = 5"))
+        assert isinstance(s, LogicalIf)
+        assert isinstance(s.stmt, Assign)
+
+    def test_do_with_label_and_step(self):
+        (s,) = body_of(wrap("DO 10 I = 1, 9, 2\nX = I\n10 CONTINUE"))
+        assert isinstance(s, DoLoop)
+        assert s.step is not None and len(s.body) == 2
+
+    def test_do_while(self):
+        (s,) = body_of(wrap("DO WHILE (X .LT. 4)\nX = X + 1\nEND DO"))
+        assert isinstance(s, WhileLoop)
+
+    def test_goto_rejected_with_hint(self):
+        with pytest.raises(ParseError, match="GOTO"):
+            parse_source(wrap("GOTO 10"))
+
+    def test_print_list(self):
+        (s,) = body_of(wrap("PRINT *, 'X IS', X"))
+        assert isinstance(s, PrintStmt) and len(s.items) == 2
+
+    def test_assignment_operator_precedence(self):
+        (s,) = body_of(wrap("X = 1 + 2 * 3 ** 2"))
+        assert isinstance(s.value, BinOp) and s.value.op == "+"
+        rhs = s.value.right
+        assert rhs.op == "*" and rhs.right.op == "**"
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_source(wrap("X = 1 2"))
+
+    def test_array_element_assignment(self):
+        (s,) = body_of(wrap("A(I, J+1) = 0"))
+        assert s.target.name == "A" and len(s.target.args) == 2

@@ -1,0 +1,80 @@
+"""Whole-VM determinism: identical programs produce identical runs.
+
+The engine's contract (and the foundation of this test-suite): same
+program + same configuration => the same dispatch schedule, message
+arrival order, timeouts and clock readings, bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.integrate import run_integrate
+from repro.apps.jacobi import run_jacobi_force
+from repro.config.configuration import ClusterSpec, Configuration
+from repro.core.taskid import ANY, PARENT
+from repro.core.vm import PiscesVM
+from repro.flex.presets import small_flex
+
+
+def build_registry():
+    from repro.core.task import TaskRegistry
+    reg = TaskRegistry()
+
+    @reg.tasktype("W")
+    def w(ctx, k):
+        ctx.compute(37 * (k + 1))
+        ctx.send(PARENT, "DONE", k, ctx.now())
+
+    @reg.tasktype("MAIN")
+    def main(ctx):
+        for k in range(6):
+            ctx.initiate("W", k, on=ANY)
+        res = ctx.accept(("DONE", 6))
+        return [(m.args[0], m.args[1], m.arrival_time)
+                for m in res.messages]
+
+    return reg
+
+
+def one_traced_run():
+    cfg = Configuration(clusters=(ClusterSpec(1, 3, 3),
+                                  ClusterSpec(2, 4, 3)), name="det")
+    vm = PiscesVM(cfg, registry=build_registry(),
+                  machine=small_flex(8))
+    vm.tracer.enable_all()
+    r = vm.run("MAIN")
+    trace = [e.line() for e in vm.tracer.events]
+    return r.value, r.elapsed, trace, vm.machine.clocks.snapshot()
+
+
+class TestDeterminism:
+    def test_identical_runs_bit_for_bit(self):
+        a = one_traced_run()
+        b = one_traced_run()
+        assert a[0] == b[0]          # results incl. message timestamps
+        assert a[1] == b[1]          # elapsed
+        assert a[2] == b[2]          # the full trace, line for line
+        assert a[3] == b[3]          # every PE clock
+
+    def test_jacobi_force_deterministic(self):
+        r1 = run_jacobi_force(n=12, sweeps=2, force_pes=3,
+                              machine=small_flex(10))
+        r1.vm.shutdown()
+        r2 = run_jacobi_force(n=12, sweeps=2, force_pes=3,
+                              machine=small_flex(10))
+        r2.vm.shutdown()
+        assert r1.elapsed == r2.elapsed
+        assert np.array_equal(r1.grid, r2.grid)
+
+    def test_dynamic_scheduling_still_deterministic(self):
+        """Even the 'dynamic' master/worker distribution replays
+        identically -- dynamism here means data-dependent, not random."""
+        r1 = run_integrate(pieces=12, points_per_piece=4, n_workers=3,
+                           machine=small_flex(10))
+        r1.vm.shutdown()
+        r2 = run_integrate(pieces=12, points_per_piece=4, n_workers=3,
+                           machine=small_flex(10))
+        r2.vm.shutdown()
+        assert r1.per_worker == r2.per_worker
+        assert r1.elapsed == r2.elapsed
+        assert r1.value == r2.value

@@ -1,0 +1,162 @@
+"""Failure-injection tests: kills mid-protocol, exhaustion, deadlock."""
+
+import numpy as np
+import pytest
+
+from repro.config.configuration import ClusterSpec, Configuration
+from repro.core.taskid import PARENT, SAME, SELF
+from repro.errors import AcceptTimeout, DeadlockError, OutOfMemory
+from repro.flex.presets import small_flex
+
+
+class TestKillMidProtocol:
+    def test_parent_times_out_when_child_killed(self, make_vm, registry):
+        @registry.tasktype("CHILD")
+        def child(ctx):
+            ctx.send(PARENT, "IAM", ctx.self_id)
+            ctx.accept("NEVER", delay=900_000, timeout_ok=True)
+            ctx.send(PARENT, "RESULT", 1)   # unreachable if killed
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("CHILD", on=SAME)
+            tid = ctx.accept("IAM").args[0]
+            ctx.vm.kill_task(tid)
+            res = ctx.accept("RESULT", delay=3000, timeout_ok=True)
+            return res.timed_out
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value is True
+
+    def test_replies_to_killed_task_are_dropped_not_fatal(self, make_vm,
+                                                          registry):
+        @registry.tasktype("CHILD")
+        def child(ctx):
+            ctx.send(PARENT, "IAM", ctx.self_id)
+            ctx.accept("NEVER", delay=900_000, timeout_ok=True)
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("CHILD", on=SAME)
+            tid = ctx.accept("IAM").args[0]
+            ctx.vm.kill_task(tid)
+            ctx.accept("X", delay=1000, timeout_ok=True)
+            ctx.send(tid, "LATE_REPLY")
+            return "ok"
+
+        vm = make_vm(registry=registry)
+        r = vm.run("MAIN")
+        assert r.value == "ok"
+        assert r.stats.messages_to_dead == 1
+
+    def test_killed_force_task_does_not_hang_the_run(self, make_vm,
+                                                     registry):
+        def region(m):
+            m.barrier()            # member 0 killed before arriving
+            return "unreached"
+
+        @registry.tasktype("VICTIM")
+        def victim(ctx):
+            ctx.send(PARENT, "IAM", ctx.self_id)
+            ctx.accept("GO")       # killed while waiting here
+            ctx.forcesplit(region)
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("VICTIM", on=SAME)
+            tid = ctx.accept("IAM").args[0]
+            ctx.vm.kill_task(tid)
+            ctx.accept("X", delay=1000, timeout_ok=True)
+            return "done"
+
+        cfg = Configuration(clusters=(
+            ClusterSpec(1, 3, 3, secondary_pes=(4, 5)),))
+        vm = make_vm(config=cfg, registry=registry)
+        assert vm.run("MAIN").value == "done"
+
+
+class TestResourceExhaustion:
+    def test_unaccepted_messages_exhaust_shared_memory(self, make_vm,
+                                                       registry):
+        """Section 13's warned failure mode, made concrete."""
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            while True:
+                ctx.send(SELF, "PILEUP", np.zeros(256))
+
+        cfg = Configuration(clusters=(ClusterSpec(1, 3, 2),))
+        vm = make_vm(config=cfg, registry=registry,
+                     machine=small_flex(6, shared_kb=48))
+        with pytest.raises(OutOfMemory):
+            vm.run("MAIN")
+
+    def test_draining_the_queue_recovers_the_storage(self, make_vm,
+                                                     registry):
+        from repro.core.accept import ALL_RECEIVED
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            heap = ctx.vm.machine.shared
+            for _ in range(20):
+                ctx.send(SELF, "BURST", np.zeros(64))
+            piled = heap.live_bytes_by_tag().get("message", 0)
+            ctx.accept(("BURST", ALL_RECEIVED))
+            ctx.accept(("BURST", 0))   # no-op, just a scheduling point
+            drained = heap.live_bytes_by_tag().get("message", 0)
+            return piled, drained
+
+        vm = make_vm(registry=registry)
+        piled, drained = vm.run("MAIN").value
+        assert piled > 10_000 and drained < piled / 10
+
+    def test_slot_starvation_is_a_detectable_deadlock(self, make_vm,
+                                                      registry):
+        """Tasks that never terminate while initiates are held: the
+        held task never runs, the parent waits forever -> deadlock
+        detection fires instead of hanging the suite."""
+
+        @registry.tasktype("FOREVER")
+        def forever(ctx):
+            ctx.vm.engine.block("forever")
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("FOREVER", on=SAME)   # takes the last slot
+            ctx.initiate("FOREVER", on=SAME)   # held forever
+            ctx.vm.engine.block("waiting-forever")
+
+        cfg = Configuration(clusters=(ClusterSpec(1, 3, 2),))
+        vm = make_vm(config=cfg, registry=registry)
+        with pytest.raises(DeadlockError) as ei:
+            vm.run("MAIN")
+        assert "forever" in str(ei.value)
+
+
+class TestTimeoutPaths:
+    def test_nested_timeout_recovery_protocol(self, make_vm, registry):
+        """A parent retries with a backup worker after a timeout."""
+
+        @registry.tasktype("SLOW")
+        def slow(ctx):
+            ctx.send(PARENT, "IAM", ctx.self_id)
+            ctx.accept("NEVER", delay=800_000, timeout_ok=True)
+
+        @registry.tasktype("FAST")
+        def fast(ctx):
+            ctx.send(PARENT, "IAM", ctx.self_id)
+            ctx.send(PARENT, "RESULT", "fast answer")
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("SLOW", on=SAME)
+            ctx.accept("IAM")
+            res = ctx.accept("RESULT", delay=2000, timeout_ok=True)
+            if res.timed_out:
+                ctx.initiate("FAST", on=SAME)
+                ctx.accept("IAM")
+                res = ctx.accept("RESULT", delay=50_000)
+            return res.args[0]
+
+        vm = make_vm(registry=registry)
+        assert vm.run("MAIN").value == "fast answer"

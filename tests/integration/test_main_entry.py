@@ -1,0 +1,67 @@
+"""Tests: the ``python -m repro`` interactive environment (section 11)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+HELLO_PF = """
+TASK HELLOW(K)
+INTEGER K
+PRINT *, 'HELLO FROM PISCES', K
+TO USER SEND GREETING(K)
+END TASK
+"""
+
+
+@pytest.fixture
+def hello_source(tmp_path):
+    p = tmp_path / "hello.pf"
+    p.write_text(HELLO_PF)
+    return str(p)
+
+
+def drive(monkeypatch, capsys, argv, stdin_lines):
+    import io
+    import sys
+    monkeypatch.setattr(sys, "stdin", io.StringIO("\n".join(stdin_lines)
+                                                  + "\n"))
+    rc = main(argv)
+    return rc, capsys.readouterr()
+
+
+class TestMainEntry:
+    def test_full_session(self, hello_source, monkeypatch, capsys):
+        rc, cap = drive(monkeypatch, capsys, [hello_source], [
+            "2", "1", "3", "4", "-",     # one cluster on PE 3
+            "0",                          # configuration done
+            "1 HELLOW 1 42",              # initiate the Fortran task
+            "5",                          # display running tasks
+            "0",                          # terminate the run
+        ])
+        assert rc == 0
+        assert "loaded" in cap.out and "HELLOW" in cap.out
+        assert "control transfers to the PISCES execution environment" \
+            in cap.out
+        assert "initiated HELLOW: 1.1.1" in cap.out
+        assert "run terminated" in cap.out
+
+    def test_bad_source_reports_error(self, tmp_path, monkeypatch, capsys):
+        bad = tmp_path / "bad.pf"
+        bad.write_text("GOTO 10\n")
+        rc, cap = drive(monkeypatch, capsys, [str(bad)], [])
+        assert rc == 1
+        assert "error preprocessing" in cap.err
+
+    def test_missing_file_reports_error(self, monkeypatch, capsys):
+        rc, cap = drive(monkeypatch, capsys, ["/nonexistent.pf"], [])
+        assert rc == 1
+
+    def test_no_sources_still_runs(self, monkeypatch, capsys):
+        rc, cap = drive(monkeypatch, capsys, [], [
+            "2", "1", "3", "2", "-",
+            "0",
+            "0",
+        ])
+        assert rc == 0
+        assert "no Pisces Fortran sources" in cap.out

@@ -1,0 +1,122 @@
+"""Unit tests: engine on_exit hooks, slice recording, step horizon."""
+
+import pytest
+
+from repro.flex.presets import small_flex
+from repro.mmos.process import ProcState
+from repro.mmos.scheduler import Engine
+
+
+def make_engine(**kw):
+    return Engine(small_flex(8), **kw)
+
+
+class TestOnExit:
+    def test_on_exit_runs_after_normal_return(self):
+        eng = make_engine()
+        log = []
+        p = eng.spawn("t", 3, lambda: 42)
+        p.on_exit = lambda proc: log.append(("exit", proc.result))
+        eng.run()
+        assert log == [("exit", 42)]
+
+    def test_on_exit_runs_when_killed_before_first_slice(self):
+        eng = make_engine()
+        log = []
+        p = eng.spawn("victim", 3, lambda: log.append("ran"))
+        p.on_exit = lambda proc: log.append("exited")
+        eng.kill(p)
+        eng.run()
+        assert log == ["exited"]       # target never ran, hook did
+
+    def test_on_exit_runs_on_exception(self):
+        eng = make_engine()
+        log = []
+
+        def bad():
+            raise ValueError("x")
+
+        p = eng.spawn("t", 3, bad)
+        p.on_exit = lambda proc: log.append("cleanup")
+        with pytest.raises(ValueError):
+            eng.run()
+        assert log == ["cleanup"]
+
+    def test_on_exit_exception_surfaces_if_no_prior_error(self):
+        eng = make_engine()
+        p = eng.spawn("t", 3, lambda: None)
+
+        def bad_hook(proc):
+            raise RuntimeError("hook boom")
+
+        p.on_exit = bad_hook
+        with pytest.raises(RuntimeError, match="hook boom"):
+            eng.run()
+
+
+class TestSliceRecording:
+    def test_slices_cover_charged_work_exactly(self):
+        eng = make_engine()
+        eng.record_slices = True
+
+        def body():
+            eng.charge(100)
+            eng.preempt(0)
+            eng.charge(50)
+
+        eng.spawn("t", 3, body)
+        eng.run()
+        total = sum(end - start for _, start, end, _ in eng.slices)
+        assert total == 150
+        assert total == eng.machine.clocks[3].busy_ticks
+
+    def test_slices_do_not_overlap_per_pe(self):
+        eng = make_engine()
+        eng.record_slices = True
+
+        def body():
+            for _ in range(5):
+                eng.charge(10)
+                eng.preempt(0)
+
+        eng.spawn("a", 3, body)
+        eng.spawn("b", 3, body)
+        eng.run()
+        pe3 = sorted((s, e) for pe, s, e, _ in eng.slices if pe == 3)
+        for (s1, e1), (s2, e2) in zip(pe3, pe3[1:]):
+            assert e1 <= s2
+
+    def test_no_ghost_slices_after_shutdown(self):
+        eng = make_engine()
+        eng.record_slices = True
+        eng.spawn("stuck", 3, lambda: eng.block("zzz"), daemon=True)
+        eng.spawn("t", 4, lambda: eng.charge(30))
+        eng.run()
+        eng.shutdown()
+        # the killed daemon contributed no bogus slice
+        assert all(name != "stuck" or end - start > 0
+                   for _, start, end, name in eng.slices)
+        total3 = sum(e - s for pe, s, e, _ in eng.slices if pe == 3)
+        assert total3 == eng.machine.clocks[3].busy_ticks
+
+    def test_recording_off_by_default(self):
+        eng = make_engine()
+        eng.spawn("t", 3, lambda: eng.charge(10))
+        eng.run()
+        assert eng.slices == []
+
+
+class TestStepHorizon:
+    def test_step_refuses_slices_beyond_horizon(self):
+        eng = make_engine()
+
+        def body():
+            eng.block("sleep", deadline=10_000)
+
+        eng.spawn("t", 3, body)
+        assert eng.step(horizon=100)            # initial dispatch at t=0
+        # now it is blocked until 10_000: refused within horizon
+        assert not eng.step(horizon=100)
+        # allowed when the horizon covers the deadline
+        assert eng.step(horizon=20_000)
+        eng.shutdown()

@@ -1,0 +1,83 @@
+"""Unit tests: the MMOS syscall facade."""
+
+import pytest
+
+from repro.flex.presets import small_flex
+from repro.mmos.kernel import COST_PROCESS_CREATE, COST_TERMINAL_IO, MMOSKernel
+
+
+def make_kernel():
+    return MMOSKernel(small_flex(8))
+
+
+class TestTerminalIO:
+    def test_console_records_time_pid_text(self):
+        k = make_kernel()
+
+        def body():
+            k.engine.charge(40)
+            k.write_terminal("hello")
+
+        p = k.engine.spawn("t", 3, body)
+        k.engine.run()
+        assert len(k.console) == 1
+        t, pid, text = k.console[0]
+        assert text == "hello"
+        assert pid == p.pid
+        assert t >= 40
+
+    def test_console_sink_called_live(self):
+        k = make_kernel()
+        seen = []
+        k.console_sink = lambda t, pid, text: seen.append(text)
+        k.engine.spawn("t", 3, lambda: k.write_terminal("x"))
+        k.engine.run()
+        assert seen == ["x"]
+
+    def test_write_from_outside_process_uses_pid_zero(self):
+        k = make_kernel()
+        k.write_terminal("external")
+        assert k.console[0][1] == 0
+
+    def test_console_text_joins_lines(self):
+        k = make_kernel()
+        k.write_terminal("a")
+        k.write_terminal("b")
+        assert k.console_text() == "a\nb"
+
+
+class TestCompute:
+    def test_compute_charges_and_preempts(self):
+        k = make_kernel()
+        order = []
+
+        def a():
+            k.compute(100)
+            order.append(("a", k.engine.now()))
+
+        def b():
+            k.compute(10)
+            order.append(("b", k.engine.now()))
+
+        k.engine.spawn("a", 3, a)
+        k.engine.spawn("b", 3, b)   # same PE: b slots in after a's slice
+        k.engine.run()
+        assert k.engine.machine.clocks[3].ticks == 110
+
+
+class TestProcessCreation:
+    def test_create_charges_parent_process(self):
+        k = make_kernel()
+
+        def parent():
+            k.create_process("child", 4, lambda: None)
+
+        k.engine.spawn("p", 3, parent)
+        k.engine.run()
+        assert k.engine.machine.clocks[3].ticks >= COST_PROCESS_CREATE
+
+    def test_create_from_outside_process_works(self):
+        k = make_kernel()
+        p = k.create_process("c", 3, lambda: 7)
+        k.engine.run()
+        assert p.result == 7

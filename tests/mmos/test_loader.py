@@ -1,0 +1,52 @@
+"""Unit tests: loadfile building and downloading."""
+
+import pytest
+
+from repro.errors import BadPE
+from repro.flex.presets import small_flex
+from repro.mmos.loader import (
+    CAT_MMOS_KERNEL,
+    CAT_PISCES_CODE,
+    CAT_USER_CODE,
+    Loadfile,
+)
+
+
+class TestLoadfile:
+    def test_sections_accumulate(self):
+        lf = Loadfile().add(CAT_USER_CODE, 100).add(CAT_USER_CODE, 50)
+        assert lf.sections[CAT_USER_CODE] == 150
+        assert lf.total_bytes() == 150
+
+    def test_negative_section_rejected(self):
+        with pytest.raises(ValueError):
+            Loadfile().add(CAT_USER_CODE, -1)
+
+    def test_load_onto_makes_bytes_resident_on_each_pe(self):
+        m = small_flex(6)
+        lf = Loadfile().add(CAT_MMOS_KERNEL, 1000).add(CAT_PISCES_CODE, 200)
+        loaded = lf.load_onto(m, [3, 4])
+        assert loaded == [3, 4]
+        for pe in (3, 4):
+            assert m.pe(pe).local.resident_bytes() == 1200
+            assert m.pe(pe).booted
+        assert m.pe(5).local.resident_bytes() == 0
+
+    def test_load_onto_unix_pe_rejected(self):
+        m = small_flex(6)
+        lf = Loadfile().add(CAT_MMOS_KERNEL, 10)
+        with pytest.raises(BadPE):
+            lf.load_onto(m, [1])
+
+    def test_reload_replaces_previous_image(self):
+        # PEs are rebooted after each user program (section 11), so a
+        # second download must not stack on the first.
+        m = small_flex(6)
+        Loadfile().add(CAT_MMOS_KERNEL, 500).load_onto(m, [3])
+        Loadfile().add(CAT_MMOS_KERNEL, 700).load_onto(m, [3])
+        assert m.pe(3).local.resident_bytes() == 700
+
+    def test_describe_lists_sections(self):
+        lf = Loadfile().add(CAT_MMOS_KERNEL, 5).add(CAT_USER_CODE, 7)
+        d = lf.describe()
+        assert "12 bytes" in d and CAT_USER_CODE in d

@@ -1,0 +1,62 @@
+"""Property-based tests: disk striping invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fileio import DiskArray
+
+
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=1, max_value=4096),
+       st.integers(min_value=0, max_value=10**6),
+       st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=300, deadline=None)
+def test_stripe_spread_conserves_bytes(n_disks, unit, offset, nbytes):
+    da = DiskArray(n_disks, stripe_unit=unit)
+    spread = da.stripe_spread(offset, nbytes)
+    assert sum(spread.values()) == nbytes
+    assert all(0 <= d < n_disks for d in spread)
+    assert all(b > 0 for b in spread.values())
+
+
+@given(st.integers(min_value=1, max_value=8),
+       st.integers(min_value=1, max_value=1024),
+       st.integers(min_value=0, max_value=10**5),
+       st.integers(min_value=1, max_value=10**6))
+@settings(max_examples=200, deadline=None)
+def test_stripe_spread_is_balanced(n_disks, unit, offset, nbytes):
+    """No disk carries more than one stripe unit beyond its fair share."""
+    da = DiskArray(n_disks, stripe_unit=unit)
+    spread = da.stripe_spread(offset, nbytes)
+    fair = nbytes / n_disks
+    for b in spread.values():
+        assert b <= fair + 2 * unit
+
+
+@given(st.integers(min_value=1, max_value=6),
+       st.lists(st.tuples(st.integers(min_value=0, max_value=10**5),
+                          st.integers(min_value=1, max_value=10**5)),
+                min_size=1, max_size=20))
+@settings(max_examples=150, deadline=None)
+def test_transfers_never_travel_back_in_time(n_disks, requests):
+    """Completion times are monotone per disk and never before start."""
+    da = DiskArray(n_disks, stripe_unit=512)
+    t = 0
+    for offset, nbytes in requests:
+        done = da.transfer(t, offset, nbytes, write=False)
+        assert done > t
+        t = done
+    # Bytes accounted exactly once.
+    assert da.total_bytes() == sum(n for _, n in requests)
+
+
+@given(st.integers(min_value=1, max_value=8))
+@settings(max_examples=50, deadline=None)
+def test_more_disks_never_slower(n_disks):
+    """For a fixed large transfer, adding disks never increases the
+    completion time (same stripe unit)."""
+    NBYTES = 256 * 1024
+    times = []
+    for n in range(1, n_disks + 1):
+        da = DiskArray(n, stripe_unit=4096)
+        times.append(da.transfer(0, 0, NBYTES, write=False))
+    assert all(a >= b for a, b in zip(times, times[1:]))

@@ -1,0 +1,84 @@
+"""Property-based tests: the shared-memory heap allocator invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import OutOfMemory
+from repro.flex.memory import BLOCK_HEADER_BYTES, HeapAllocator
+
+# An operation sequence: alloc(size) or free(index into live list).
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=0, max_value=600)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=50)),
+    ),
+    max_size=120)
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_structural_invariants_hold_under_any_sequence(sequence):
+    """After every operation: blocks+free regions tile the heap exactly,
+    free regions are coalesced, accounting matches the live set."""
+    h = HeapAllocator(4096)
+    live = []
+    for op, arg in sequence:
+        if op == "alloc":
+            try:
+                live.append(h.alloc(arg))
+            except OutOfMemory:
+                pass
+        elif live:
+            h.free(live.pop(arg % len(live)))
+        h.check_invariants()
+        assert h.stats.live_bytes == sum(a.size for a in live)
+        assert h.stats.live_overhead == len(live) * BLOCK_HEADER_BYTES
+        assert h.stats.high_water >= h.stats.live_total
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_freeing_everything_restores_one_region(sequence):
+    h = HeapAllocator(4096)
+    live = []
+    for op, arg in sequence:
+        if op == "alloc":
+            try:
+                live.append(h.alloc(arg))
+            except OutOfMemory:
+                pass
+        elif live:
+            h.free(live.pop(arg % len(live)))
+    for a in live:
+        h.free(a)
+    assert h.free_regions() == [(0, 4096)]
+    assert h.stats.total_allocs == h.stats.total_frees
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=1,
+                max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_live_allocations_never_overlap(sizes):
+    h = HeapAllocator(16 * 1024)
+    allocs = []
+    for s in sizes:
+        try:
+            allocs.append(h.alloc(s))
+        except OutOfMemory:
+            break
+    spans = sorted((a.addr, a.end) for a in allocs)
+    for (a1, e1), (a2, _) in zip(spans, spans[1:]):
+        assert e1 + BLOCK_HEADER_BYTES <= a2 + BLOCK_HEADER_BYTES
+        assert e1 <= a2
+
+
+@given(st.integers(min_value=1, max_value=2000),
+       st.integers(min_value=0, max_value=2000))
+@settings(max_examples=100, deadline=None)
+def test_alloc_free_roundtrip_is_identity(capacity_extra, size):
+    cap = size + BLOCK_HEADER_BYTES + capacity_extra
+    h = HeapAllocator(cap)
+    a = h.alloc(size)
+    h.free(a)
+    assert h.free_regions() == [(0, cap)]
+    assert h.stats.live_total == 0

@@ -1,0 +1,122 @@
+"""Property-based tests: taskids, accept state, configuration files."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import files
+from repro.config.configuration import ClusterSpec, Configuration
+from repro.core.accept import ALL_RECEIVED, AcceptState, normalize_specs
+from repro.core.messages import Message
+from repro.core.taskid import TaskId
+
+# --------------------------------------------------------------- taskids --
+
+taskids = st.builds(TaskId,
+                    cluster=st.integers(min_value=0, max_value=99),
+                    slot=st.integers(min_value=-2, max_value=16),
+                    unique=st.integers(min_value=0, max_value=10**6))
+
+
+@given(taskids)
+@settings(max_examples=200, deadline=None)
+def test_taskid_text_roundtrip(tid):
+    assert TaskId.parse(str(tid)) == tid
+
+
+# ---------------------------------------------------------- accept state --
+
+type_names = st.sampled_from(["A", "B", "C", "D"])
+
+
+@st.composite
+def spec_and_stream(draw):
+    n_types = draw(st.integers(min_value=1, max_value=4))
+    names = ["A", "B", "C", "D"][:n_types]
+    per_type = []
+    for nm in names:
+        c = draw(st.one_of(st.integers(min_value=0, max_value=5),
+                           st.just("ALL")))
+        per_type.append((nm, ALL_RECEIVED if c == "ALL" else c))
+    stream = draw(st.lists(st.sampled_from(names + ["Z"]), max_size=30))
+    return per_type, stream
+
+
+@given(spec_and_stream())
+@settings(max_examples=300, deadline=None)
+def test_accept_state_never_overshoots(data):
+    per_type, stream = data
+    spec = normalize_specs(tuple(per_type), None)
+    state = AcceptState(spec)
+    for i, mtype in enumerate(stream):
+        if state.wants(mtype):
+            state.take(Message(mtype=mtype, args=(), sender=TaskId(1, 1, 1),
+                               receiver=TaskId(1, 1, 1), send_time=i,
+                               arrival_time=i))
+    by = state.result.by_type()
+    for nm, want in per_type:
+        if want is not ALL_RECEIVED:
+            assert by.get(nm, 0) <= want
+    # Zero messages of unlisted types were ever taken.
+    assert "Z" not in by
+    # satisfied() is consistent with the per-type demands.
+    if state.satisfied():
+        for nm, want in per_type:
+            if want is not ALL_RECEIVED:
+                assert by.get(nm, 0) >= want or want == 0 or \
+                    stream.count(nm) < want
+
+
+@given(st.integers(min_value=0, max_value=10),
+       st.lists(st.sampled_from(["A", "B"]), max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_total_count_mode_takes_exactly_min(n, stream):
+    spec = normalize_specs(("A", "B"), n)
+    state = AcceptState(spec)
+    for i, mtype in enumerate(stream):
+        if state.wants(mtype):
+            state.take(Message(mtype=mtype, args=(), sender=TaskId(1, 1, 1),
+                               receiver=TaskId(1, 1, 1), send_time=i,
+                               arrival_time=i))
+    assert state.result.count == min(n, len(stream))
+
+
+# ----------------------------------------------------------- config files --
+
+cluster_specs = st.builds(
+    ClusterSpec,
+    number=st.integers(min_value=1, max_value=18),
+    primary_pe=st.integers(min_value=3, max_value=20),
+    slots=st.integers(min_value=1, max_value=16),
+    secondary_pes=st.lists(st.integers(min_value=3, max_value=20),
+                           max_size=5, unique=True).map(tuple),
+)
+
+
+@st.composite
+def configurations(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    specs = []
+    numbers = draw(st.lists(st.integers(min_value=1, max_value=18),
+                            min_size=n, max_size=n, unique=True))
+    primaries = draw(st.lists(st.integers(min_value=3, max_value=20),
+                              min_size=n, max_size=n, unique=True))
+    for num, pe in zip(numbers, primaries):
+        sec = draw(st.lists(
+            st.integers(min_value=3, max_value=20).filter(lambda p: p != pe),
+            max_size=4, unique=True).map(tuple))
+        specs.append(ClusterSpec(number=num, primary_pe=pe,
+                                 slots=draw(st.integers(1, 16)),
+                                 secondary_pes=sec))
+    return Configuration(
+        clusters=tuple(sorted(specs, key=lambda s: s.number)),
+        time_limit=draw(st.one_of(st.none(),
+                                  st.integers(min_value=1,
+                                              max_value=10**9))),
+        name=draw(st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+            min_size=1, max_size=12)))
+
+
+@given(configurations())
+@settings(max_examples=150, deadline=None)
+def test_configuration_file_roundtrip(cfg):
+    assert files.loads(files.dumps(cfg)) == cfg

@@ -1,0 +1,64 @@
+"""Property-based tests: loop partitioning and self-scheduling."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.loops import SelfSchedCounter
+
+
+def presched_indices(member: int, size: int, n: int):
+    """Pure mirror of the PRESCHED rule for property checking."""
+    return list(range(member, n, size))
+
+
+@given(st.integers(min_value=0, max_value=500),
+       st.integers(min_value=1, max_value=32))
+@settings(max_examples=200, deadline=None)
+def test_presched_partition_complete_and_disjoint(n, size):
+    """Every iteration is executed by exactly one member."""
+    seen = {}
+    for m in range(size):
+        for i in presched_indices(m, size, n):
+            assert i not in seen, f"iteration {i} assigned twice"
+            seen[i] = m
+    assert sorted(seen) == list(range(n))
+
+
+@given(st.integers(min_value=0, max_value=500),
+       st.integers(min_value=1, max_value=32))
+@settings(max_examples=200, deadline=None)
+def test_presched_balance_within_one_iteration(n, size):
+    """Member loads differ by at most one iteration."""
+    loads = [len(presched_indices(m, size, n)) for m in range(size)]
+    assert max(loads) - min(loads) <= 1
+
+
+@given(st.integers(min_value=0, max_value=300),
+       st.integers(min_value=1, max_value=16),
+       st.randoms())
+@settings(max_examples=150, deadline=None)
+def test_selfsched_counter_covers_each_index_once(n, size, rnd):
+    """Whatever interleaving of member fetches occurs, every index is
+    handed out exactly once and then the counter reports exhaustion."""
+    counter = SelfSchedCounter(n)
+    members = list(range(size))
+    handed = []
+    active = set(members)
+    while active:
+        m = rnd.choice(sorted(active))
+        i = counter.fetch(m)
+        if i < 0:
+            active.discard(m)
+        else:
+            handed.append(i)
+    assert sorted(handed) == list(range(n))
+    assert sum(counter.executed.values()) == n
+
+
+@given(st.integers(min_value=1, max_value=200))
+@settings(max_examples=50, deadline=None)
+def test_selfsched_single_member_gets_everything(n):
+    c = SelfSchedCounter(n)
+    got = []
+    while (i := c.fetch(0)) >= 0:
+        got.append(i)
+    assert got == list(range(n))

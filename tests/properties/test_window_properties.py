@@ -1,0 +1,84 @@
+"""Property-based tests: window geometry and packed sizes."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.sizes import message_bytes, packed_size
+from repro.core.taskid import TaskId
+from repro.core.windows import make_window
+from repro.errors import WindowError
+
+OWNER = TaskId(1, 1, 1)
+
+shapes = st.lists(st.integers(min_value=1, max_value=40), min_size=1,
+                  max_size=3).map(tuple)
+
+
+@st.composite
+def window_and_subregion(draw):
+    shape = draw(shapes)
+    base = np.zeros(shape)
+    w = make_window(OWNER, "A", base)
+    sub = []
+    for n in shape:
+        a = draw(st.integers(min_value=0, max_value=n - 1))
+        b = draw(st.integers(min_value=a + 1, max_value=n))
+        sub.append((a, b))
+    return w, tuple(sub), shape
+
+
+@given(window_and_subregion())
+@settings(max_examples=200, deadline=None)
+def test_shrink_always_contained(data):
+    w, sub, shape = data
+    inner = w.shrink(sub)
+    assert w.contains(inner)
+    assert inner.size <= w.size
+    for (a, b), n in zip(inner.bounds, shape):
+        assert 0 <= a < b <= n
+
+
+@given(window_and_subregion())
+@settings(max_examples=200, deadline=None)
+def test_double_shrink_composes(data):
+    w, sub, shape = data
+    inner = w.shrink(sub)
+    # shrinking the inner window to its own full extent is the identity
+    again = inner.shrink(tuple((0, b - a) for a, b in inner.bounds))
+    assert again == inner
+
+
+@given(shapes, st.integers(min_value=1, max_value=10))
+@settings(max_examples=200, deadline=None)
+def test_split_partitions_axis_exactly(shape, parts):
+    base = np.zeros(shape)
+    w = make_window(OWNER, "A", base)
+    assume(parts <= shape[0])
+    pieces = w.split(parts, axis=0)
+    assert len(pieces) == parts
+    # contiguity and coverage along axis 0
+    assert pieces[0].bounds[0][0] == 0
+    assert pieces[-1].bounds[0][1] == shape[0]
+    for p, q in zip(pieces, pieces[1:]):
+        assert p.bounds[0][1] == q.bounds[0][0]
+        assert not p.overlaps(q)
+    assert sum(p.size for p in pieces) == w.size
+
+
+@given(st.lists(st.one_of(
+    st.integers(min_value=-10**9, max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=30),
+    st.booleans(),
+), max_size=8))
+@settings(max_examples=200, deadline=None)
+def test_packed_size_positive_and_message_bytes_monotone(args):
+    sizes = [packed_size(a) for a in args]
+    assert all(s >= 4 or isinstance(a, (int, float))
+               for s, a in zip(sizes, args))
+    assert all(s > 0 for s in sizes)
+    total, npackets = message_bytes(tuple(args))
+    bigger, npk2 = message_bytes(tuple(args) + (np.zeros(100),))
+    assert bigger > total or npackets == npk2
+    assert bigger >= total

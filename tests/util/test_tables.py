@@ -1,0 +1,36 @@
+"""Unit tests: monospace table formatting."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment_numeric_right_text_left(self):
+        out = format_table(["name", "n"], [["a", 1], ["bbb", 100]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        # numeric column right-aligned: 1 under the 0 of 100
+        assert lines[2].endswith("  1".rstrip()) or "  1" in lines[2]
+        assert "100" in lines[3]
+
+    def test_title_line(self):
+        out = format_table(["a"], [[1]], title="TITLE")
+        assert out.splitlines()[0] == "TITLE"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159265]])
+        assert "3.142" in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_column_width_grows_with_content(self):
+        out = format_table(["h"], [["wide-content-here"]])
+        header, rule, row = out.splitlines()
+        assert len(rule) >= len("wide-content-here")
