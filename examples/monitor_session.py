@@ -4,10 +4,16 @@
 Drives the 10-option monitor exactly the way an operator at the FLEX
 terminal would: initiate tasks, peek at queues, send messages, watch PE
 loading, dump system state, change tracing, kill a runaway task, and
-finally terminate the run.  Also renders the live Figure 1 diagram.
+finally terminate the run.  Also renders the live Figure 1 diagram and
+exercises the observability extensions (options 10-12): live metrics,
+structured trace export, and a Chrome trace of a Jacobi run you can
+open in Perfetto / chrome://tracing.
 
 Run:  python examples/monitor_session.py
 """
+
+import tempfile
+from pathlib import Path
 
 from repro import PiscesVM, TaskRegistry, Configuration, ClusterSpec
 from repro.core.taskid import PARENT
@@ -47,7 +53,10 @@ def main():
 
     print("\n=== 9 CHANGE TRACE OPTIONS ===")
     print(mon.change_trace_options(enable=("TASK_INIT", "TASK_TERM",
-                                           "MSG_SEND")))
+                                           "MSG_SEND", "MSG_ACCEPT")))
+
+    print("\n=== 11 CHANGE METRIC OPTIONS (enable collection) ===")
+    print(mon.change_metric_options(enable=True))
 
     print("\n=== 1 INITIATE A TASK (a server and a runaway) ===")
     r1 = mon.initiate_task("SERVER", cluster=1)
@@ -83,9 +92,43 @@ def main():
     print("\n=== 7 DUMP SYSTEM STATE ===")
     print(mon.dump_system_state())
 
+    print("\n=== 10 DISPLAY METRICS ===")
+    print(mon.display_metrics())
+
+    outdir = Path(tempfile.mkdtemp(prefix="pisces-obs-"))
+    print("\n=== 12 EXPORT TRACE ===")
+    print(mon.export_trace(str(outdir), prefix="session"))
+
     print("\n=== 0 TERMINATE THE RUN ===")
     print(mon.terminate_run())
+    return outdir
+
+
+def jacobi_chrome_trace(outdir: Path):
+    """A metered, traced Jacobi run exported as a Chrome trace file."""
+    from repro.apps.jacobi import run_jacobi_windows
+    from repro.obs import export_run, derive_spans, span_summary
+
+    cfg = Configuration(
+        clusters=tuple(ClusterSpec(number=i, primary_pe=2 + i, slots=4)
+                       for i in range(1, 3)),
+        name="jacobi-traced",
+        trace_events=("TASK_INIT", "TASK_TERM", "MSG_SEND", "MSG_ACCEPT",
+                      "LOCK", "UNLOCK"),
+        metrics_enabled=True)
+    r = run_jacobi_windows(n=16, sweeps=2, n_workers=2, config=cfg)
+    paths = export_run(r.vm, outdir, prefix="jacobi")
+    print(f"jacobi run: {r.elapsed} virtual ticks, "
+          f"residual {r.residual:.2e}")
+    for kind, p in sorted(paths.items()):
+        print(f"  wrote {kind}: {p}")
+    summary = span_summary(derive_spans(r.vm.tracer.events))
+    for cat, d in sorted(summary.items()):
+        print(f"  {cat}: {d['count']} spans, {d['total_ticks']} ticks")
+    print(f"open {paths['chrome']} in Perfetto / chrome://tracing")
 
 
 if __name__ == "__main__":
-    main()
+    outdir = main()
+    print("\n=== Chrome trace of a Jacobi run ===")
+    jacobi_chrome_trace(outdir)

@@ -50,6 +50,7 @@ from .core import (
 )
 from .errors import PiscesError
 from .flex import FlexMachine, MachineSpec, nasa_langley_flex32, small_flex
+from .obs import MetricsRegistry, derive_spans, export_run
 
 __version__ = "1.0.0"
 
@@ -63,6 +64,7 @@ __all__ = [
     "FlexMachine",
     "GLOBAL_REGISTRY",
     "MachineSpec",
+    "MetricsRegistry",
     "OTHER",
     "PARENT",
     "PiscesError",
@@ -79,6 +81,8 @@ __all__ = [
     "USER",
     "Window",
     "__version__",
+    "derive_spans",
+    "export_run",
     "nasa_langley_flex32",
     "simple_configuration",
     "small_flex",

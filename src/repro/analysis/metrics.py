@@ -28,6 +28,10 @@ class RunMetrics:
     forcesplits: int
     window_bytes: int
     heap_high_water: int
+    #: Registry-derived figures (None when the observability registry
+    #: was disabled for the run).
+    messages_accepted: Optional[int] = None
+    mean_send_accept_latency: Optional[float] = None
 
     @property
     def mean_utilization(self) -> float:
@@ -48,6 +52,11 @@ class RunMetrics:
             ["window bytes moved", self.window_bytes],
             ["heap high-water (bytes)", self.heap_high_water],
         ]
+        if self.messages_accepted is not None:
+            rows.append(["messages accepted", self.messages_accepted])
+        if self.mean_send_accept_latency is not None:
+            rows.append(["mean send->accept latency",
+                         f"{self.mean_send_accept_latency:.1f} ticks"])
         return format_table(["metric", "value"], rows, title="RUN METRICS")
 
 
@@ -57,6 +66,14 @@ def collect_metrics(vm: PiscesVM) -> RunMetrics:
     used = vm.config.used_pes()
     busy = {pe: vm.machine.clocks[pe].busy_ticks for pe in used}
     st = vm.stats
+    accepted: Optional[int] = None
+    latency: Optional[float] = None
+    reg = vm.metrics
+    if reg.families():
+        accepted = reg.counter_total("messages_accepted")
+        lat = reg.histogram_merged("send_accept_latency_ticks")
+        if lat is not None and lat.count:
+            latency = lat.mean
     return RunMetrics(
         elapsed=vm.machine.elapsed(),
         pe_busy=busy,
@@ -69,6 +86,8 @@ def collect_metrics(vm: PiscesVM) -> RunMetrics:
         forcesplits=st.forcesplits,
         window_bytes=st.window_bytes_read + st.window_bytes_written,
         heap_high_water=vm.machine.shared.stats.high_water,
+        messages_accepted=accepted,
+        mean_send_accept_latency=latency,
     )
 
 
@@ -107,13 +126,25 @@ def lock_contention(vm: PiscesVM) -> List[Tuple[str, int, int]]:
 
 
 def traffic_matrix(vm: PiscesVM) -> Dict[Tuple[str, str], int]:
-    """Message counts between *tasktypes*, from MSG_SEND trace events.
+    """Message counts between *tasktypes*.
 
-    Requires MSG_SEND tracing to have been enabled for the run.  The
-    receiver is resolved through the VM's task table; controllers and
-    the user terminal appear under their kind names.
+    Preferred source: the observability registry's ``msg_traffic``
+    counters (labelled src/dst/mtype at send time, so names are exact
+    even for tasks long terminated).  Fallback: MSG_SEND trace events,
+    which requires MSG_SEND tracing to have been enabled for the run;
+    there the receiver is resolved through the VM's task table, and
+    controllers and the user terminal appear under their kind names.
     """
     from ..core.tracing import TraceEventType
+
+    by_label = vm.metrics.counters("msg_traffic")
+    if by_label:
+        out: Dict[Tuple[str, str], int] = {}
+        for lkey, c in by_label.items():
+            d = dict(lkey)
+            key = (d["src"], d["dst"])
+            out[key] = out.get(key, 0) + c.value
+        return out
 
     def name_of(tid) -> str:
         task = vm.tasks.get(tid)

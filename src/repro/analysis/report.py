@@ -34,4 +34,7 @@ def run_report(vm: PiscesVM, gantt_width: int = 64,
     if vm.engine.slices:
         parts.append("")
         parts.append(pe_gantt(vm.engine.slices, width=gantt_width))
+    if vm.metrics.families():
+        parts.append("")
+        parts.append(vm.metrics.snapshot_text())
     return "\n".join(parts)

@@ -70,6 +70,9 @@ class Configuration:
     time_limit: Optional[int] = None
     #: Trace event type names enabled at start (section 11/12).
     trace_events: Tuple[str, ...] = ()
+    #: Collect run metrics (the :mod:`repro.obs` registry).  Off by
+    #: default: instrumentation is zero-cost when disabled.
+    metrics_enabled: bool = False
     #: Cluster whose user controller owns the terminal (default: lowest).
     user_cluster: Optional[int] = None
     #: Cluster hosting the file controller (default: lowest; the file
@@ -171,6 +174,8 @@ class Configuration:
             lines.append(f"  time limit: {self.time_limit} ticks")
         if self.trace_events:
             lines.append(f"  trace: {', '.join(self.trace_events)}")
+        if self.metrics_enabled:
+            lines.append("  metrics: enabled")
         return "\n".join(lines)
 
 

@@ -58,6 +58,9 @@ class Controller:
         self.cluster = cluster
         self.tid = TaskId(cluster.number, self.slot_number, 1)
         self.inq = InQueue(self.tid)
+        self.inq.metrics = vm.metrics
+        self.inq.metric_labels = {"cluster": cluster.number,
+                                  "kind": self.kind}
         self.process: Optional[KernelProcess] = None
 
     def start(self) -> None:
@@ -137,6 +140,10 @@ class TaskController(Controller):
         slot = self.cluster.slots[tid.slot - 1]
         if slot.task is not None and slot.task.tid == tid:
             slot.release()
+        metrics = self.vm.metrics
+        if metrics.enabled:
+            metrics.gauge("slot_occupancy", cluster=self.cluster.number).set(
+                self.cluster.n_slots - self.cluster.free_slot_count())
         # Pump held initiate requests into the freed slot.
         while self.cluster.pending and self.cluster.free_slot() is not None:
             req = self.cluster.pending.popleft()
@@ -180,10 +187,12 @@ class FileController(Controller):
     def __init__(self, vm: "PiscesVM", cluster: ClusterRuntime):
         super().__init__(vm, cluster)
         self.arrays = ArrayStore(self.tid)
+        self.arrays.metrics = vm.metrics
         # One disk by default; vm.configure_file_disks() swaps in a
         # striped array (the PISCES 3 parallel-I/O direction).
         from .fileio import DiskArray
         self.disks = DiskArray(1)
+        self.disks.metrics = vm.metrics
 
     def export_file(self, name: str, array: np.ndarray) -> None:
         self.arrays.export(name, array)

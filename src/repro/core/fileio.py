@@ -72,6 +72,8 @@ class DiskArray:
             raise WindowError("stripe unit must be positive")
         self.disks = [SimDisk(i) for i in range(n_disks)]
         self.stripe_unit = stripe_unit
+        #: Optional MetricsRegistry; wired by the owning file controller.
+        self.metrics = None
 
     @property
     def n_disks(self) -> int:
@@ -100,8 +102,16 @@ class DiskArray:
         if nbytes <= 0:
             return start
         spread = self.stripe_spread(offset, nbytes)
-        return max(self.disks[d].transfer(start, b, write)
-                   for d, b in spread.items())
+        end = max(self.disks[d].transfer(start, b, write)
+                  for d, b in spread.items())
+        m = self.metrics
+        if m is not None and m.enabled:
+            op = "write" if write else "read"
+            m.counter("disk_transfers", op=op).inc()
+            m.counter("disk_bytes", op=op).inc(nbytes)
+            m.histogram("disk_transfer_ticks", op=op).observe(end - start)
+            m.gauge("disks_engaged").set(len(spread))
+        return end
 
     # ------------------------------------------------------------ stats --
 

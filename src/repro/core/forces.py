@@ -138,6 +138,10 @@ def do_forcesplit(ctx: TaskContext, region: Callable[..., Any],
     eng.charge(COST_FORCESPLIT_BASE + size * COST_FORCESPLIT_PER_MEMBER)
     task.trace(TraceEventType.FORCE_SPLIT, info=f"size={size}")
     vm.stats.forcesplits += 1
+    metrics = vm.metrics
+    if metrics.enabled:
+        metrics.counter("forcesplits", cluster=cluster.number).inc()
+        metrics.histogram("force_size", cluster=cluster.number).observe(size)
 
     force = Force(task, size)
     task.force = force

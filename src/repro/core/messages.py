@@ -85,6 +85,13 @@ class InQueue:
         self.owner = owner
         self._q: List[Message] = []
         self.total_received = 0
+        #: Deepest the queue has ever been (cheap, always on).
+        self.max_depth = 0
+        #: Observability hook: a :class:`~repro.obs.metrics.MetricsRegistry`
+        #: plus the label set identifying this queue (wired by the owner:
+        #: Task / Controller construction).  None means unmetered.
+        self.metrics = None
+        self.metric_labels: dict = {}
 
     def __len__(self) -> int:
         return len(self._q)
@@ -102,6 +109,13 @@ class InQueue:
             i -= 1
         q.insert(i, msg)
         self.total_received += 1
+        depth = len(q)
+        if depth > self.max_depth:
+            self.max_depth = depth
+        m = self.metrics
+        if m is not None and m.enabled:
+            m.histogram("inqueue_depth", **self.metric_labels).observe(depth)
+            m.counter("inqueue_bytes", **self.metric_labels).inc(msg.nbytes)
 
     def first_matching(self, mtypes: Iterable[str],
                        not_after: Optional[int] = None) -> Optional[Message]:

@@ -87,6 +87,9 @@ class LockState:
     #: Contention statistics for the analysis module.
     acquisitions: int = 0
     contended_acquisitions: int = 0
+    #: Virtual time the current holder acquired the lock (the
+    #: observability layer derives lock-hold ticks from it).
+    acquired_at: int = 0
 
     @classmethod
     def allocate(cls, name: str, heap: HeapAllocator) -> "LockState":

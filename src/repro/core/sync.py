@@ -53,6 +53,15 @@ def barrier(engine: Engine, force: "Force", member: "ForceContext",
     engine.charge(COST_BARRIER)
     force.task.trace(TraceEventType.BARRIER_ENTER,
                      info=f"member={member.member} gen={force.barrier_gen}")
+    metrics = force.task.vm.metrics
+    entered_at = engine.now() if metrics.enabled else 0
+
+    def observe_wait() -> None:
+        if metrics.enabled:
+            metrics.histogram(
+                "barrier_wait_ticks", cluster=force.task.cluster.number
+            ).observe(engine.now() - entered_at)
+
     gen = force.current_barrier
     proc = engine.current()
     if member.is_primary:
@@ -68,6 +77,7 @@ def barrier(engine: Engine, force: "Force", member: "ForceContext",
                 body()
             _release_others(engine, gen, proc)
         # info == _RELEASE: nothing more to do.
+        observe_wait()
         return
     # We are the last to arrive.
     force.advance_barrier()
@@ -82,6 +92,7 @@ def barrier(engine: Engine, force: "Force", member: "ForceContext",
         gen.waiting.append(proc)
         engine.wake(gen.primary_proc, info=_RUN_BODY)
         engine.block(f"barrier-post(gen {force.barrier_gen - 1})")
+    observe_wait()
 
 
 def _release_others(engine: Engine, gen: BarrierGeneration,
@@ -108,6 +119,8 @@ def acquire_lock(engine: Engine, force: "Force", member: "ForceContext",
                  lock: LockState) -> None:
     engine.charge(COST_LOCK)
     proc = engine.current()
+    metrics = force.task.vm.metrics
+    wanted_at = engine.now() if metrics.enabled else 0
     lock.acquisitions += 1
     if lock.locked:
         lock.contended_acquisitions += 1
@@ -120,6 +133,11 @@ def acquire_lock(engine: Engine, force: "Force", member: "ForceContext",
     else:
         lock.locked = True
         lock.owner_pid = proc.pid
+    lock.acquired_at = engine.now()
+    if metrics.enabled:
+        metrics.counter("lock_acquisitions", lock=lock.name).inc()
+        metrics.histogram("lock_wait_ticks", lock=lock.name
+                          ).observe(lock.acquired_at - wanted_at)
     force.task.trace(TraceEventType.LOCK,
                      info=f"lock={lock.name} member={member.member}")
 
@@ -131,6 +149,10 @@ def release_lock(engine: Engine, force: "Force", member: "ForceContext",
     if not lock.locked or lock.owner_pid != proc.pid:
         raise RuntimeLibraryError(
             f"unlock of {lock.name} by non-owner (owner pid {lock.owner_pid})")
+    metrics = force.task.vm.metrics
+    if metrics.enabled:
+        metrics.histogram("lock_hold_ticks", lock=lock.name
+                          ).observe(engine.now() - lock.acquired_at)
     force.task.trace(TraceEventType.UNLOCK,
                      info=f"lock={lock.name} member={member.member}")
     if lock.waiters:

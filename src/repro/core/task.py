@@ -34,7 +34,13 @@ from ..errors import (
     UnknownTaskType,
 )
 from ..mmos.process import KernelProcess
-from .accept import ALL_RECEIVED, AcceptResult, AcceptState, normalize_specs
+from .accept import (
+    ALL_RECEIVED,
+    AcceptResult,
+    AcceptState,
+    normalize_specs,
+    record_accept_metrics,
+)
 from .cluster import ClusterRuntime
 from .messages import InQueue, Message, release_message
 from .shared import CommonSpec, LockState, SharedCommonBlock, SharedState
@@ -149,9 +155,12 @@ class Task:
         self.cluster = cluster
         self.args = args
         self.inq = InQueue(tid)
+        self.inq.metrics = vm.metrics
+        self.inq.metric_labels = {"cluster": cluster.number, "kind": "task"}
         self.process: Optional[KernelProcess] = None
         self.shared_state = SharedState(vm.machine.shared)
         self.arrays = ArrayStore(tid)
+        self.arrays.metrics = vm.metrics
         self.force: Optional["Force"] = None
         self.alive = False
         self.result: Any = None
@@ -297,6 +306,9 @@ class TaskContext:
                             break
                         inq.remove(m)
                         self._process_message(m, state)
+                if vm.metrics.enabled:
+                    record_accept_metrics(vm.metrics, state,
+                                          self.task.ttype.name)
                 eng.preempt(0)
                 return state.result
             # Unsatisfied: wait for in-flight matches or new sends.
@@ -314,7 +326,7 @@ class TaskContext:
         release_message(vm.machine.shared, m)
         vm.stats.messages_accepted += 1
         self.sender = m.sender
-        state.take(m)
+        state.take(m, now=vm.engine.now())
         self.task.trace(TraceEventType.MSG_ACCEPT,
                         info=f"type={m.mtype} bytes={m.nbytes}",
                         other=m.sender)
@@ -325,6 +337,10 @@ class TaskContext:
 
     def _timeout(self, state: AcceptState, on_timeout, timeout_ok) -> AcceptResult:
         self.vm.stats.accept_timeouts += 1
+        m = self.vm.metrics
+        if m.enabled:
+            m.counter("accept_timeouts", tasktype=self.task.ttype.name).inc()
+            record_accept_metrics(m, state, self.task.ttype.name)
         state.result.timed_out = True
         if on_timeout is not None:
             on_timeout()

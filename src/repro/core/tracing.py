@@ -11,10 +11,17 @@ on and off per event type and per task; output goes to the screen
 from __future__ import annotations
 
 import enum
+import json
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, IO, List, Optional, Set
+from typing import Callable, Deque, Dict, IO, List, Optional, Set
 
 from .taskid import TaskId
+
+#: Default in-memory ring-buffer capacity.  Long runs with
+#: ``keep_in_memory=True`` keep the most recent events and count the
+#: overflow instead of growing without bound.
+DEFAULT_MAX_EVENTS = 100_000
 
 
 class TraceEventType(enum.Enum):
@@ -45,7 +52,13 @@ class TraceEvent:
     other: Optional[TaskId] = None   # e.g. the receiver of a send
 
     def line(self) -> str:
-        """The textual trace line written to screen/file."""
+        """The textual trace line written to screen/file.
+
+        The free-form ``info`` string is JSON-quoted and placed last, so
+        an info containing ``task=`` / ``pe=`` / ``ticks=`` / ``other=``
+        tokens (or any whitespace) survives :meth:`parse` unchanged:
+        ``parse(line()) == event`` always holds.
+        """
         parts = [f"TRACE {self.etype.value}",
                  f"task={self.task}",
                  f"pe={self.pe}",
@@ -53,13 +66,26 @@ class TraceEvent:
         if self.other is not None:
             parts.append(f"other={self.other}")
         if self.info:
-            parts.append(self.info)
+            parts.append("info=" + json.dumps(self.info))
         return " ".join(parts)
 
     @classmethod
     def parse(cls, line: str) -> "TraceEvent":
-        """Parse a line produced by :meth:`line` (off-line analysis)."""
-        toks = line.split()
+        """Parse a line produced by :meth:`line` (off-line analysis).
+
+        Accepts both the current quoted-info format and legacy lines
+        whose info was written as bare trailing tokens.
+        """
+        # The quoted info marker can only occur where line() wrote it:
+        # everything before it is fixed-format fields without spaces or
+        # quotes, and any quote *inside* the JSON string is escaped.
+        info: Optional[str] = None
+        idx = line.find(' info="')
+        if idx >= 0:
+            head, info = line[:idx], json.loads(line[idx + len(" info="):])
+        else:
+            head = line
+        toks = head.split()
         if len(toks) < 5 or toks[0] != "TRACE":
             raise ValueError(f"not a trace line: {line!r}")
         etype = TraceEventType(toks[1])
@@ -69,6 +95,10 @@ class TraceEvent:
             if "=" in tok and tok.split("=", 1)[0] in ("task", "pe", "ticks", "other"):
                 k, v = tok.split("=", 1)
                 fields[k] = v
+            elif tok.startswith("info=") and not info_parts:
+                # Legacy unquoted info: strip the marker off the first
+                # token; the remainder of the line is the info text.
+                info_parts.append(tok[len("info="):])
             else:
                 info_parts.append(tok)
         return cls(
@@ -76,7 +106,7 @@ class TraceEvent:
             task=TaskId.parse(fields["task"]),
             pe=int(fields["pe"]),
             ticks=int(fields["ticks"]),
-            info=" ".join(info_parts),
+            info=info if info is not None else " ".join(info_parts),
             other=TaskId.parse(fields["other"]) if "other" in fields else None,
         )
 
@@ -90,19 +120,24 @@ class Tracer:
     event and each task".
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_events: Optional[int] = DEFAULT_MAX_EVENTS) -> None:
         self.enabled_types: Set[TraceEventType] = set()
         #: If non-empty, only these tasks are traced.
         self.solo_tasks: Set[TaskId] = set()
         #: These tasks are never traced.
         self.muted_tasks: Set[TaskId] = set()
-        self.events: List[TraceEvent] = []
+        #: Ring buffer of the most recent ``max_events`` events
+        #: (``max_events=None`` keeps everything -- unbounded).
+        self.events: Deque[TraceEvent] = deque(maxlen=max_events)
         #: Keep events in memory (the monitor's display and the analysis
         #: module read them); can be switched off for long runs.
         self.keep_in_memory = True
         self._file: Optional[IO[str]] = None
         self._screen: Optional[Callable[[str], None]] = None
         self.dropped = 0
+        #: Events pushed out of the full ring buffer (still delivered to
+        #: the file/screen sinks, only the in-memory copy was lost).
+        self.overflow_dropped = 0
 
     # ------------------------------------------------------------ config --
 
@@ -135,7 +170,7 @@ class Tracer:
     def describe(self) -> str:
         types = ", ".join(sorted(t.value for t in self.enabled_types)) or "(none)"
         return (f"trace: types [{types}], {len(self.events)} events kept, "
-                f"{self.dropped} filtered")
+                f"{self.dropped} filtered, {self.overflow_dropped} overflowed")
 
     # ------------------------------------------------------------- emit --
 
@@ -153,7 +188,10 @@ class Tracer:
             self.dropped += 1
             return
         if self.keep_in_memory:
-            self.events.append(event)
+            ev = self.events
+            if ev.maxlen is not None and len(ev) == ev.maxlen:
+                self.overflow_dropped += 1
+            ev.append(event)
         if self._file is not None:
             self._file.write(event.line() + "\n")
         if self._screen is not None:

@@ -30,6 +30,7 @@ from ..errors import (
 from ..flex.machine import FlexMachine
 from ..flex.presets import nasa_langley_flex32
 from ..mmos.kernel import MMOSKernel
+from ..obs.metrics import MetricsRegistry
 from ..mmos.loader import (
     CAT_MMOS_KERNEL,
     CAT_PISCES_CODE,
@@ -136,6 +137,11 @@ class PiscesVM:
         for name in config.trace_events:
             self.tracer.enable(TraceEventType(name))
         self.stats = RunStats()
+        #: Observability registry (see :mod:`repro.obs`).  Disabled by
+        #: default; every instrumentation site guards on ``.enabled`` so
+        #: an unmetered run pays one attribute test per site at most.
+        self.metrics = MetricsRegistry(enabled=config.metrics_enabled)
+        self.engine.metrics = self.metrics
         self.default_accept_delay = config.default_accept_delay
 
         self.clusters: Dict[int, ClusterRuntime] = {}
@@ -153,6 +159,28 @@ class PiscesVM:
         self._booted = False
         if autoboot:
             self.boot()
+
+    # ------------------------------------------------------------- metrics --
+
+    def enable_metrics(self) -> None:
+        """Turn on the observability registry (live, e.g. from the
+        monitor); already-running components see it immediately."""
+        self.metrics.enabled = True
+
+    def disable_metrics(self) -> None:
+        self.metrics.enabled = False
+
+    def _metric_name_of(self, tid: TaskId) -> str:
+        """Tasktype / controller-kind name of a taskid (metric label)."""
+        task = self.tasks.get(tid)
+        if task is not None:
+            return task.ttype.name
+        ctrl = self.controllers.get(tid)
+        if ctrl is not None:
+            return f"<{ctrl.kind}>"
+        if tid == USER_TERMINAL_ID or tid.cluster == 0:
+            return "<user>"
+        return "<unknown>"
 
     # ---------------------------------------------------------------- boot --
 
@@ -205,6 +233,9 @@ class PiscesVM:
         target = self._resolve_placement(placement, current_cluster)
         req_id = next(self._req_counter)
         self.stats.initiates_requested += 1
+        m = self.metrics
+        if m.enabled:
+            m.counter("initiate_requests", cluster=target).inc()
         if self.engine.in_process():
             self.engine.charge(COST_INITIATE_REQUEST)
         tc = self.task_controllers[target]
@@ -264,6 +295,12 @@ class PiscesVM:
         cluster.tasks_initiated += 1
         self.stats.tasks_started += 1
         task.initiated_at = self.engine.now()
+        m = self.metrics
+        if m.enabled:
+            m.counter("tasks_started", cluster=cluster.number,
+                      tasktype=ttype.name).inc()
+            m.gauge("slot_occupancy", cluster=cluster.number).set(
+                cluster.n_slots - cluster.free_slot_count())
         # Declared SHARED COMMON blocks and LOCK variables are allocated
         # at initiation ("allocated statically in shared memory").
         for name, spec in ttype.shared.items():
@@ -299,6 +336,12 @@ class PiscesVM:
         task.alive = False
         task.terminated_at = self.engine.now()
         self.stats.tasks_finished += 1
+        m = self.metrics
+        if m.enabled:
+            m.counter("tasks_finished", cluster=task.cluster.number,
+                      tasktype=task.ttype.name).inc()
+            m.histogram("task_lifetime_ticks", tasktype=task.ttype.name
+                        ).observe(task.terminated_at - task.initiated_at)
         heap = self.machine.shared
         for m in task.inq.remove_type(None):
             release_message(heap, m)
@@ -443,6 +486,17 @@ class PiscesVM:
         inq.enqueue(msg)
         self.stats.messages_sent += 1
         self.stats.message_bytes_sent += msg.nbytes
+        m = self.metrics
+        if m.enabled:
+            route = ("intra" if sender_cluster == receiver_cluster
+                     else "inter")
+            m.counter("messages_sent", cluster=receiver_cluster,
+                      route=route).inc()
+            m.counter("message_bytes_sent", cluster=receiver_cluster
+                      ).inc(msg.nbytes)
+            m.counter("msg_traffic", src=self._metric_name_of(sender),
+                      dst=self._metric_name_of(msg.receiver),
+                      mtype=mtype).inc()
         sender_task = self.tasks.get(sender)
         if sender_task is not None:
             sender_task.trace(TraceEventType.MSG_SEND,
@@ -534,6 +588,10 @@ class PiscesVM:
             self.machine.shared.free(transit)
         self.stats.window_reads += 1
         self.stats.window_bytes_read += nbytes
+        m = self.metrics
+        if m.enabled:
+            m.counter("window_ops", op="read").inc()
+            m.histogram("window_transfer_bytes", op="read").observe(nbytes)
         self.engine.preempt(0)
         return data
 
@@ -552,6 +610,10 @@ class PiscesVM:
             self.machine.shared.free(transit)
         self.stats.window_writes += 1
         self.stats.window_bytes_written += nbytes
+        m = self.metrics
+        if m.enabled:
+            m.counter("window_ops", op="write").inc()
+            m.histogram("window_transfer_bytes", op="write").observe(nbytes)
         self.engine.preempt(0)
 
     def configure_file_disks(self, n_disks: int,
@@ -563,6 +625,7 @@ class PiscesVM:
             raise WindowError("no file controller in this configuration")
         self.file_controller.disks = DiskArray(
             n_disks, stripe_unit or DEFAULT_STRIPE_UNIT)
+        self.file_controller.disks.metrics = self.metrics
 
     def file_window(self, ctx: TaskContext, name: str) -> Window:
         """Synchronous window request on a file-store array."""
@@ -619,6 +682,8 @@ class PiscesVM:
 
     def note_initiate_held(self, req_id: int) -> None:
         self.stats.initiates_held += 1
+        if self.metrics.enabled:
+            self.metrics.counter("initiates_held").inc()
 
     # ------------------------------------------------------------- cleanup --
 

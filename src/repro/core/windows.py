@@ -166,6 +166,8 @@ class ArrayStore:
         self._arrays: dict[str, np.ndarray] = {}
         #: (op, array, bounds, ticks) access log, for the overlap tests.
         self.access_log: list[tuple[str, str, Tuple[Bounds, ...], int]] = []
+        #: Optional MetricsRegistry; wired by the owner's VM at creation.
+        self.metrics = None
 
     def export(self, name: str, array: np.ndarray) -> None:
         if name in self._arrays:
@@ -182,9 +184,16 @@ class ArrayStore:
     def names(self) -> list[str]:
         return list(self._arrays)
 
+    def _observe(self, op: str, w: Window) -> None:
+        m = self.metrics
+        if m is not None and m.enabled:
+            m.counter("array_store_ops", op=op, array=w.array).inc()
+            m.histogram("array_store_bytes", op=op).observe(w.nbytes)
+
     def read(self, w: Window, ticks: int) -> np.ndarray:
         base = self.get(w.array)
         self.access_log.append(("read", w.array, w.bounds, ticks))
+        self._observe("read", w)
         return np.array(base[w.slices()], copy=True)
 
     def write(self, w: Window, data: np.ndarray, ticks: int) -> None:
@@ -195,4 +204,5 @@ class ArrayStore:
             raise WindowError(
                 f"write shape {data.shape} != window shape {view.shape}")
         self.access_log.append(("write", w.array, w.bounds, ticks))
+        self._observe("write", w)
         view[...] = data

@@ -73,7 +73,37 @@ def render_system_dump(vm: PiscesVM) -> str:
         parts.append(vm.file_controller.disks.describe())
     parts.append(vm.machine.memory_report())
     parts.append(vm.tracer.describe())
+    parts.append(vm.metrics.describe())
     parts.append(vm.engine.state_dump())
+    return "\n".join(parts)
+
+
+def render_metrics(vm: PiscesVM) -> str:
+    """DISPLAY METRICS: the live registry snapshot, plus headline
+    derived figures (queue depths, latency, lock holds) when present."""
+    reg = vm.metrics
+    parts: List[str] = [reg.describe()]
+    if not reg.enabled and not reg.families():
+        parts.append("(enable with monitor.change_metric_options"
+                     "(enable=True) or config metrics_enabled)")
+        return "\n".join(parts)
+    parts.append(reg.snapshot_text())
+    headline = []
+    lat = reg.histogram_merged("send_accept_latency_ticks")
+    if lat is not None and lat.count:
+        headline.append(f"send->accept latency: mean {lat.mean:.1f} ticks, "
+                        f"p90 <= {lat.quantile(0.9):.0f}, max {lat.max}")
+    depth = reg.histogram_merged("inqueue_depth")
+    if depth is not None and depth.count:
+        headline.append(f"in-queue depth at enqueue: mean {depth.mean:.1f}, "
+                        f"max {depth.max}")
+    hold = reg.histogram_merged("lock_hold_ticks")
+    if hold is not None and hold.count:
+        headline.append(f"lock hold: mean {hold.mean:.1f} ticks, "
+                        f"max {hold.max}")
+    if headline:
+        parts.append("")
+        parts.extend(headline)
     return "\n".join(parts)
 
 

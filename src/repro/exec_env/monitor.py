@@ -41,6 +41,14 @@ MENU = (
     (9, "CHANGE TRACE OPTIONS"),
 )
 
+#: Observability extensions beyond the paper's ten options (kept in a
+#: separate tuple so MENU stays exactly as section 11 lists it).
+EXTENDED_MENU = (
+    (10, "DISPLAY METRICS"),
+    (11, "CHANGE METRIC OPTIONS"),
+    (12, "EXPORT TRACE"),
+)
+
 
 class Monitor:
     """Programmatic execution-environment monitor for one VM."""
@@ -149,6 +157,33 @@ class Monitor:
         return tr.describe()
 
     # ----------------------------------------------------------- extras ----
+    # Observability options (EXTENDED_MENU): live metric inspection and
+    # structured trace export, section-11 style but beyond the paper.
+
+    def display_metrics(self) -> str:
+        """Option 10: DISPLAY METRICS (live registry snapshot)."""
+        return display.render_metrics(self.vm)
+
+    def change_metric_options(self, enable: Optional[bool] = None,
+                              reset: bool = False) -> str:
+        """Option 11: CHANGE METRIC OPTIONS (turn collection on/off,
+        optionally clearing already-collected instruments)."""
+        if reset:
+            self.vm.metrics.reset()
+        if enable is True:
+            self.vm.enable_metrics()
+        elif enable is False:
+            self.vm.disable_metrics()
+        return self.vm.metrics.describe()
+
+    def export_trace(self, directory: str, prefix: str = "run") -> str:
+        """Option 12: EXPORT TRACE (JSONL events + Chrome trace +
+        metrics snapshot to ``directory``)."""
+        from ..obs.export import export_run
+        paths = export_run(self.vm, directory, prefix=prefix)
+        return "\n".join(f"wrote {kind}: {path}"
+                         for kind, path in sorted(paths.items()))
 
     def menu_text(self) -> str:
-        return "\n".join(f"{n}   {label}" for n, label in MENU)
+        return "\n".join(f"{n}   {label}"
+                         for n, label in MENU + EXTENDED_MENU)

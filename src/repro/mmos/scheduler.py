@@ -58,6 +58,9 @@ class Engine:
         #: Hook invoked (from the engine thread, between slices) after
         #: every dispatch; the execution-environment monitor uses it.
         self.on_idle_check: Optional[Callable[[], None]] = None
+        #: Optional MetricsRegistry (wired by the VM).  Observations are
+        #: pure bookkeeping -- they never influence dispatch order.
+        self.metrics = None
 
     # ------------------------------------------------------------ spawn --
 
@@ -158,6 +161,11 @@ class Engine:
         p.pending_cost += cost
         p.timed_out = False
         p.wake_info = None
+        m = self.metrics
+        if m is not None and m.enabled:
+            # Reason strings carry dynamic detail after "("; keep the
+            # label cardinality bounded by the static prefix.
+            m.counter("blocks", reason=reason.split("(", 1)[0]).inc()
         self._yield(p, ProcState.BLOCKED, reason=reason, deadline=deadline)
         return p.wake_info
 
@@ -199,6 +207,9 @@ class Engine:
             end = self.machine.clocks[p.pe].run(p.slice_start, cost)
             if self.record_slices and cost > 0:
                 self.slices.append((p.pe, end - cost, end, p.name))
+            m = self.metrics
+            if m is not None and m.enabled and cost > 0:
+                m.histogram("slice_ticks", pe=p.pe).observe(cost)
             p.pending_cost = 0
             p.ready_time = end
             if p.killed and new_state is ProcState.BLOCKED:
@@ -265,6 +276,9 @@ class Engine:
         self._now = max(self._now, start)
         self._dispatch_seq += 1
         p.last_dispatched = self._dispatch_seq
+        m = self.metrics
+        if m is not None and m.enabled:
+            m.counter("dispatches", pe=p.pe).inc()
         self.machine.clocks[p.pe].advance_to(start)
         with self._cv:
             p.slice_start = start

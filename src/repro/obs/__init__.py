@@ -1,0 +1,62 @@
+"""Observability: metrics registry, span derivation, structured export.
+
+The quantitative layer over section 12's event tracing and section 11's
+execution-environment monitor: a :class:`MetricsRegistry` collects
+counters / gauges / tick-bucketed histograms while the machine runs
+(zero cost when disabled); :mod:`repro.obs.spans` derives task /
+message / critical-section intervals from trace events; and
+:mod:`repro.obs.export` writes JSONL event logs, Chrome trace files and
+monitor text snapshots.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+from .spans import (
+    CAT_CRITICAL,
+    CAT_MESSAGE,
+    CAT_TASK,
+    Span,
+    derive_spans,
+    span_summary,
+)
+from .export import (
+    chrome_trace_events,
+    event_from_dict,
+    event_to_dict,
+    export_run,
+    load_chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_metrics_snapshot,
+)
+
+__all__ = [
+    "CAT_CRITICAL",
+    "CAT_MESSAGE",
+    "CAT_TASK",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "Span",
+    "chrome_trace_events",
+    "derive_spans",
+    "event_from_dict",
+    "event_to_dict",
+    "export_run",
+    "load_chrome_trace",
+    "read_jsonl",
+    "span_summary",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_metrics_snapshot",
+]

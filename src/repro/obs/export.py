@@ -1,0 +1,173 @@
+"""Structured exporters: JSONL event logs, Chrome trace format, text.
+
+Three machine-readable views of a traced run:
+
+* **JSONL** -- one JSON object per trace event, round-trippable back
+  into :class:`~repro.core.tracing.TraceEvent` objects for off-line
+  analysis (the structured sibling of the section-12 trace file);
+* **Chrome trace-event format** -- a JSON array of ``ph: "B"/"E"``
+  (task lifetimes) and ``ph: "X"`` (message-in-flight and
+  critical-section) events, loadable in Perfetto / chrome://tracing;
+  one "process" per PE, one "thread" per task, timestamps in virtual
+  ticks;
+* **text snapshot** -- the metrics registry rendered for the monitor.
+
+``export_run(vm, directory)`` writes all three for one VM.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, IO, Iterable, List, Optional, Union
+
+from ..core.taskid import TaskId
+from ..core.tracing import TraceEvent, TraceEventType
+from .metrics import MetricsRegistry
+from .spans import CAT_TASK, Span, derive_spans
+
+# ------------------------------------------------------------------ JSONL --
+
+
+def event_to_dict(e: TraceEvent) -> Dict[str, Any]:
+    d: Dict[str, Any] = {"etype": e.etype.value, "task": str(e.task),
+                         "pe": int(e.pe), "ticks": int(e.ticks)}
+    if e.info:
+        d["info"] = e.info
+    if e.other is not None:
+        d["other"] = str(e.other)
+    return d
+
+
+def event_from_dict(d: Dict[str, Any]) -> TraceEvent:
+    return TraceEvent(
+        etype=TraceEventType(d["etype"]),
+        task=TaskId.parse(d["task"]),
+        pe=int(d["pe"]),
+        ticks=int(d["ticks"]),
+        info=d.get("info", ""),
+        other=TaskId.parse(d["other"]) if "other" in d else None,
+    )
+
+
+def write_jsonl(events: Iterable[TraceEvent], f: IO[str]) -> int:
+    """Write one JSON object per line; returns the event count."""
+    n = 0
+    for e in events:
+        f.write(json.dumps(event_to_dict(e), sort_keys=True) + "\n")
+        n += 1
+    return n
+
+
+def read_jsonl(f: IO[str]) -> List[TraceEvent]:
+    """Re-load a JSONL event log written by :func:`write_jsonl`."""
+    out = []
+    for line in f:
+        line = line.strip()
+        if line:
+            out.append(event_from_dict(json.loads(line)))
+    return out
+
+
+# ----------------------------------------------------------- Chrome trace --
+
+
+def chrome_trace_events(events: Iterable[TraceEvent]) -> List[Dict[str, Any]]:
+    """Trace events as a Chrome trace-event array.
+
+    Task lifetimes become ``B``/``E`` duration pairs; message-in-flight
+    and critical-section spans become ``X`` complete events.  ``pid`` is
+    the PE number (so Perfetto groups rows by processor) and ``tid`` the
+    taskid text; ``ts``/``dur`` are virtual ticks (declared as
+    microseconds to the viewer, which only affects the displayed unit).
+    """
+    out: List[Dict[str, Any]] = []
+    seen_pids = set()
+    for s in derive_spans(events):
+        if not s.closed:
+            continue
+        common = {"cat": s.cat, "pid": int(s.pe), "tid": s.task}
+        if s.cat == CAT_TASK:
+            out.append({"name": s.name, "ph": "B", "ts": int(s.start),
+                        **common})
+            out.append({"name": s.name, "ph": "E", "ts": int(s.end),
+                        **common})
+        else:
+            out.append({"name": s.name, "ph": "X", "ts": int(s.start),
+                        "dur": int(s.duration), "args": dict(s.args),
+                        **common})
+        seen_pids.add(int(s.pe))
+    meta = [{"name": "process_name", "ph": "M", "pid": pid, "tid": "",
+             "args": {"name": f"PE {pid}"}} for pid in sorted(seen_pids)]
+    return meta + out
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], f: IO[str]) -> int:
+    """Write the Chrome trace JSON array; returns the event count."""
+    arr = chrome_trace_events(events)
+    json.dump(arr, f, sort_keys=True)
+    return len(arr)
+
+
+def load_chrome_trace(f: IO[str]) -> List[Dict[str, Any]]:
+    """Load (and sanity-check) a Chrome trace file written above."""
+    arr = json.load(f)
+    if not isinstance(arr, list):
+        raise ValueError("chrome trace must be a JSON array")
+    for item in arr:
+        if "ph" not in item:
+            raise ValueError(f"not a trace event: {item!r}")
+    return arr
+
+
+# ----------------------------------------------------------------- text ----
+
+
+def write_metrics_snapshot(registry: MetricsRegistry, f: IO[str],
+                           as_json: bool = False) -> None:
+    """Write the registry snapshot: monitor text, or structured JSON."""
+    if as_json:
+        json.dump(registry.snapshot(), f, indent=1, sort_keys=True)
+        f.write("\n")
+    else:
+        f.write(registry.snapshot_text() + "\n")
+
+
+# ------------------------------------------------------------- one-stop ----
+
+
+def export_run(vm, directory: Union[str, Path],
+               prefix: str = "run") -> Dict[str, Path]:
+    """Export one VM's observability record into ``directory``.
+
+    Writes ``<prefix>.events.jsonl``, ``<prefix>.chrome.json``,
+    ``<prefix>.metrics.json`` and ``<prefix>.metrics.txt``; returns the
+    written paths keyed by kind.  Requires tracing to have kept events
+    in memory for the event-derived files (they are skipped, not
+    invented, otherwise).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    events = list(vm.tracer.events)
+    out: Dict[str, Path] = {}
+
+    p = directory / f"{prefix}.events.jsonl"
+    with p.open("w") as f:
+        write_jsonl(events, f)
+    out["jsonl"] = p
+
+    p = directory / f"{prefix}.chrome.json"
+    with p.open("w") as f:
+        write_chrome_trace(events, f)
+    out["chrome"] = p
+
+    p = directory / f"{prefix}.metrics.json"
+    with p.open("w") as f:
+        write_metrics_snapshot(vm.metrics, f, as_json=True)
+    out["metrics_json"] = p
+
+    p = directory / f"{prefix}.metrics.txt"
+    with p.open("w") as f:
+        write_metrics_snapshot(vm.metrics, f)
+    out["metrics_txt"] = p
+    return out

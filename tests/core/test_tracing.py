@@ -47,7 +47,7 @@ class TestTracer:
     def test_disabled_by_default(self):
         tr = Tracer()
         tr.emit(ev())
-        assert tr.events == [] and tr.dropped == 1
+        assert list(tr.events) == [] and tr.dropped == 1
 
     def test_enable_specific_type(self):
         tr = Tracer()
@@ -117,4 +117,57 @@ class TestTracer:
         tr.enable_all()
         tr.keep_in_memory = False
         tr.emit(ev())
-        assert tr.events == []
+        assert list(tr.events) == []
+
+    def test_ring_buffer_caps_events_and_counts_overflow(self):
+        tr = Tracer(max_events=3)
+        tr.enable_all()
+        for i in range(5):
+            tr.emit(ev(info=f"n={i}"))
+        assert len(tr.events) == 3
+        assert [e.info for e in tr.events] == ["n=2", "n=3", "n=4"]
+        assert tr.overflow_dropped == 2
+        assert "overflowed" in tr.describe()
+
+    def test_no_overflow_below_capacity(self):
+        tr = Tracer(max_events=10)
+        tr.enable_all()
+        tr.emit(ev())
+        assert tr.overflow_dropped == 0
+
+
+class TestHostileInfoRoundtrip:
+    """The info field must survive line()/parse() whatever it contains."""
+
+    HOSTILE = [
+        'type=GO task=9.9.9 pe=7 ticks=0',
+        'info="nested" info="twice"',
+        'task= pe= ticks= other=',
+        'a "quoted" string with \\ backslashes',
+        "newline\nand\ttab",
+        "",
+        "unicode éß☃",
+        " leading and trailing ",
+    ]
+
+    @pytest.mark.parametrize("info", HOSTILE)
+    def test_roundtrip_exact(self, info):
+        e = ev(info=info, other=T2)
+        assert TraceEvent.parse(e.line()) == e
+
+    def test_legacy_unquoted_lines_still_parse(self):
+        line = "TRACE MSG_SEND task=1.1.1 pe=3 ticks=123 info=type=GO"
+        e = TraceEvent.parse(line)
+        assert e.info == "type=GO" and e.pe == 3 and e.ticks == 123
+
+    def test_roundtrip_property(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=200, deadline=None)
+        @given(st.text(max_size=80))
+        def check(info):
+            e = ev(info=info)
+            assert TraceEvent.parse(e.line()) == e
+
+        check()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.taskid import PARENT, TaskId
-from repro.exec_env.monitor import MENU, Monitor
+from repro.exec_env.monitor import EXTENDED_MENU, MENU, Monitor
 
 
 @pytest.fixture
@@ -31,6 +31,11 @@ class TestMenu:
             "SEND A MESSAGE", "DELETE MESSAGES", "DISPLAY RUNNING TASKS",
             "DISPLAY MESSAGE QUEUE", "DUMP SYSTEM STATE",
             "DISPLAY PE LOADING", "CHANGE TRACE OPTIONS"]
+
+    def test_extended_menu_adds_observability_options(self):
+        labels = [label for _, label in EXTENDED_MENU]
+        assert labels == ["DISPLAY METRICS", "CHANGE METRIC OPTIONS",
+                          "EXPORT TRACE"]
 
 
 class TestOperations:
@@ -115,6 +120,37 @@ class TestOperations:
         out = m.terminate_run()
         assert "terminated" in out and m.terminated
         assert all(not p.live for p in vm_with_sleeper.engine.processes())
+
+    def test_display_metrics_and_metric_options(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        out = m.display_metrics()
+        assert "metrics: disabled" in out
+        out = m.change_metric_options(enable=True)
+        assert "metrics: enabled" in out
+        m.initiate_task("SLEEPER")
+        m.pump()
+        shown = m.display_metrics()
+        assert "METRICS SNAPSHOT" in shown and "tasks_started" in shown
+        m.change_metric_options(enable=False, reset=True)
+        assert vm_with_sleeper.metrics.families() == []
+
+    def test_export_trace(self, vm_with_sleeper, tmp_path):
+        m = Monitor(vm_with_sleeper)
+        m.change_metric_options(enable=True)
+        m.change_trace_options(enable=("TASK_INIT", "TASK_TERM",
+                                       "MSG_SEND", "MSG_ACCEPT"))
+        m.initiate_task("SLEEPER")
+        m.pump()
+        out = m.export_trace(str(tmp_path), prefix="sess")
+        assert "sess.chrome.json" in out
+        assert (tmp_path / "sess.events.jsonl").exists()
+        assert (tmp_path / "sess.metrics.json").exists()
+
+    def test_menu_text_lists_all_options(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        txt = m.menu_text()
+        assert "9   CHANGE TRACE OPTIONS" in txt
+        assert "12   EXPORT TRACE" in txt
 
     def test_full_interactive_session(self, vm_with_sleeper):
         """A whole session: initiate, message, inspect, kill, terminate."""

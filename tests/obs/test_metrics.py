@@ -1,0 +1,211 @@
+"""Unit + integration tests: the observability metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_same_labels_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", pe=1, op="read")
+        b = reg.counter("x", op="read", pe=1)   # label order irrelevant
+        assert a is b
+        assert a is not reg.counter("x", pe=2, op="read")
+
+    def test_numpy_scalars_coerced(self):
+        np = pytest.importorskip("numpy")
+        c = MetricsRegistry().counter("x")
+        c.inc(np.int64(3))
+        assert type(c.value) is int and c.value == 3
+
+
+class TestGauge:
+    def test_set_and_high_water(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2 and g.high_water == 7
+
+    def test_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.inc(4)
+        g.dec()
+        assert g.value == 3 and g.high_water == 4
+
+
+class TestHistogram:
+    def test_bucket_counts_sum_to_count(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (0, 1, 3, 10, 999, 10**7):
+            h.observe(v)
+        assert sum(h.bucket_counts) == h.count == 6
+        assert len(h.bucket_counts) == len(DEFAULT_BUCKETS) + 1
+
+    def test_sum_min_max_mean(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (10, 20, 30):
+            h.observe(v)
+        assert (h.total, h.min, h.max) == (60, 10, 30)
+        assert h.mean == pytest.approx(20.0)
+
+    def test_values_above_last_bound_land_in_inf_bucket(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(DEFAULT_BUCKETS[-1] + 1)
+        assert h.bucket_counts[-1] == 1
+
+    def test_quantile_is_bucketed_upper_bound(self):
+        h = MetricsRegistry().histogram("lat")
+        for _ in range(99):
+            h.observe(3)      # bucket bound 5
+        h.observe(40_000)     # bucket bound 50_000
+        assert h.quantile(0.5) == 5.0
+        assert h.quantile(1.0) == 50_000.0
+
+    def test_empty_quantile_none(self):
+        assert MetricsRegistry().histogram("lat").quantile(0.9) is None
+
+    def test_as_dict_only_nonempty_buckets(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(3)
+        d = h.as_dict()
+        assert d["buckets"] == {"5": 1}
+        assert d["count"] == 1 and d["sum"] == 3
+
+
+class TestRegistry:
+    def test_families_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zz")
+        reg.gauge("aa")
+        reg.histogram("mm")
+        assert reg.families() == ["aa", "mm", "zz"]
+
+    def test_counter_total_across_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs", pe=1).inc(2)
+        reg.counter("msgs", pe=2).inc(3)
+        assert reg.counter_total("msgs") == 5
+
+    def test_histogram_merged(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", pe=1).observe(10)
+        reg.histogram("lat", pe=2).observe(30)
+        m = reg.histogram_merged("lat")
+        assert m.count == 2 and m.total == 40
+        assert (m.min, m.max) == (10, 30)
+        assert reg.histogram_merged("nothing") is None
+
+    def test_snapshot_deterministic_and_json(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("b", x=2).inc()
+            reg.counter("b", x=1).inc()
+            reg.gauge("a").set(4)
+            reg.histogram("c", op="w").observe(9)
+            return json.dumps(reg.snapshot(), sort_keys=True)
+
+        assert build() == build()
+
+    def test_snapshot_text_renders(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs", pe=1).inc(7)
+        txt = reg.snapshot_text()
+        assert "METRICS SNAPSHOT" in txt and "msgs{pe=1}" in txt
+
+    def test_snapshot_text_empty(self):
+        assert "(no metrics recorded)" in MetricsRegistry().snapshot_text()
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.families() == []
+
+    def test_null_registry_disabled(self):
+        assert NULL_REGISTRY.enabled is False
+
+
+class TestVMIntegration:
+    def _program(self, registry):
+        from repro.core.taskid import PARENT, SAME
+
+        @registry.tasktype("CHILD")
+        def child(ctx, n):
+            ctx.compute(50)
+            ctx.send(PARENT, "DONE", n)
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            for i in range(3):
+                ctx.initiate("CHILD", i, on=SAME)
+            res = ctx.accept("DONE", count=3)
+            return res.count
+
+    def test_disabled_run_collects_nothing(self, make_vm, registry):
+        self._program(registry)
+        vm = make_vm(registry=registry)
+        assert not vm.config.metrics_enabled
+        vm.run("MAIN")
+        assert vm.metrics.families() == []
+
+    def test_enabled_run_matches_stats(self, make_vm, registry):
+        self._program(registry)
+        vm = make_vm(registry=registry, metrics_enabled=True)
+        vm.run("MAIN")
+        reg = vm.metrics
+        assert reg.counter_total("tasks_started") == vm.stats.tasks_started
+        assert (reg.counter_total("messages_sent")
+                == vm.stats.messages_sent)
+        assert reg.counter_total("messages_accepted") == 3
+        lat = reg.histogram_merged("send_accept_latency_ticks")
+        assert lat is not None and lat.count == 3 and lat.min >= 0
+        assert reg.counter_total("dispatches") > 0
+
+    def test_metrics_do_not_perturb_virtual_time(self, make_vm, registry):
+        self._program(registry)
+        vm_off = make_vm(registry=registry)
+        r_off = vm_off.run("MAIN")
+        reg2 = type(registry)()
+        self._program(reg2)
+        vm_on = make_vm(registry=reg2, metrics_enabled=True)
+        r_on = vm_on.run("MAIN")
+        assert r_off.elapsed == r_on.elapsed
+
+    def test_two_metered_runs_identical_snapshots(self, make_vm, registry):
+        self._program(registry)
+        vm1 = make_vm(registry=registry, metrics_enabled=True)
+        vm1.run("MAIN")
+        reg2 = type(registry)()
+        self._program(reg2)
+        vm2 = make_vm(registry=reg2, metrics_enabled=True)
+        vm2.run("MAIN")
+        assert (json.dumps(vm1.metrics.snapshot(), sort_keys=True)
+                == json.dumps(vm2.metrics.snapshot(), sort_keys=True))
+
+    def test_slot_occupancy_gauge_high_water(self, make_vm, registry):
+        self._program(registry)
+        vm = make_vm(registry=registry, metrics_enabled=True)
+        vm.run("MAIN")
+        gauges = [g for key, g in vm.metrics._gauges.items()
+                  if key[0] == "slot_occupancy"]
+        assert gauges and max(g.high_water for g in gauges) >= 2

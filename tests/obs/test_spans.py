@@ -1,0 +1,134 @@
+"""Unit tests: span derivation from section-12 trace events."""
+
+from repro.core.taskid import TaskId
+from repro.core.tracing import TraceEvent, TraceEventType
+from repro.obs.spans import (
+    CAT_CRITICAL,
+    CAT_MESSAGE,
+    CAT_TASK,
+    Span,
+    derive_spans,
+    span_summary,
+)
+
+A = TaskId(1, 1, 1)
+B = TaskId(2, 1, 1)
+
+
+def ev(etype, task=A, ticks=0, info="", other=None, pe=3):
+    return TraceEvent(etype=etype, task=task, pe=pe, ticks=ticks,
+                      info=info, other=other)
+
+
+class TestTaskSpans:
+    def test_init_term_pair(self):
+        spans = derive_spans([
+            ev(TraceEventType.TASK_INIT, ticks=10, info="type=W"),
+            ev(TraceEventType.TASK_TERM, ticks=90),
+        ])
+        assert spans == [Span(name="W", cat=CAT_TASK, task=str(A), pe=3,
+                              start=10, end=90)]
+        assert spans[0].duration == 80 and spans[0].closed
+
+    def test_unterminated_task_open_span(self):
+        events = [ev(TraceEventType.TASK_INIT, ticks=5, info="type=W")]
+        assert derive_spans(events) == []
+        open_spans = derive_spans(events, include_open=True)
+        assert len(open_spans) == 1 and not open_spans[0].closed
+        assert open_spans[0].duration is None
+
+
+class TestMessageSpans:
+    def test_send_accept_matched_fifo(self):
+        events = [
+            ev(TraceEventType.MSG_SEND, task=A, ticks=10,
+               info="type=GO bytes=8", other=B),
+            ev(TraceEventType.MSG_SEND, task=A, ticks=20,
+               info="type=GO bytes=8", other=B),
+            ev(TraceEventType.MSG_ACCEPT, task=B, ticks=50,
+               info="type=GO", other=A),
+            ev(TraceEventType.MSG_ACCEPT, task=B, ticks=70,
+               info="type=GO", other=A),
+        ]
+        spans = derive_spans(events)
+        assert [s.cat for s in spans] == [CAT_MESSAGE, CAT_MESSAGE]
+        # FIFO: the first send matches the first accept.
+        assert [(s.start, s.end) for s in spans] == [(10, 50), (20, 70)]
+        assert spans[0].args == (("to", str(B)),)
+
+    def test_different_mtype_does_not_match(self):
+        events = [
+            ev(TraceEventType.MSG_SEND, task=A, ticks=10,
+               info="type=GO", other=B),
+            ev(TraceEventType.MSG_ACCEPT, task=B, ticks=50,
+               info="type=STOP", other=A),
+        ]
+        assert derive_spans(events) == []
+
+
+class TestCriticalSpans:
+    def test_lock_unlock_pair(self):
+        spans = derive_spans([
+            ev(TraceEventType.LOCK, ticks=100, info="lock=L member=0"),
+            ev(TraceEventType.UNLOCK, ticks=140, info="lock=L member=0"),
+        ])
+        assert spans == [Span(name="L", cat=CAT_CRITICAL, task=str(A),
+                              pe=3, start=100, end=140)]
+
+    def test_per_task_per_lock_matching(self):
+        spans = derive_spans([
+            ev(TraceEventType.LOCK, task=A, ticks=10, info="lock=L"),
+            ev(TraceEventType.LOCK, task=B, ticks=20, info="lock=M"),
+            ev(TraceEventType.UNLOCK, task=B, ticks=30, info="lock=M"),
+            ev(TraceEventType.UNLOCK, task=A, ticks=40, info="lock=L"),
+        ])
+        by_name = {s.name: s for s in spans}
+        assert (by_name["L"].start, by_name["L"].end) == (10, 40)
+        assert (by_name["M"].start, by_name["M"].end) == (20, 30)
+
+
+class TestOrderingAndSummary:
+    def test_output_sorted_by_start(self):
+        spans = derive_spans([
+            ev(TraceEventType.TASK_INIT, ticks=50, info="type=W"),
+            ev(TraceEventType.LOCK, task=B, ticks=5, info="lock=L"),
+            ev(TraceEventType.UNLOCK, task=B, ticks=9, info="lock=L"),
+            ev(TraceEventType.TASK_TERM, ticks=99),
+        ])
+        assert [s.start for s in spans] == sorted(s.start for s in spans)
+
+    def test_span_summary(self):
+        spans = derive_spans([
+            ev(TraceEventType.TASK_INIT, ticks=0, info="type=W"),
+            ev(TraceEventType.TASK_TERM, ticks=100),
+            ev(TraceEventType.MSG_SEND, task=A, ticks=10,
+               info="type=GO", other=B),
+        ], include_open=True)
+        summary = span_summary(spans)
+        assert summary[CAT_TASK] == {"count": 1, "total_ticks": 100,
+                                     "open": 0}
+        assert summary[CAT_MESSAGE]["open"] == 1
+
+
+class TestRealRun:
+    def test_spans_from_traced_vm(self, make_vm, registry):
+        from repro.core.taskid import PARENT, SAME
+
+        @registry.tasktype("CHILD")
+        def child(ctx):
+            ctx.compute(40)
+            ctx.send(PARENT, "DONE")
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            ctx.initiate("CHILD", on=SAME)
+            ctx.accept("DONE")
+
+        vm = make_vm(registry=registry)
+        vm.tracer.enable_all()
+        vm.run("MAIN")
+        spans = derive_spans(vm.tracer.events)
+        cats = {s.cat for s in spans}
+        assert CAT_TASK in cats and CAT_MESSAGE in cats
+        for s in spans:
+            assert s.closed and s.duration >= 0
