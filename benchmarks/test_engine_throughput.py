@@ -1,0 +1,246 @@
+"""Wall-clock throughput of the scheduler/messaging fast path.
+
+The first point in the repo's perf trajectory (``BENCH_*.json``): for
+each workload and size, run the identical program under both engine
+dispatchers --
+
+* ``indexed``: lazy-deletion heap dispatch + per-process grant events
+  (O(log n) per dispatch, exactly one thread woken per switch);
+* ``scan``: the seed's O(n) linear scan + broadcast wakeups, kept as
+  the reference oracle --
+
+measure dispatches/second and end-to-end wall time, assert the virtual
+times are **bit-identical** (the determinism contract), and write
+``BENCH_engine_throughput.json`` at the repo root.
+
+Sizes shrink when ``ENGINE_BENCH_SMOKE`` is set (the CI smoke job);
+the full run's largest configuration has >= 100 simulated processes
+and a >= 50-deep in-queue backlog, and must show >= 2x wall-clock
+improvement for the indexed engine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.apps.jacobi import run_jacobi_windows
+from repro.apps.matmul import run_matmul_tasks
+from repro.apps.pipeline import run_pipeline
+from repro.config.configuration import ClusterSpec, Configuration
+from repro.core.accept import ALL_RECEIVED
+from repro.core.task import TaskRegistry
+from repro.core.taskid import ANY, PARENT
+from repro.core.vm import PiscesVM
+from repro.flex.presets import small_flex
+from repro.mmos.scheduler import Engine
+
+SMOKE = bool(os.environ.get("ENGINE_BENCH_SMOKE"))
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine_throughput.json"
+
+#: Minimum indexed-vs-scan speedup demanded on the largest scheduler
+#: stress configuration (full sizes; the smoke run only sanity-checks).
+MIN_SPEEDUP = 2.0 if not SMOKE else 1.2
+
+
+# ------------------------------------------------------------- workloads --
+
+def sched_stress(n_procs: int, switches: int, dispatcher: str):
+    """Pure engine churn: ``n_procs`` processes on 8 PEs, each cycling
+    charge/preempt with a periodic deadline nap (heap re-key path)."""
+    eng = Engine(small_flex(8), dispatcher=dispatcher)
+    pes = sorted(eng.machine.pes)
+
+    def body():
+        for i in range(switches):
+            eng.charge(3)
+            eng.preempt(2)
+            if i % 5 == 4:
+                eng.block("nap", deadline=eng.now() + 7)
+
+    for k in range(n_procs):
+        eng.spawn(f"w{k}", pes[k % len(pes)], body)
+    t0 = time.perf_counter()
+    eng.run()
+    wall = time.perf_counter() - t0
+    dispatches, elapsed = eng.dispatch_count, eng.machine.elapsed()
+    eng.shutdown()
+    return wall, dispatches, elapsed
+
+
+def build_backlog_registry(rounds: int, backlog: int) -> TaskRegistry:
+    """The section-13 hazard: LOG messages pile up unaccepted while the
+    receiver repeatedly ACCEPTs a different type (GO)."""
+    reg = TaskRegistry()
+
+    @reg.tasktype("FLOOD")
+    def flood(ctx):
+        for _ in range(rounds):
+            for i in range(backlog):
+                ctx.send(PARENT, "LOG", i)
+            ctx.send(PARENT, "GO")
+
+    @reg.tasktype("BMAIN")
+    def bmain(ctx):
+        ctx.initiate("FLOOD", on=ANY)
+        for _ in range(rounds):
+            ctx.accept("GO")         # must skip the growing LOG backlog
+        drained = ctx.accept(("LOG", ALL_RECEIVED))
+        return drained.count
+
+    return reg
+
+
+def inqueue_backlog(rounds: int, backlog: int, dispatcher: str):
+    os.environ["PISCES_DISPATCHER"] = dispatcher
+    try:
+        reg = build_backlog_registry(rounds, backlog)
+        config = Configuration(
+            clusters=(ClusterSpec(1, 3, 4), ClusterSpec(2, 4, 4)),
+            name="inqueue-backlog")
+        vm = PiscesVM(config, registry=reg)
+        t0 = time.perf_counter()
+        r = vm.run("BMAIN")
+        wall = time.perf_counter() - t0
+        assert r.value == rounds * backlog, "backlog drain lost messages"
+        dispatches, elapsed = vm.engine.dispatch_count, r.elapsed
+        vm.shutdown()
+        return wall, dispatches, elapsed
+    finally:
+        os.environ.pop("PISCES_DISPATCHER", None)
+
+
+def app_workload(fn, dispatcher: str):
+    """Run one app under ``dispatcher``; returns (wall, dispatches, vt)."""
+    os.environ["PISCES_DISPATCHER"] = dispatcher
+    try:
+        t0 = time.perf_counter()
+        r = fn()
+        wall = time.perf_counter() - t0
+        dispatches = r.vm.engine.dispatch_count
+        elapsed = int(r.elapsed)
+        r.vm.shutdown()
+        return wall, dispatches, elapsed
+    finally:
+        os.environ.pop("PISCES_DISPATCHER", None)
+
+
+def _sizes():
+    """(workload name, size name, runner(dispatcher), population note)."""
+    if SMOKE:
+        stress_small, stress_large = (10, 8), (40, 12)
+        jac_small, jac_large = (8, 2, 3), (12, 2, 6)
+        mm_small, mm_large = (8, 3), (12, 6)
+        pipe_small, pipe_large = (3, 8), (5, 20)
+        back_small, back_large = (3, 10), (4, 50)
+    else:
+        stress_small, stress_large = (24, 15), (120, 30)
+        jac_small, jac_large = (12, 2, 4), (24, 4, 10)
+        mm_small, mm_large = (10, 4), (24, 10)
+        pipe_small, pipe_large = (3, 12), (8, 48)
+        back_small, back_large = (4, 12), (6, 60)
+    return [
+        ("sched_stress", "small",
+         lambda d: sched_stress(*stress_small, d),
+         {"n_procs": stress_small[0]}),
+        ("sched_stress", "large",
+         lambda d: sched_stress(*stress_large, d),
+         {"n_procs": stress_large[0]}),
+        ("jacobi_windows", "small",
+         lambda d: app_workload(lambda: run_jacobi_windows(
+             n=jac_small[0], sweeps=jac_small[1], n_workers=jac_small[2]), d),
+         {"n": jac_small[0], "workers": jac_small[2]}),
+        ("jacobi_windows", "large",
+         lambda d: app_workload(lambda: run_jacobi_windows(
+             n=jac_large[0], sweeps=jac_large[1], n_workers=jac_large[2]), d),
+         {"n": jac_large[0], "workers": jac_large[2]}),
+        ("matmul_tasks", "small",
+         lambda d: app_workload(lambda: run_matmul_tasks(
+             n=mm_small[0], n_workers=mm_small[1]), d),
+         {"n": mm_small[0], "workers": mm_small[1]}),
+        ("matmul_tasks", "large",
+         lambda d: app_workload(lambda: run_matmul_tasks(
+             n=mm_large[0], n_workers=mm_large[1]), d),
+         {"n": mm_large[0], "workers": mm_large[1]}),
+        ("pipeline", "small",
+         lambda d: app_workload(lambda: run_pipeline(
+             n_stages=pipe_small[0], items=list(range(pipe_small[1]))), d),
+         {"stages": pipe_small[0], "items": pipe_small[1]}),
+        ("pipeline", "large",
+         lambda d: app_workload(lambda: run_pipeline(
+             n_stages=pipe_large[0], items=list(range(pipe_large[1])),
+             slots=8), d),
+         {"stages": pipe_large[0], "items": pipe_large[1]}),
+        ("inqueue_backlog", "small",
+         lambda d: inqueue_backlog(*back_small, d),
+         {"rounds": back_small[0], "backlog": back_small[1]}),
+        ("inqueue_backlog", "large",
+         lambda d: inqueue_backlog(*back_large, d),
+         {"rounds": back_large[0], "backlog": back_large[1]}),
+    ]
+
+
+# ------------------------------------------------------------ the bench --
+
+def test_engine_throughput(report):
+    rows = []
+    for workload, size, runner, params in _sizes():
+        per = {}
+        virtual = {}
+        dispatches = {}
+        for dispatcher in ("scan", "indexed"):
+            wall, n_disp, vt = runner(dispatcher)
+            per[dispatcher] = {
+                "wall_s": round(wall, 4),
+                "dispatches_per_s": round(n_disp / wall, 1) if wall > 0 else None,
+            }
+            virtual[dispatcher] = vt
+            dispatches[dispatcher] = n_disp
+        # The determinism contract: both dispatchers replay the exact
+        # same virtual history.
+        assert virtual["indexed"] == virtual["scan"], (
+            f"{workload}/{size}: virtual time diverged "
+            f"(indexed={virtual['indexed']}, scan={virtual['scan']})")
+        assert dispatches["indexed"] == dispatches["scan"], (
+            f"{workload}/{size}: dispatch count diverged")
+        speedup = (per["scan"]["wall_s"] / per["indexed"]["wall_s"]
+                   if per["indexed"]["wall_s"] > 0 else float("inf"))
+        rows.append({
+            "workload": workload, "size": size, "params": params,
+            "dispatches": dispatches["indexed"],
+            "virtual_elapsed": virtual["indexed"],
+            "scan": per["scan"], "indexed": per["indexed"],
+            "speedup": round(speedup, 2),
+        })
+
+    doc = {
+        "benchmark": "engine_throughput",
+        "smoke": SMOKE,
+        "min_speedup_required": MIN_SPEEDUP,
+        "workloads": rows,
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+    header = (f"{'workload':<16} {'size':<6} {'disp':>6} {'vtime':>8} "
+              f"{'scan /s':>10} {'indexed /s':>11} {'speedup':>8}")
+    report("engine throughput: indexed vs scan dispatcher")
+    report(header)
+    report("-" * len(header))
+    for r in rows:
+        report(f"{r['workload']:<16} {r['size']:<6} {r['dispatches']:>6} "
+               f"{r['virtual_elapsed']:>8} "
+               f"{r['scan']['dispatches_per_s']:>10,.0f} "
+               f"{r['indexed']['dispatches_per_s']:>11,.0f} "
+               f"{r['speedup']:>7.2f}x")
+    report(f"\nwritten: {BENCH_PATH.name}")
+
+    largest = next(r for r in rows
+                   if r["workload"] == "sched_stress" and r["size"] == "large")
+    assert largest["speedup"] >= MIN_SPEEDUP, (
+        f"largest configuration speedup {largest['speedup']}x is below the "
+        f"required {MIN_SPEEDUP}x (scan {largest['scan']}, "
+        f"indexed {largest['indexed']})")

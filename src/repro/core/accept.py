@@ -145,6 +145,24 @@ class AcceptState:
         #: ``result.messages``); the observability layer derives the
         #: send->accept latency from it.
         self.take_times: List[int] = []
+        #: Cache for :meth:`wanted_now`, invalidated by :meth:`take` --
+        #: the accept wait loop probes the in-queue many times between
+        #: takes and must not rebuild the type collection per probe.
+        self._wanted_cache: Optional[Tuple[str, ...]] = None
+
+    def wanted_now(self) -> Tuple[str, ...]:
+        """Types the accept would take one more message of, right now.
+
+        Returns a stable tuple (no duplicates: spec types are dict
+        keys), built once per take rather than once per in-queue poll;
+        :meth:`InQueue.first_matching` iterates it directly without
+        constructing a set.
+        """
+        w = self._wanted_cache
+        if w is None:
+            w = self._wanted_cache = tuple(
+                t for t in self.spec.per_type if self.wants(t))
+        return w
 
     def wants(self, mtype: str) -> bool:
         """Would the accept take one more message of this type?"""
@@ -161,6 +179,7 @@ class AcceptState:
         self.taken[msg.mtype] += 1
         self.result.messages.append(msg)
         self.take_times.append(msg.arrival_time if now is None else now)
+        self._wanted_cache = None
 
     def satisfied(self) -> bool:
         """True when the accept need not wait for more messages."""

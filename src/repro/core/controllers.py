@@ -84,13 +84,15 @@ class Controller:
         while True:
             eng.preempt(0)
             now = eng.now()
-            for m in self.inq.messages():
-                if m.arrival_time <= now:
-                    self.inq.remove(m)
-                    return m
-            nxt = min((m.arrival_time for m in self.inq.messages()),
-                      default=None)
-            eng.block(f"{self.kind}-wait", deadline=nxt)
+            # The queue is in (arrival_time, seq) order, so the head is
+            # both the first deliverable message and the earliest
+            # possible deadline -- no per-poll copy of the queue.
+            m = self.inq.peek()
+            if m is not None and m.arrival_time <= now:
+                self.inq.remove(m)
+                return m
+            eng.block(f"{self.kind}-wait",
+                      deadline=None if m is None else m.arrival_time)
 
     def handle(self, msg: Message) -> None:  # pragma: no cover - abstract
         raise NotImplementedError

@@ -11,8 +11,9 @@ the taskid of the sender is included as part of the message".
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..flex.memory import Allocation, HeapAllocator
 from .sizes import MSG_HEADER_BYTES, PACKET_HEADER_BYTES, PACKET_PAYLOAD_BYTES, message_bytes
@@ -21,9 +22,14 @@ from .taskid import TaskId
 _seq = itertools.count(1)
 
 
-@dataclass
+@dataclass(eq=False)
 class Message:
-    """One in-flight or queued message."""
+    """One in-flight or queued message.
+
+    Identity equality (``eq=False``): every message is a distinct heap
+    extent with a globally unique ``seq``, and identity comparison keeps
+    queue removal a pointer scan instead of field-wise comparison.
+    """
 
     mtype: str
     args: Tuple[Any, ...]
@@ -74,16 +80,31 @@ def release_message(heap: HeapAllocator, msg: Message) -> None:
 
 
 class InQueue:
-    """A task's in-queue: messages in arrival order.
+    """A task's in-queue: messages in arrival order, indexed by type.
 
     The receiver scans it with ACCEPT; messages not matching the accept
     specification stay queued (and keep their heap bytes) until a later
     ACCEPT names their type or the task terminates.
+
+    Two structures are kept in lockstep:
+
+    * ``_q`` -- every queued message in global ``(arrival_time, seq)``
+      order (the paper's arrival-ordered in-queue, used by displays and
+      the monitor's queue dump);
+    * ``_by_type`` -- one deque per message type, each in the same key
+      order, so :meth:`first_matching` / :meth:`earliest_arrival` peek
+      at per-type heads instead of scanning the unmatched backlog (the
+      section-13 "messages left waiting in the in-queue" scenario made
+      the scan quadratic).
+
+    ``live_bytes`` is maintained incrementally at enqueue/remove.
     """
 
     def __init__(self, owner: TaskId):
         self.owner = owner
         self._q: List[Message] = []
+        self._by_type: Dict[str, Deque[Message]] = {}
+        self._live_bytes = 0
         self.total_received = 0
         #: Deepest the queue has ever been (cheap, always on).
         self.max_depth = 0
@@ -108,6 +129,17 @@ class InQueue:
         while i > 0 and q[i - 1].key() > key:
             i -= 1
         q.insert(i, msg)
+        d = self._by_type.get(msg.mtype)
+        if d is None:
+            d = self._by_type[msg.mtype] = deque()
+        if not d or d[-1].key() <= key:
+            d.append(msg)
+        else:
+            j = len(d)
+            while j > 0 and d[j - 1].key() > key:
+                j -= 1
+            d.insert(j, msg)
+        self._live_bytes += msg.nbytes
         self.total_received += 1
         depth = len(q)
         if depth > self.max_depth:
@@ -117,32 +149,61 @@ class InQueue:
             m.histogram("inqueue_depth", **self.metric_labels).observe(depth)
             m.counter("inqueue_bytes", **self.metric_labels).inc(msg.nbytes)
 
+    def peek(self) -> Optional[Message]:
+        """Earliest queued message of any type (None when empty)."""
+        return self._q[0] if self._q else None
+
     def first_matching(self, mtypes: Iterable[str],
                        not_after: Optional[int] = None) -> Optional[Message]:
         """Earliest queued message whose type is in ``mtypes``.
 
         ``not_after`` bounds the arrival time (a receiver at virtual
-        time *t* only sees messages that have already arrived).
+        time *t* only sees messages that have already arrived).  Cost is
+        O(len(mtypes)): each per-type deque is in key order, so only its
+        head can be the answer.
         """
-        wanted = set(mtypes)
-        for m in self._q:
+        best = None
+        best_key = None
+        for t in mtypes:
+            d = self._by_type.get(t)
+            if not d:
+                continue
+            m = d[0]
             if not_after is not None and m.arrival_time > not_after:
-                break
-            if m.mtype in wanted:
-                return m
-        return None
+                continue
+            k = m.key()
+            if best_key is None or k < best_key:
+                best, best_key = m, k
+        return best
 
     def earliest_arrival(self, mtypes: Iterable[str],
                          after: int) -> Optional[int]:
         """Arrival time of the first matching message later than ``after``."""
-        wanted = set(mtypes)
-        for m in self._q:
-            if m.arrival_time > after and m.mtype in wanted:
-                return m.arrival_time
-        return None
+        best = None
+        for t in mtypes:
+            d = self._by_type.get(t)
+            if not d:
+                continue
+            # In-flight matches sit behind any already-arrived backlog
+            # of the same type; key order makes the first one past
+            # ``after`` the earliest for this type.
+            for m in d:
+                if m.arrival_time > after:
+                    if best is None or m.arrival_time < best:
+                        best = m.arrival_time
+                    break
+        return best
 
     def remove(self, msg: Message) -> None:
         self._q.remove(msg)
+        d = self._by_type[msg.mtype]
+        if d[0] is msg:
+            d.popleft()
+        else:
+            d.remove(msg)
+        if not d:
+            del self._by_type[msg.mtype]
+        self._live_bytes -= msg.nbytes
 
     def remove_type(self, mtype: Optional[str] = None) -> List[Message]:
         """Drop all messages (of one type, or every type); returns them.
@@ -152,16 +213,23 @@ class InQueue:
         """
         if mtype is None:
             dropped, self._q = self._q, []
-        else:
-            dropped = [m for m in self._q if m.mtype == mtype]
-            self._q = [m for m in self._q if m.mtype != mtype]
+            self._by_type.clear()
+            self._live_bytes = 0
+            return dropped
+        d = self._by_type.pop(mtype, None)
+        if not d:
+            return []
+        dropped = list(d)    # already in queue (key) order
+        self._q = [m for m in self._q if m.mtype != mtype]
+        for m in dropped:
+            self._live_bytes -= m.nbytes
         return dropped
 
     def messages(self) -> List[Message]:
         return list(self._q)
 
     def live_bytes(self) -> int:
-        return sum(m.nbytes for m in self._q)
+        return self._live_bytes
 
     def describe(self) -> str:
         if not self._q:

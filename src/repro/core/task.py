@@ -285,7 +285,7 @@ class TaskContext:
         while True:
             # Take everything already arrived that the spec still wants.
             while True:
-                wanted = [t for t in spec.per_type if state.wants(t)]
+                wanted = state.wanted_now()
                 if not wanted:
                     break
                 m = inq.first_matching(wanted, not_after=eng.now())

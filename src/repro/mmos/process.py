@@ -71,10 +71,19 @@ class KernelProcess:
         self.on_exit: Optional[Callable[["KernelProcess"], None]] = None
 
         self.run_granted = False
+        #: Per-process admission gate (indexed dispatcher): the engine
+        #: sets it to hand this thread the machine, so a context switch
+        #: wakes exactly one thread instead of broadcasting to all.
+        self.grant = threading.Event()
         self.thread: Optional[threading.Thread] = None
         #: Dispatch sequence number of the last slice (for round-robin
         #: tie-breaking among processes sharing a PE).
         self.last_dispatched: int = 0
+        #: Scheduling generation, bumped by the engine on every state
+        #: change that can affect the dispatch key; heap entries carry
+        #: the generation they were pushed with, so stale entries are
+        #: recognized and discarded lazily at pop time.
+        self.sched_gen: int = 0
 
     # ------------------------------------------------------------------
 

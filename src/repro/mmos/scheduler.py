@@ -23,12 +23,31 @@ This is the substrate substitution for the real MMOS kernel running on
 Determinism: given the same program and configuration, every dispatch,
 message arrival and timeout happens in the same order with the same
 virtual timestamps.  The whole test-suite relies on this.
+
+Two dispatcher implementations share that contract (see
+``docs/architecture.md``, "Dispatch algorithm and determinism
+contract"):
+
+* ``indexed`` (default) -- a lazy-deletion min-heap over runnable
+  processes, O(log n) per dispatch, with a per-process grant event so a
+  context switch wakes exactly one thread;
+* ``scan`` -- the original O(n) linear scan with a broadcast on one
+  shared condition variable, kept as the reference oracle.  Both must
+  produce bit-identical virtual timestamps and dispatch order; the
+  property suite and the engine-throughput benchmark assert it.
+
+The default can be forced with the ``PISCES_DISPATCHER`` environment
+variable (``indexed`` or ``scan``).
 """
 
 from __future__ import annotations
 
+import heapq
+import os
 import threading
-from typing import Any, Callable, Dict, List, Optional
+import time
+import warnings
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import DeadlockError, NotInProcess, ProcessKilled, TimeLimitExceeded
 from ..flex.machine import FlexMachine
@@ -37,19 +56,48 @@ from .process import KernelProcess, ProcState
 #: Default ticks charged by a kernel point when the caller gives none.
 DEFAULT_KERNEL_COST = 5
 
+#: Recognized dispatcher implementations.
+DISPATCHERS = ("indexed", "scan")
+
+
+def default_dispatcher() -> str:
+    """Dispatcher used when the Engine caller does not choose one."""
+    d = os.environ.get("PISCES_DISPATCHER", "indexed")
+    if d not in DISPATCHERS:
+        raise ValueError(
+            f"PISCES_DISPATCHER={d!r}: must be one of {DISPATCHERS}")
+    return d
+
 
 class Engine:
     """The MMOS scheduler/dispatcher for one machine."""
 
-    def __init__(self, machine: FlexMachine, time_limit: Optional[int] = None):
+    def __init__(self, machine: FlexMachine, time_limit: Optional[int] = None,
+                 dispatcher: Optional[str] = None):
         self.machine = machine
         self.time_limit = time_limit
+        if dispatcher is None:
+            dispatcher = default_dispatcher()
+        if dispatcher not in DISPATCHERS:
+            raise ValueError(
+                f"dispatcher {dispatcher!r}: must be one of {DISPATCHERS}")
+        self.dispatcher = dispatcher
+        self._indexed = dispatcher == "indexed"
         self._cv = threading.Condition()
         self._procs: Dict[int, KernelProcess] = {}
+        #: Lazy-deletion heap of ``(key, pid, gen)`` over runnable
+        #: processes (indexed dispatcher only).  Invariant: every stored
+        #: key is <= the process's current key (clocks and ready times
+        #: only move forward), so popping the least stored key and
+        #: re-keying on staleness always yields the true minimum.
+        self._heap: List[Tuple[tuple, int, int]] = []
         self._current: Optional[KernelProcess] = None
         self._now: int = 0          # start time of the latest dispatch
         self._dispatch_seq: int = 0
         self._shutdown = False
+        #: Names of processes whose threads survived :meth:`shutdown`
+        #: (stuck mid-slice or unjoinable) -- see the RuntimeWarning.
+        self.leaked_threads: List[str] = []
         #: When True, every executed slice is appended to ``slices`` as
         #: (pe, start, end, process name) -- the raw material for the
         #: per-PE timeline in :mod:`repro.analysis`.
@@ -81,14 +129,12 @@ class Engine:
                              name=f"pisces-{name}-{p.pid}", daemon=True)
         p.thread = t
         self._procs[p.pid] = p
+        self._requeue(p)
         t.start()
         return p
 
     def _thread_body(self, p: KernelProcess) -> None:
-        with self._cv:
-            while not p.run_granted:
-                self._cv.wait()
-            p.run_granted = False
+        self._wait_for_grant(p)
         try:
             if p.killed:
                 raise ProcessKilled(p.name)
@@ -112,7 +158,37 @@ class Engine:
                 p.pending_cost = 0
                 p.ready_time = end
                 p.state = ProcState.DONE
+                self._requeue(p)    # invalidate any queued heap entry
                 self._cv.notify_all()
+
+    # ------------------------------------------------------ thread handoff --
+
+    def _wait_for_grant(self, p: KernelProcess) -> None:
+        """Park the calling process thread until the engine admits it.
+
+        Indexed mode: each process waits on its own event, so a grant
+        wakes exactly one thread.  Scan (reference) mode: all parked
+        threads share the engine condition variable and every grant is
+        a broadcast -- the O(n)-wakeups behaviour the indexed path
+        replaces.
+        """
+        if self._indexed:
+            p.grant.wait()
+            p.grant.clear()
+            p.run_granted = False
+        else:
+            with self._cv:
+                while not p.run_granted:
+                    self._cv.wait()
+                p.run_granted = False
+
+    def _grant_locked(self, p: KernelProcess) -> None:
+        """Admit ``p`` (caller holds ``_cv``)."""
+        p.run_granted = True
+        if self._indexed:
+            p.grant.set()
+        else:
+            self._cv.notify_all()
 
     # ---------------------------------------------------- process-side ----
 
@@ -186,6 +262,7 @@ class Engine:
         p.timed_out = False
         p.blocked_on = ""
         p.state = ProcState.READY
+        self._requeue(p)
         return True
 
     def kill(self, p: KernelProcess) -> None:
@@ -198,6 +275,7 @@ class Engine:
             p.blocked_on = "killed"
             p.ready_time = max(p.ready_time, self.now())
             p.state = ProcState.READY
+            self._requeue(p)
 
     def _yield(self, p: KernelProcess, new_state: ProcState, *,
                reason: str = "", deadline: Optional[int] = None) -> None:
@@ -219,10 +297,16 @@ class Engine:
             p.state = new_state
             p.blocked_on = reason
             p.deadline = deadline
+            self._requeue(p)
             self._current = None
             self._cv.notify_all()
-            while not p.run_granted:
-                self._cv.wait()
+            if not self._indexed:
+                while not p.run_granted:
+                    self._cv.wait()
+                p.run_granted = False
+        if self._indexed:
+            p.grant.wait()
+            p.grant.clear()
             p.run_granted = False
         if p.killed:
             raise ProcessKilled(p.name)
@@ -238,12 +322,54 @@ class Engine:
         # blocked with a deadline: runnable at the deadline
         return (max(p.deadline, pe_clock), p.last_dispatched, p.pid)
 
+    @staticmethod
+    def _is_runnable(p: KernelProcess) -> bool:
+        return p.state is ProcState.READY or (
+            p.state is ProcState.BLOCKED and p.deadline is not None)
+
+    def _requeue(self, p: KernelProcess) -> None:
+        """Re-index ``p`` after any scheduling-state change.
+
+        Bumps the process's generation (invalidating every entry already
+        in the heap) and, if the process is runnable, pushes one fresh
+        entry at its current key.  No-op in scan mode.
+        """
+        if not self._indexed:
+            return
+        p.sched_gen += 1
+        if self._is_runnable(p):
+            heapq.heappush(self._heap,
+                           (self._runnable_key(p), p.pid, p.sched_gen))
+
+    def _pop_runnable(self) -> Tuple[Optional[KernelProcess], Optional[tuple]]:
+        """Pop the runnable process with the least current key.
+
+        Lazy deletion: entries whose generation is stale (the process
+        was re-queued or parked since the push) are discarded; entries
+        whose stored key lags the current key (its PE clock advanced
+        since the push) are re-pushed at the current key.  Because keys
+        only increase, an entry that pops with stored == current key is
+        the global minimum.
+        """
+        heap = self._heap
+        while heap:
+            key, pid, gen = heapq.heappop(heap)
+            p = self._procs.get(pid)
+            if p is None or gen != p.sched_gen or not self._is_runnable(p):
+                continue
+            true_key = self._runnable_key(p)
+            if true_key != key:
+                heapq.heappush(heap, (true_key, pid, gen))
+                continue
+            return p, key
+        return None, None
+
     def _pick(self) -> Optional[KernelProcess]:
+        """Reference dispatcher: O(n) scan over all processes."""
         best = None
         best_key = None
         for p in self._procs.values():
-            if p.state is ProcState.READY or (
-                    p.state is ProcState.BLOCKED and p.deadline is not None):
+            if self._is_runnable(p):
                 k = self._runnable_key(p)
                 if best_key is None or k < best_key:
                     best, best_key = p, k
@@ -256,13 +382,18 @@ class Engine:
         after that virtual time -- the monitor uses this so that pumping
         the machine "now" does not fast-forward through long DELAYs.
         """
-        p = self._pick()
+        if self._indexed:
+            p, key = self._pop_runnable()
+        else:
+            p = self._pick()
+            key = None if p is None else self._runnable_key(p)
         if p is None:
             return False
-        if horizon is not None:
-            start_key = self._runnable_key(p)[0]
-            if start_key > horizon:
-                return False
+        if horizon is not None and key[0] > horizon:
+            if self._indexed:
+                # The entry was valid; put it back for the next step.
+                heapq.heappush(self._heap, (key, p.pid, p.sched_gen))
+            return False
         if p.state is ProcState.BLOCKED:
             # Deadline fired: resume with timed_out set.
             p.timed_out = True
@@ -284,8 +415,7 @@ class Engine:
             p.slice_start = start
             p.state = ProcState.RUNNING
             self._current = p
-            p.run_granted = True
-            self._cv.notify_all()
+            self._grant_locked(p)
             while p.state is ProcState.RUNNING:
                 self._cv.wait()
         self._current = None
@@ -296,6 +426,11 @@ class Engine:
         if self.on_idle_check is not None:
             self.on_idle_check()
         return True
+
+    @property
+    def dispatch_count(self) -> int:
+        """Total slices dispatched so far (benchmark instrumentation)."""
+        return self._dispatch_seq
 
     def run(self) -> None:
         """Run until no non-daemon process is live, or deadlock.
@@ -324,8 +459,16 @@ class Engine:
 
     # --------------------------------------------------------- shutdown --
 
-    def shutdown(self) -> None:
-        """Kill every live process and join their threads."""
+    def shutdown(self, join_timeout: float = 5.0) -> None:
+        """Kill every live process and join their threads.
+
+        A thread that does not come back to a kernel point within
+        ``join_timeout`` wall-clock seconds (it is stuck in user code,
+        or swallowed :class:`ProcessKilled`) is recorded in
+        :attr:`leaked_threads` and reported with a ``RuntimeWarning`` --
+        a leaked thread is a bug to diagnose, never something to ignore
+        silently.
+        """
         if self._shutdown:
             return
         self._shutdown = True
@@ -333,6 +476,7 @@ class Engine:
             if p.live:
                 p.killed = True
         # Grant every live thread once so it can observe `killed` and exit.
+        stuck: List[str] = []
         for p in list(self._procs.values()):
             while p.live and p.thread is not None and p.thread.is_alive():
                 with self._cv:
@@ -340,15 +484,34 @@ class Engine:
                         break
                     p.state = ProcState.RUNNING
                     self._current = p
-                    p.run_granted = True
-                    self._cv.notify_all()
+                    self._grant_locked(p)
+                    limit = time.monotonic() + join_timeout
                     while p.state is ProcState.RUNNING:
-                        self._cv.wait()
+                        remaining = limit - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cv.wait(remaining)
+                    timed_out = p.state is ProcState.RUNNING
                 self._current = None
                 p.exc = None
+                if timed_out:
+                    stuck.append(p.name)
+                    break
+        leaked: List[str] = []
         for p in self._procs.values():
-            if p.thread is not None:
-                p.thread.join(timeout=5)
+            t = p.thread
+            if t is None:
+                continue
+            t.join(timeout=join_timeout if p.name not in stuck else 0.01)
+            if t.is_alive():
+                leaked.append(p.name)
+        self.leaked_threads = sorted(set(stuck) | set(leaked))
+        if self.leaked_threads:
+            warnings.warn(
+                f"engine shutdown leaked {len(self.leaked_threads)} "
+                f"thread(s) (stuck outside kernel points): "
+                f"{', '.join(self.leaked_threads)}",
+                RuntimeWarning, stacklevel=2)
 
     # ------------------------------------------------------- inspection --
 

@@ -106,3 +106,95 @@ class TestInQueue:
         assert "empty" in q.describe()
         q.enqueue(msg("HELLO", 4))
         assert "HELLO" in q.describe()
+
+
+class TestTypedIndex:
+    """Regressions for the per-mtype index kept beside the arrival list."""
+
+    def _assert_consistent(self, q):
+        """The index must always mirror the arrival-ordered list."""
+        by_type = {}
+        for m in q.messages():
+            by_type.setdefault(m.mtype, []).append(m)
+        assert {t: list(d) for t, d in q._by_type.items()} == by_type
+        assert q.live_bytes() == sum(m.nbytes for m in q.messages())
+
+    def test_out_of_order_enqueue_keeps_index_sorted(self):
+        q = InQueue(B)
+        late = msg("T", 50)
+        early = msg("T", 10)    # lower arrival but later seq
+        other = msg("U", 30)
+        q.enqueue(late)
+        q.enqueue(other)
+        q.enqueue(early)
+        assert [m.arrival_time for m in q.messages()] == [10, 30, 50]
+        assert q.first_matching(["T"], not_after=20) is early
+        self._assert_consistent(q)
+
+    def test_remove_middle_and_front_updates_index(self):
+        q = InQueue(B)
+        ms = [msg("A", 1), msg("B", 2), msg("A", 3), msg("A", 4)]
+        for m in ms:
+            q.enqueue(m)
+        q.remove(ms[2])                       # middle of the A deque
+        assert q.first_matching(["A"], not_after=10) is ms[0]
+        self._assert_consistent(q)
+        q.remove(ms[0])                       # front of the A deque
+        assert q.first_matching(["A"], not_after=10) is ms[3]
+        self._assert_consistent(q)
+        q.remove(ms[3])                       # A deque becomes empty
+        assert q.first_matching(["A"], not_after=10) is None
+        assert q.first_matching(["B"], not_after=10) is ms[1]
+        self._assert_consistent(q)
+
+    def test_remove_missing_message_raises(self):
+        q = InQueue(B)
+        q.enqueue(msg("T", 1))
+        with pytest.raises(ValueError):
+            q.remove(msg("T", 1))    # distinct object, identity equality
+
+    def test_remove_type_single_pass_keeps_order_and_bytes(self):
+        h = HeapAllocator(16384)
+        q = InQueue(B)
+        ms = [msg("A", 1, heap=h), msg("B", 2, heap=h),
+              msg("A", 3, heap=h), msg("C", 4, heap=h)]
+        for m in ms:
+            q.enqueue(m)
+        dropped = q.remove_type("A")
+        assert dropped == [ms[0], ms[2]]      # queue order preserved
+        assert [m.mtype for m in q.messages()] == ["B", "C"]
+        assert q.remove_type("A") == []       # now absent
+        self._assert_consistent(q)
+        q.remove_type(None)
+        assert q.live_bytes() == 0
+        self._assert_consistent(q)
+
+    def test_earliest_arrival_skips_arrived_backlog(self):
+        # The DELAY-bound scenario: an ACCEPT at `now` needs the first
+        # *future* arrival of its open types, behind already-arrived
+        # (unwanted) backlog of other types.
+        q = InQueue(B)
+        for i in range(20):
+            q.enqueue(msg("LOG", i))          # arrived, never accepted
+        q.enqueue(msg("GO", 55))
+        q.enqueue(msg("GO", 70))
+        assert q.earliest_arrival(["GO"], after=30) == 55
+        assert q.earliest_arrival(["GO"], after=55) == 70
+        assert q.earliest_arrival(["GO", "LOG"], after=25) == 55
+        assert q.earliest_arrival(["LOG"], after=25) is None
+
+    def test_peek_returns_queue_head(self):
+        q = InQueue(B)
+        assert q.peek() is None
+        a, b = msg("X", 20), msg("Y", 5)
+        q.enqueue(a)
+        q.enqueue(b)
+        assert q.peek() is b
+        q.remove(b)
+        assert q.peek() is a
+
+    def test_first_matching_duplicate_types_harmless(self):
+        q = InQueue(B)
+        m = msg("T", 5)
+        q.enqueue(m)
+        assert q.first_matching(["T", "T"], not_after=10) is m

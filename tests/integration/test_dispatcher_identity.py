@@ -1,0 +1,62 @@
+"""The indexed dispatcher must replay the scan dispatcher bit-for-bit.
+
+The scheduler docstring's determinism contract is load-bearing for the
+whole suite: swapping the O(n) reference scan for the lazy-deletion
+heap (and broadcast wakeups for per-process grants) must not move a
+single virtual timestamp.  Each app here runs once per dispatcher and
+the full observable history -- elapsed virtual time, dispatch count,
+per-PE clock readings and run stats -- must match exactly.
+"""
+
+import os
+
+import pytest
+
+from repro.apps.fem import run_fem
+from repro.apps.integrate import run_integrate
+from repro.apps.jacobi import run_jacobi_windows
+from repro.apps.matmul import run_matmul_tasks
+from repro.apps.pipeline import run_pipeline
+
+
+def _fingerprint(r):
+    vm = r.vm
+    clocks = vm.machine.clocks.snapshot()
+    stats = vm.stats
+    fp = {
+        "elapsed": int(r.elapsed),
+        "dispatches": vm.engine.dispatch_count,
+        "clocks": {pe: int(t) for pe, t in clocks.items()},
+        "messages_sent": stats.messages_sent,
+        "messages_accepted": stats.messages_accepted,
+        "tasks_started": stats.tasks_started,
+    }
+    vm.shutdown()
+    return fp
+
+
+def _run_both(fn):
+    out = {}
+    for dispatcher in ("indexed", "scan"):
+        os.environ["PISCES_DISPATCHER"] = dispatcher
+        try:
+            out[dispatcher] = _fingerprint(fn())
+        finally:
+            os.environ.pop("PISCES_DISPATCHER", None)
+    return out
+
+
+APPS = [
+    ("jacobi", lambda: run_jacobi_windows(n=12, sweeps=2, n_workers=3)),
+    ("matmul", lambda: run_matmul_tasks(n=8, n_workers=3)),
+    ("fem", lambda: run_fem(n_elements=8)),
+    ("pipeline", lambda: run_pipeline(n_stages=3, items=list(range(8)))),
+    ("integrate", lambda: run_integrate(pieces=12, points_per_piece=4)),
+]
+
+
+@pytest.mark.parametrize("name,fn", APPS, ids=[a[0] for a in APPS])
+def test_app_virtual_history_is_dispatcher_independent(name, fn):
+    got = _run_both(fn)
+    assert got["indexed"] == got["scan"], (
+        f"{name}: virtual history diverged between dispatchers")

@@ -1,7 +1,11 @@
-"""Unit tests: engine on_exit hooks, slice recording, step horizon."""
+"""Unit tests: engine on_exit hooks, slice recording, step horizon,
+dispatcher selection and shutdown leak reporting."""
+
+import threading
 
 import pytest
 
+from repro.errors import ProcessKilled
 from repro.flex.presets import small_flex
 from repro.mmos.process import ProcState
 from repro.mmos.scheduler import Engine
@@ -120,3 +124,61 @@ class TestStepHorizon:
         # allowed when the horizon covers the deadline
         assert eng.step(horizon=20_000)
         eng.shutdown()
+
+    def test_refused_slice_is_not_lost(self):
+        # The indexed dispatcher pops the heap entry to inspect it; a
+        # horizon refusal must push it back, or the process starves.
+        eng = make_engine(dispatcher="indexed")
+        eng.spawn("t", 3, lambda: eng.block("z", deadline=5_000))
+        assert eng.step(horizon=100)
+        assert not eng.step(horizon=100)
+        assert not eng.step(horizon=100)    # repeated refusals are stable
+        assert eng.step()                   # no horizon: deadline fires
+        eng.run()
+        eng.shutdown()
+
+
+class TestDispatcherSelection:
+    def test_bad_dispatcher_rejected(self):
+        with pytest.raises(ValueError, match="dispatcher"):
+            make_engine(dispatcher="bogus")
+
+    def test_env_var_sets_default(self, monkeypatch):
+        monkeypatch.setenv("PISCES_DISPATCHER", "scan")
+        assert make_engine().dispatcher == "scan"
+        monkeypatch.setenv("PISCES_DISPATCHER", "nope")
+        with pytest.raises(ValueError, match="PISCES_DISPATCHER"):
+            make_engine()
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("PISCES_DISPATCHER", "scan")
+        assert make_engine(dispatcher="indexed").dispatcher == "indexed"
+
+
+class TestShutdownLeakReporting:
+    def test_clean_shutdown_reports_no_leaks(self):
+        eng = make_engine()
+        eng.spawn("d", 3, lambda: eng.block("parked"), daemon=True)
+        eng.spawn("t", 4, lambda: eng.charge(10))
+        eng.run()
+        eng.shutdown()
+        assert eng.leaked_threads == []
+
+    def test_stuck_thread_is_counted_and_warned(self):
+        eng = make_engine()
+        release = threading.Event()
+
+        def stubborn():
+            try:
+                eng.block("forever")
+            except ProcessKilled:
+                # Swallows the kill and parks outside any kernel point:
+                # exactly the hang shutdown must make diagnosable.
+                release.wait()
+
+        eng.spawn("stuck", 3, stubborn, daemon=True)
+        assert eng.step()     # drive it into the block
+        with pytest.warns(RuntimeWarning, match="leaked 1 thread"):
+            eng.shutdown(join_timeout=0.1)
+        assert eng.leaked_threads == ["stuck"]
+        release.set()         # let the OS thread unwind

@@ -1,0 +1,89 @@
+"""Property test: heap and scan dispatchers produce identical traces.
+
+Hypothesis drives randomized spawn/wake/kill/deadline schedules through
+two engines that differ only in dispatcher implementation, and demands
+the complete slice trace -- (pe, start, end, name) for every slice, in
+dispatch order -- plus the final PE clock readings and the outcome
+(normal completion or deadlock) be identical.  This is the lazy-heap's
+staleness handling under adversarial interleavings: re-keys after PE
+clock advances, deadline wakeups, wakes that beat deadlines, kills of
+blocked and ready processes.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeadlockError
+from repro.flex.presets import small_flex
+from repro.mmos.scheduler import Engine
+
+N_PES = 4
+PES = list(range(3, 3 + N_PES))   # small_flex MMOS PEs start at 3
+
+op = st.one_of(
+    st.tuples(st.just("charge"), st.integers(0, 20)),
+    st.tuples(st.just("preempt"), st.integers(0, 5)),
+    # nap: block with a deadline -- always runnable again
+    st.tuples(st.just("nap"), st.integers(0, 30)),
+    # park: block with no deadline; relies on a wake (or deadlocks --
+    # both engines must agree on that too)
+    st.tuples(st.just("park"), st.just(0)),
+    st.tuples(st.just("wake"), st.integers(0, 7)),
+    st.tuples(st.just("kill"), st.integers(0, 7)),
+)
+
+schedule = st.lists(
+    st.tuples(
+        st.integers(0, N_PES - 1),          # pe index
+        st.integers(0, 40),                 # start_time
+        st.lists(op, min_size=1, max_size=7),
+    ),
+    min_size=1, max_size=6)
+
+
+def run_schedule(dispatcher, procs):
+    eng = Engine(small_flex(8), dispatcher=dispatcher)
+    eng.record_slices = True
+    handles = []
+
+    def make_body(ops):
+        def body():
+            for kind, arg in ops:
+                if kind == "charge":
+                    eng.charge(arg)
+                elif kind == "preempt":
+                    eng.preempt(arg)
+                elif kind == "nap":
+                    eng.block("nap", deadline=eng.now() + arg, cost=1)
+                elif kind == "park":
+                    eng.block("park", cost=1)
+                elif kind == "wake":
+                    eng.wake(handles[arg % len(handles)], info="hi")
+                    eng.preempt(1)
+                elif kind == "kill":
+                    victim = handles[arg % len(handles)]
+                    eng.kill(victim)
+                    eng.preempt(1)
+        return body
+
+    for i, (pe_ix, start, ops) in enumerate(procs):
+        handles.append(eng.spawn(f"p{i}", PES[pe_ix], make_body(ops),
+                                 start_time=start))
+    outcome = "ok"
+    try:
+        eng.run()
+    except DeadlockError:
+        outcome = "deadlock"
+    trace = list(eng.slices)
+    clocks = eng.machine.clocks.snapshot()
+    dispatches = eng.dispatch_count
+    eng.shutdown()
+    return outcome, trace, clocks, dispatches
+
+
+@given(schedule)
+@settings(max_examples=40, deadline=None)
+def test_dispatchers_produce_identical_slice_traces(procs):
+    a = run_schedule("indexed", procs)
+    b = run_schedule("scan", procs)
+    assert a == b, (
+        f"dispatcher divergence:\n indexed={a}\n scan={b}")
