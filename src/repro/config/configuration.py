@@ -12,6 +12,7 @@ trace settings (section 11), and may be saved, edited and reused.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -21,6 +22,31 @@ from ..flex.machine import MachineSpec
 #: Arbitrary sanity cap on user slots per cluster (the slot count
 #: bounds the degree of multiprogramming on the primary PE).
 MAX_SLOTS = 16
+
+#: Built-in system ACCEPT timeout (ticks) when no DELAY clause is given
+#: and the environment does not override it.
+DEFAULT_ACCEPT_DELAY = 1_000_000
+
+
+def default_accept_delay() -> int:
+    """The system-provided ACCEPT timeout.
+
+    The paper promises a "system-provided timeout value" for ACCEPT
+    without DELAY; ``PISCES_ACCEPT_TIMEOUT`` (ticks) makes it
+    configurable per run without editing configurations.
+    """
+    v = os.environ.get("PISCES_ACCEPT_TIMEOUT", "").strip()
+    if v:
+        try:
+            delay = int(v)
+        except ValueError:
+            raise ConfigurationError(
+                f"PISCES_ACCEPT_TIMEOUT={v!r} is not an integer tick count")
+        if delay <= 0:
+            raise ConfigurationError(
+                f"PISCES_ACCEPT_TIMEOUT={v!r} must be positive")
+        return delay
+    return DEFAULT_ACCEPT_DELAY
 
 
 @dataclass(frozen=True)
@@ -78,8 +104,14 @@ class Configuration:
     #: Cluster hosting the file controller (default: lowest; the file
     #: store stands in for the Unix file system on a diskless FLEX).
     file_cluster: Optional[int] = None
-    #: System-provided ACCEPT timeout when no DELAY is given.
-    default_accept_delay: int = 1_000_000
+    #: System-provided ACCEPT timeout when no DELAY is given; defaults
+    #: from the ``PISCES_ACCEPT_TIMEOUT`` environment variable.
+    default_accept_delay: int = field(default_factory=default_accept_delay)
+    #: ACCEPT timeout escalation: number of retry waits before the
+    #: timeout is surfaced, and the multiplicative backoff applied to
+    #: each successive wait (see ``docs/architecture.md``).
+    accept_retries: int = 0
+    accept_backoff: float = 2.0
     name: str = "unnamed"
 
     # ------------------------------------------------------------ access --
@@ -149,6 +181,10 @@ class Configuration:
             raise ConfigurationError("time_limit must be positive")
         if self.default_accept_delay <= 0:
             raise ConfigurationError("default_accept_delay must be positive")
+        if self.accept_retries < 0:
+            raise ConfigurationError("accept_retries must be >= 0")
+        if self.accept_backoff < 1.0:
+            raise ConfigurationError("accept_backoff must be >= 1")
         return self
 
     # ------------------------------------------------------------ editing --

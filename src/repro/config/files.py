@@ -21,7 +21,7 @@ from pathlib import Path
 from typing import List, Optional, TextIO, Union
 
 from ..errors import ConfigurationError
-from .configuration import ClusterSpec, Configuration
+from .configuration import ClusterSpec, Configuration, default_accept_delay
 
 FORMAT_HEADER = "# pisces configuration"
 
@@ -41,8 +41,10 @@ def dumps(cfg: Configuration) -> str:
         out.append(f"user_cluster {cfg.user_cluster}")
     if cfg.file_cluster is not None:
         out.append(f"file_cluster {cfg.file_cluster}")
-    if cfg.default_accept_delay != Configuration.default_accept_delay:
+    if cfg.default_accept_delay != default_accept_delay():
         out.append(f"accept_delay {cfg.default_accept_delay}")
+    if cfg.accept_retries:
+        out.append(f"accept_retry {cfg.accept_retries} {cfg.accept_backoff}")
     return "\n".join(out) + "\n"
 
 
@@ -71,6 +73,10 @@ def loads(text: str) -> Configuration:
                 kw["file_cluster"] = int(toks[1])
             elif toks[0] == "accept_delay":
                 kw["default_accept_delay"] = int(toks[1])
+            elif toks[0] == "accept_retry":
+                kw["accept_retries"] = int(toks[1])
+                if len(toks) > 2:
+                    kw["accept_backoff"] = float(toks[2])
             else:
                 raise ConfigurationError(
                     f"line {lineno}: unknown directive {toks[0]!r}")

@@ -45,6 +45,31 @@ class _AllReceived:
 ALL_RECEIVED = _AllReceived()
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout escalation for ACCEPT: retry the wait before failing.
+
+    When the (explicit or system) delay expires unsatisfied, the accept
+    waits again up to ``retries`` more times, each wait ``backoff``
+    times longer than the previous one, before the timeout is finally
+    surfaced (handler / partial result / AcceptTimeout).  ``retries=0``
+    is the paper's single-wait behaviour.
+    """
+
+    retries: int = 0
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise MessageError("RetryPolicy.retries must be >= 0")
+        if self.backoff < 1.0:
+            raise MessageError("RetryPolicy.backoff must be >= 1")
+
+    def wait_ticks(self, base_delay: int, attempt: int) -> int:
+        """Length of the ``attempt``-th wait (0 = the initial one)."""
+        return max(1, int(base_delay * self.backoff ** attempt))
+
+
 @dataclass
 class AcceptSpec:
     """Normalized accept specification."""

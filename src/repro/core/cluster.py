@@ -56,6 +56,10 @@ class PendingInitiate:
     args: Tuple[Any, ...]
     parent: TaskId
     requested_at: int
+    #: Supervision policy riding along with the request (None: default).
+    supervision: Any = None
+    #: How many times this task has already been restarted.
+    restarts: int = 0
 
 
 class ClusterRuntime:
@@ -80,6 +84,10 @@ class ClusterRuntime:
         #: yet processed; the ANY/OTHER placement policy counts these so
         #: a burst of initiates spreads instead of dog-piling.
         self.inflight_initiates = 0
+        #: Set when the cluster's primary PE has crashed (fault
+        #: injection): its controller is dead, its slots unusable, and
+        #: placement policies skip it.
+        self.failed = False
 
     # ------------------------------------------------------------------
 
@@ -111,6 +119,7 @@ class ClusterRuntime:
             f"{s.number}:{s.task.ttype.name if s.task else '<free>'}"
             for s in self.slots)
         sec = ",".join(map(str, self.secondary_pes)) or "-"
-        return (f"cluster {self.number}: PE {self.primary_pe}, "
+        failed = " FAILED," if self.failed else ""
+        return (f"cluster {self.number}:{failed} PE {self.primary_pe}, "
                 f"force PEs [{sec}], slots {{{occ}}}, "
                 f"{len(self.pending)} pending")

@@ -45,6 +45,10 @@ MSG_TERMINATED = "@TERMINATED"
 MSG_KILL = "@KILL"
 MSG_FILE_WINDOW = "@FWINDOW"
 MSG_FILE_WINDOW_REPLY = "@FWINDOW_R"
+#: Failure notification delivered to a dead task's PARENT.  No ``@``
+#: prefix: user tasks ACCEPT it like any other message type
+#: (``ctx.accept("TASK_DIED")`` -> args ``(taskid, reason)``).
+MSG_TASK_DIED = "TASK_DIED"
 
 
 class Controller:
@@ -107,18 +111,21 @@ class TaskController(Controller):
 
     def handle(self, msg: Message) -> None:
         if msg.mtype == MSG_INITIATE:
-            req_id, tasktype_name, args, parent = msg.args
-            self._initiate(req_id, tasktype_name, tuple(args), parent)
+            req_id, tasktype_name, args, parent, supervision, restarts = \
+                msg.args
+            self._initiate(req_id, tasktype_name, tuple(args), parent,
+                           supervision, restarts)
         elif msg.mtype == MSG_TERMINATED:
-            (tid,) = msg.args
-            self._task_terminated(tid)
+            tid, died, reason = msg.args
+            self._task_terminated(tid, died, reason)
         elif msg.mtype == MSG_KILL:
             (tid,) = msg.args
             self.vm.kill_task(tid)
         # Unknown types addressed to a controller are ignored (dropped).
 
     def _initiate(self, req_id: int, tasktype_name: str,
-                  args: Tuple[Any, ...], parent: TaskId) -> None:
+                  args: Tuple[Any, ...], parent: TaskId,
+                  supervision=None, restarts: int = 0) -> None:
         self.cluster.inflight_initiates = max(
             0, self.cluster.inflight_initiates - 1)
         slot = self.cluster.free_slot()
@@ -128,31 +135,46 @@ class TaskController(Controller):
             # task terminates."
             self.cluster.pending.append(PendingInitiate(
                 tasktype=tasktype_name, args=args, parent=parent,
-                requested_at=self.vm.engine.now()))
+                requested_at=self.vm.engine.now(),
+                supervision=supervision, restarts=restarts))
             self.vm.note_initiate_held(req_id)
             return
         self.vm.engine.charge(COST_CONTROLLER_INITIATE)
         self.vm.start_task_in_slot(self.cluster, slot, tasktype_name, args,
-                                   parent, req_id=req_id)
+                                   parent, req_id=req_id,
+                                   supervision=supervision, restarts=restarts)
 
-    def _task_terminated(self, tid: TaskId) -> None:
-        self.cluster.tasks_terminated += 1
+    def _task_terminated(self, tid: TaskId, died: bool = False,
+                         reason: str = "") -> None:
+        # Normally ``tid`` is one of ours; after a PE crash the cleanup
+        # is re-routed to a *surviving* controller, which frees the slot
+        # in the failed cluster on its behalf.
+        cluster = self.vm.clusters.get(tid.cluster, self.cluster)
+        cluster.tasks_terminated += 1
         # Free the slot (terminating tasks leave that to us, so held
         # requests stay FIFO with respect to later arrivals).
-        slot = self.cluster.slots[tid.slot - 1]
+        slot = cluster.slots[tid.slot - 1]
         if slot.task is not None and slot.task.tid == tid:
             slot.release()
         metrics = self.vm.metrics
         if metrics.enabled:
-            metrics.gauge("slot_occupancy", cluster=self.cluster.number).set(
-                self.cluster.n_slots - self.cluster.free_slot_count())
-        # Pump held initiate requests into the freed slot.
-        while self.cluster.pending and self.cluster.free_slot() is not None:
-            req = self.cluster.pending.popleft()
-            slot = self.cluster.free_slot()
+            metrics.gauge("slot_occupancy", cluster=cluster.number).set(
+                cluster.n_slots - cluster.free_slot_count())
+        # Pump held initiate requests into the freed slot (never into a
+        # failed cluster: its requests were re-routed at crash time).
+        while (not cluster.failed and cluster.pending
+               and cluster.free_slot() is not None):
+            req = cluster.pending.popleft()
+            slot = cluster.free_slot()
             self.vm.engine.charge(COST_CONTROLLER_INITIATE)
-            self.vm.start_task_in_slot(self.cluster, slot, req.tasktype,
-                                       req.args, req.parent)
+            self.vm.start_task_in_slot(cluster, slot, req.tasktype,
+                                       req.args, req.parent,
+                                       supervision=req.supervision,
+                                       restarts=req.restarts)
+        if died:
+            # Failure semantics: restart under a RESTART policy, else
+            # notify the parent (and USER, under NOTIFY).
+            self.vm.handle_task_death(tid, reason, origin=self)
 
 
 class UserController(Controller):

@@ -22,7 +22,13 @@ from ..mmos.process import KernelProcess
 from .loops import SelfSchedCounter, parseg as _parseg, presched as _presched, selfsched as _selfsched
 from .shared import LockState
 from .sizes import COST_FORCESPLIT_BASE, COST_FORCESPLIT_PER_MEMBER
-from .sync import BarrierGeneration, acquire_lock, barrier as _barrier, release_lock
+from .sync import (
+    BarrierGeneration,
+    _RUN_BODY,
+    acquire_lock,
+    barrier as _barrier,
+    release_lock,
+)
 from .task import Task, TaskContext
 from .tracing import TraceEventType
 
@@ -48,6 +54,27 @@ class Force:
     def advance_barrier(self) -> None:
         self.barrier_gen += 1
         self.current_barrier = BarrierGeneration(self.size)
+
+    def member_died(self, proc: KernelProcess) -> None:
+        """A member was killed mid-region: shrink the membership so the
+        survivors' barriers stop waiting for an arrival that will never
+        come.  Runs from the dying member's exit hook.
+        """
+        self.size -= 1
+        gen = self.current_barrier
+        gen.size -= 1
+        if proc in gen.waiting:
+            # It was parked at the barrier: retract its arrival.
+            gen.waiting.remove(proc)
+            gen.arrived -= 1
+        if (not gen.complete and gen.size > 0
+                and gen.arrived >= gen.size
+                and gen.primary_proc is not None):
+            # The dead member was the straggler: every survivor is
+            # parked, so complete the generation through the primary
+            # (it runs the body and releases the others).
+            self.advance_barrier()
+            self.task.vm.engine.wake(gen.primary_proc, info=_RUN_BODY)
 
     def selfsched_counter(self, member: "ForceContext",
                           total: int) -> SelfSchedCounter:
@@ -162,7 +189,8 @@ def do_forcesplit(ctx: TaskContext, region: Callable[..., Any],
             force.primary_waiting = True
             eng.block("force-join")
             force.primary_waiting = False
-        return [force.results[i] for i in range(size)]
+        # A member killed mid-region leaves no result: its slot is None.
+        return [force.results.get(i) for i in range(size)]
     finally:
         task.force = None
 
@@ -180,6 +208,9 @@ def _member_exit(vm, force: Force):
     """on_exit hook: runs even when the member is killed before/after
     its region, so the primary's join never hangs."""
     def hook(proc) -> None:
+        if proc.killed:
+            # Abnormal death: unstrand siblings parked at a barrier.
+            force.member_died(proc)
         force.remaining -= 1
         if force.remaining == 0 and force.primary_waiting:
             vm.engine.wake(force.primary_proc)

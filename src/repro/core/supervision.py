@@ -1,0 +1,70 @@
+"""Supervision policies for task failure semantics.
+
+The paper's virtual machine assumes tasks never die abnormally; the
+fault-injection layer (:mod:`repro.faults`) makes them die, and this
+module defines what the system does about it:
+
+* ``NONE``   -- the parent is told (a system ``TASK_DIED`` message) and
+  nothing else happens;
+* ``NOTIFY`` -- as NONE, plus the user controller receives a copy (so
+  the death shows on the terminal even when the parent ignores it);
+* ``RESTART(max_restarts, backoff_ticks)`` -- the task controller
+  re-initiates the dead task on a surviving cluster (the paper's
+  ``ON OTHER INITIATE`` placement), up to ``max_restarts`` times, each
+  attempt delayed by ``backoff_ticks * attempt`` of virtual time.  Only
+  when restarts are exhausted (or no cluster survives) does the parent
+  see ``TASK_DIED``.
+
+A policy rides along with the initiate request (``ctx.initiate(...,
+supervision=RESTART(2))``), is held by the task controller with the
+task, and is inherited verbatim by every restart of the task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+POLICY_NONE = "none"
+POLICY_NOTIFY = "notify"
+POLICY_RESTART = "restart"
+
+
+@dataclass(frozen=True)
+class Supervision:
+    """How the system reacts when a task dies abnormally."""
+
+    policy: str = POLICY_NONE
+    max_restarts: int = 0
+    #: Extra virtual-time latency added to the n-th re-initiation
+    #: request (linear backoff: ``backoff_ticks * attempt``).
+    backoff_ticks: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in (POLICY_NONE, POLICY_NOTIFY, POLICY_RESTART):
+            raise ValueError(f"unknown supervision policy {self.policy!r}")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.backoff_ticks < 0:
+            raise ValueError("backoff_ticks must be >= 0")
+
+    @property
+    def restarts(self) -> bool:
+        return self.policy == POLICY_RESTART and self.max_restarts > 0
+
+
+#: Default policy: parent is notified, nothing is restarted.
+NONE = Supervision()
+
+#: Parent and user terminal are notified.
+NOTIFY = Supervision(policy=POLICY_NOTIFY)
+
+
+def RESTART(max_restarts: int = 1, backoff_ticks: int = 0) -> Supervision:
+    """Re-initiate a dead task on a surviving cluster, up to
+    ``max_restarts`` times with linear ``backoff_ticks`` delay."""
+    return Supervision(policy=POLICY_RESTART, max_restarts=max_restarts,
+                       backoff_ticks=backoff_ticks)
+
+
+__all__ = ["NONE", "NOTIFY", "RESTART", "Supervision",
+           "POLICY_NONE", "POLICY_NOTIFY", "POLICY_RESTART"]

@@ -13,7 +13,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, List, Optional, TYPE_CHECKING
 
-from ..errors import RuntimeLibraryError
+from ..errors import ProcessKilled, RuntimeLibraryError
 from ..mmos.process import KernelProcess
 from ..mmos.scheduler import Engine
 from .shared import LockState
@@ -125,7 +125,18 @@ def acquire_lock(engine: Engine, force: "Force", member: "ForceContext",
     if lock.locked:
         lock.contended_acquisitions += 1
         lock.waiters.append(proc)
-        engine.block(f"critical({lock.name})")
+        try:
+            engine.block(f"critical({lock.name})")
+        except ProcessKilled:
+            # Killed while queued for the lock: we never entered the
+            # region.  Leave the wait queue, and if a release already
+            # transferred ownership to us, hand it straight on so the
+            # siblings are not stranded behind a dead owner.
+            if proc in lock.waiters:
+                lock.waiters.remove(proc)
+            if lock.owner_pid == proc.pid:
+                _grant_next(engine, lock)
+            raise
         # The releaser transferred ownership to us before waking.
         if lock.owner_pid != proc.pid:
             raise RuntimeLibraryError(
@@ -155,10 +166,22 @@ def release_lock(engine: Engine, force: "Force", member: "ForceContext",
                           ).observe(engine.now() - lock.acquired_at)
     force.task.trace(TraceEventType.UNLOCK,
                      info=f"lock={lock.name} member={member.member}")
-    if lock.waiters:
+    _grant_next(engine, lock)
+
+
+def _grant_next(engine: Engine, lock: LockState) -> None:
+    """FIFO hand-off to the next *viable* waiter, else unlock.
+
+    Killed or already-dead waiters are skipped: a killed process is
+    unwinding (it will never execute the region) and granting it the
+    lock would strand every sibling behind a dead owner.
+    """
+    while lock.waiters:
         nxt: KernelProcess = lock.waiters.pop(0)
+        if nxt.killed or not nxt.live:
+            continue
         lock.owner_pid = nxt.pid
         engine.wake(nxt)
-    else:
-        lock.locked = False
-        lock.owner_pid = None
+        return
+    lock.locked = False
+    lock.owner_pid = None

@@ -38,11 +38,13 @@ from .accept import (
     ALL_RECEIVED,
     AcceptResult,
     AcceptState,
+    RetryPolicy,
     normalize_specs,
     record_accept_metrics,
 )
 from .cluster import ClusterRuntime
 from .messages import InQueue, Message, release_message
+from .supervision import NONE as SUPERVISION_NONE, Supervision
 from .shared import CommonSpec, LockState, SharedCommonBlock, SharedState
 from .sizes import (
     COST_ACCEPT,
@@ -147,13 +149,22 @@ class Task:
 
     def __init__(self, vm: "PiscesVM", ttype: TaskType, tid: TaskId,
                  parent: TaskId, cluster: ClusterRuntime,
-                 args: Tuple[Any, ...]):
+                 args: Tuple[Any, ...],
+                 supervision: Optional[Supervision] = None,
+                 restarts: int = 0):
         self.vm = vm
         self.ttype = ttype
         self.tid = tid
         self.parent = parent
         self.cluster = cluster
         self.args = args
+        #: Failure-semantics policy riding with the initiate request.
+        self.supervision = (supervision if supervision is not None
+                            else SUPERVISION_NONE)
+        #: How many times this task has already been re-initiated.
+        self.restarts_used = restarts
+        #: Why the task died abnormally (None for normal termination).
+        self.died_reason: Optional[str] = None
         self.inq = InQueue(tid)
         self.inq.metrics = vm.metrics
         self.inq.metric_labels = {"cluster": cluster.number, "kind": "task"}
@@ -229,23 +240,36 @@ class TaskContext:
     # --------------------------------------------------------- INITIATE ----
 
     def initiate(self, tasktype_name: str, *args: Any,
-                 on: Placement = ANY) -> None:
+                 on: Placement = ANY,
+                 supervision: Optional[Supervision] = None) -> None:
         """``ON <cluster> INITIATE <tasktype>(<args>)``.
 
         Sends an initiate request to the chosen cluster's task
         controller; per section 6 this does *not* return the new task's
         taskid -- the child knows its parent and sends its taskid back
         in a message if the parent needs it.
+
+        ``supervision`` selects the failure-semantics policy for the
+        child (:mod:`repro.core.supervision`): what the system does if
+        the child dies abnormally.  Default: notify this task with a
+        system ``TASK_DIED`` message.
         """
         self.vm.request_initiate(tasktype_name, args, parent=self.self_id,
                                  placement=on,
-                                 current_cluster=self.cluster_number)
+                                 current_cluster=self.cluster_number,
+                                 supervision=supervision)
 
     # ------------------------------------------------------------- SEND ----
 
-    def send(self, dest, mtype: str, *args: Any) -> None:
-        """``TO <dest> SEND <mtype>(<args>)``."""
-        self.vm.send_message(dest, mtype, args, origin=self)
+    def send(self, dest, mtype: str, *args: Any,
+             require_delivery: bool = False) -> None:
+        """``TO <dest> SEND <mtype>(<args>)``.
+
+        ``require_delivery=True`` turns the silent drop of a send to a
+        dead taskid into a typed :class:`~repro.errors.SendFailed`.
+        """
+        self.vm.send_message(dest, mtype, args, origin=self,
+                             require_delivery=require_delivery)
 
     def broadcast(self, mtype: str, *args: Any,
                   cluster: Optional[int] = None) -> int:
@@ -263,15 +287,22 @@ class TaskContext:
     def accept(self, *specs, count: Optional[int] = None,
                delay: Optional[int] = None,
                on_timeout: Optional[Callable[[], Any]] = None,
-               timeout_ok: bool = False) -> AcceptResult:
+               timeout_ok: bool = False,
+               retry: Optional[RetryPolicy] = None) -> AcceptResult:
         """The ACCEPT statement.  See :mod:`repro.core.accept`.
 
         ``delay`` is the DELAY clause in ticks (default: the system
-        timeout).  On timeout: ``on_timeout`` is called if given (the
-        DELAY statement sequence); otherwise, with ``timeout_ok`` the
-        partial result is returned with ``timed_out`` set; otherwise
+        timeout, configurable via ``PISCES_ACCEPT_TIMEOUT`` or the
+        configuration's ``default_accept_delay``).  On timeout:
+        ``on_timeout`` is called if given (the DELAY statement
+        sequence); otherwise, with ``timeout_ok`` the partial result is
+        returned with ``timed_out`` set; otherwise
         :class:`~repro.errors.AcceptTimeout` is raised (the
         "system-generated timeout message").
+
+        ``retry`` escalates the timeout through extra backed-off waits
+        before it is surfaced (default: the configuration's
+        ``accept_retries``/``accept_backoff`` policy).
         """
         vm = self.vm
         eng = vm.engine
@@ -279,8 +310,11 @@ class TaskContext:
         state = AcceptState(spec)
         eng.charge(COST_ACCEPT)
         vm.stats.accepts += 1
-        deadline = eng.now() + (vm.default_accept_delay if delay is None
-                                else int(delay))
+        base_delay = (vm.default_accept_delay if delay is None
+                      else int(delay))
+        policy = vm.accept_retry if retry is None else retry
+        attempt = 0
+        deadline = eng.now() + base_delay
         inq = self.task.inq
         while True:
             # Take everything already arrived that the spec still wants.
@@ -292,6 +326,9 @@ class TaskContext:
                 if m is None:
                     break
                 inq.remove(m)
+                if m.checksum is not None and not m.verify():
+                    self._discard_corrupt(m)
+                    continue
                 self._process_message(m, state)
             if state.satisfied():
                 # Final drain of ALL-count types that have already
@@ -305,6 +342,9 @@ class TaskContext:
                         if m is None:
                             break
                         inq.remove(m)
+                        if m.checksum is not None and not m.verify():
+                            self._discard_corrupt(m)
+                            continue
                         self._process_message(m, state)
                 if vm.metrics.enabled:
                     record_accept_metrics(vm.metrics, state,
@@ -314,12 +354,38 @@ class TaskContext:
             # Unsatisfied: wait for in-flight matches or new sends.
             now = eng.now()
             if now >= deadline:
+                if policy is not None and attempt < policy.retries:
+                    # Escalate: wait again, backed off, before giving
+                    # the caller the timeout.
+                    attempt += 1
+                    deadline = now + policy.wait_ticks(base_delay, attempt)
+                    vm.stats.accept_retries += 1
+                    if vm.metrics.enabled:
+                        vm.metrics.counter(
+                            "accept_retries",
+                            tasktype=self.task.ttype.name).inc()
+                    continue
                 return self._timeout(state, on_timeout, timeout_ok)
             open_types = state.wanted_types_open()
             next_arr = inq.earliest_arrival(open_types, after=now)
             eff = deadline if next_arr is None else min(deadline, next_arr)
             eng.block(f"accept({','.join(open_types)})", deadline=eff)
             # Woken by a send, or the deadline fired; loop re-scans.
+
+    def _discard_corrupt(self, m: Message) -> None:
+        """Drop a message whose payload fails its integrity checksum."""
+        vm = self.vm
+        release_message(vm.machine.shared, m)
+        vm.stats.corruptions_detected += 1
+        if vm.faults is not None:
+            vm.faults.record("corrupt_detected",
+                             f"type={m.mtype} from={m.sender}",
+                             task=self.task.tid,
+                             pe=self.task.cluster.primary_pe,
+                             injected=False)
+        if vm.metrics.enabled:
+            vm.metrics.counter("messages_corrupt_detected",
+                               tasktype=self.task.ttype.name).inc()
 
     def _process_message(self, m: Message, state: AcceptState) -> None:
         vm = self.vm

@@ -25,7 +25,13 @@ DEFAULT_MAX_EVENTS = 100_000
 
 
 class TraceEventType(enum.Enum):
-    """The eight traceable event types of section 12."""
+    """The eight traceable event types of section 12, plus FAULT.
+
+    FAULT is an extension beyond the paper: every injected fault and
+    every failure-semantics action (PE crash, message drop/corruption,
+    task death, restart) emits one, so a faulty run's timeline reads
+    from the same trace stream as a clean one.
+    """
 
     TASK_INIT = "TASK_INIT"
     TASK_TERM = "TASK_TERM"
@@ -35,6 +41,12 @@ class TraceEventType(enum.Enum):
     UNLOCK = "UNLOCK"
     BARRIER_ENTER = "BARRIER_ENTER"
     FORCE_SPLIT = "FORCE_SPLIT"
+    FAULT = "FAULT"
+
+
+#: The paper's original eight event types (FAULT is a repo extension).
+PAPER_EVENT_TYPES = frozenset(t for t in TraceEventType
+                              if t is not TraceEventType.FAULT)
 
 
 ALL_EVENT_TYPES = frozenset(TraceEventType)

@@ -24,9 +24,11 @@ from ..errors import (
     MessageError,
     NoSuchCluster,
     RuntimeLibraryError,
+    SendFailed,
     UnknownTask,
     WindowError,
 )
+from ..faults.injector import corrupt_args
 from ..flex.machine import FlexMachine
 from ..flex.presets import nasa_langley_flex32
 from ..mmos.kernel import MMOSKernel
@@ -39,15 +41,24 @@ from ..mmos.loader import (
     Loadfile,
 )
 from ..config.configuration import ClusterSpec, Configuration
-from .cluster import ClusterRuntime, Slot
+from .accept import RetryPolicy
+from .cluster import ClusterRuntime, PendingInitiate, Slot
 from .controllers import (
     Controller,
     FileController,
     MSG_INITIATE,
+    MSG_TASK_DIED,
+    MSG_TERMINATED,
     TaskController,
     UserController,
 )
-from .messages import InQueue, Message, allocate_message, release_message
+from .messages import (
+    InQueue,
+    Message,
+    allocate_message,
+    payload_checksum,
+    release_message,
+)
 from .sizes import (
     COST_INITIATE_REQUEST,
     COST_PER_PACKET,
@@ -76,6 +87,7 @@ from .taskid import (
     TContr,
     USER_TERMINAL_ID,
 )
+from .supervision import Supervision
 from .tracing import TraceEvent, TraceEventType, Tracer
 from .windows import ArrayStore, Window
 
@@ -106,6 +118,17 @@ class RunStats:
     window_bytes_read: int = 0
     window_bytes_written: int = 0
     message_bytes_sent: int = 0
+    # Fault injection / failure semantics (see :mod:`repro.faults`).
+    faults_injected: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    messages_corrupted: int = 0
+    corruptions_detected: int = 0
+    tasks_restarted: int = 0
+    tasks_died: int = 0
+    send_failures: int = 0
+    accept_retries: int = 0
 
 
 @dataclass
@@ -126,7 +149,8 @@ class PiscesVM:
     def __init__(self, config: Configuration,
                  registry: Optional[TaskRegistry] = None,
                  machine: Optional[FlexMachine] = None,
-                 autoboot: bool = True):
+                 autoboot: bool = True,
+                 fault_plan: Optional[Any] = None):
         self.config = config
         self.registry = registry if registry is not None else GLOBAL_REGISTRY
         self.machine = machine if machine is not None else nasa_langley_flex32()
@@ -143,6 +167,23 @@ class PiscesVM:
         self.metrics = MetricsRegistry(enabled=config.metrics_enabled)
         self.engine.metrics = self.metrics
         self.default_accept_delay = config.default_accept_delay
+        #: System-wide ACCEPT timeout escalation (satellite 2); None
+        #: keeps the paper's single-wait semantics with zero overhead.
+        self.accept_retry: Optional[RetryPolicy] = (
+            RetryPolicy(config.accept_retries, config.accept_backoff)
+            if config.accept_retries else None)
+        #: Fault injector, or None for a fault-free run.  The explicit
+        #: ``fault_plan`` argument wins; otherwise a plan installed by
+        #: ``faults.plan_scope`` applies (entry points that build their
+        #: own VM).  Non-empty plans hook the engine's dispatch loop;
+        #: a fault-free run pays one ``is not None`` test per site.
+        from .. import faults as _faults
+        plan = fault_plan if fault_plan is not None else _faults.ambient_plan()
+        if plan is not None and not plan.empty:
+            self.faults = _faults.FaultInjector(self, plan)
+            self.engine._fault_pump = self.faults.pump
+        else:
+            self.faults = None
 
         self.clusters: Dict[int, ClusterRuntime] = {}
         self.tasks: Dict[TaskId, Task] = {}
@@ -225,10 +266,17 @@ class PiscesVM:
 
     def request_initiate(self, tasktype_name: str, args: Tuple[Any, ...],
                          parent: TaskId, placement: Placement = ANY,
-                         current_cluster: Optional[int] = None) -> int:
+                         current_cluster: Optional[int] = None,
+                         supervision: Optional[Supervision] = None,
+                         restarts: int = 0,
+                         extra_latency: int = 0) -> int:
         """Route an initiate request to a task controller; returns a
         request id (resolvable to the taskid via ``initiations`` once
-        the controller has started the task)."""
+        the controller has started the task).
+
+        ``supervision`` is the failure-semantics policy for the new
+        task; ``restarts`` counts prior incarnations (used by RESTART
+        re-initiations to bound the budget)."""
         self.registry.get(tasktype_name)  # fail fast on unknown types
         target = self._resolve_placement(placement, current_cluster)
         req_id = next(self._req_counter)
@@ -241,22 +289,32 @@ class PiscesVM:
         tc = self.task_controllers[target]
         tc.cluster.inflight_initiates += 1
         self._deliver(tc.inq, tc.cluster.number, tc.process, MSG_INITIATE,
-                      (req_id, tasktype_name, tuple(args), parent),
+                      (req_id, tasktype_name, tuple(args), parent,
+                       supervision, restarts),
                       sender=parent,
-                      sender_cluster=current_cluster or target)
+                      sender_cluster=current_cluster or target,
+                      extra_latency=extra_latency)
         return req_id
 
     def _resolve_placement(self, placement: Placement,
                            current_cluster: Optional[int]) -> int:
-        """ANY / OTHER / SAME / CLUSTER <n> -> a cluster number."""
-        numbers = sorted(self.clusters)
+        """ANY / OTHER / SAME / CLUSTER <n> -> a cluster number.
+
+        Failed clusters (their primary PE crashed) are never chosen by
+        the system (ANY/OTHER); naming one explicitly is an error."""
+        numbers = sorted(n for n, c in self.clusters.items() if not c.failed)
         if isinstance(placement, Cluster):
             placement = placement.number
         if isinstance(placement, int):
             if placement not in self.clusters:
                 raise NoSuchCluster(f"no cluster {placement} in this run "
-                                    f"(have {numbers})")
+                                    f"(have {sorted(self.clusters)})")
+            if self.clusters[placement].failed:
+                raise NoSuchCluster(f"cluster {placement} has failed "
+                                    f"(its primary PE is dead)")
             return placement
+        if not numbers:
+            raise NoSuchCluster("every cluster in this run has failed")
         if placement is SAME:
             if current_cluster is None:
                 raise NoSuchCluster("SAME used outside a task")
@@ -285,11 +343,14 @@ class PiscesVM:
     def start_task_in_slot(self, cluster: ClusterRuntime, slot: Slot,
                            tasktype_name: str, args: Tuple[Any, ...],
                            parent: TaskId,
-                           req_id: Optional[int] = None) -> Task:
+                           req_id: Optional[int] = None,
+                           supervision: Optional[Supervision] = None,
+                           restarts: int = 0) -> Task:
         """Called by a task controller to place a task into a free slot."""
         ttype = self.registry.get(tasktype_name)
         tid = slot.claim()
-        task = Task(self, ttype, tid, parent, cluster, args)
+        task = Task(self, ttype, tid, parent, cluster, args,
+                    supervision=supervision, restarts=restarts)
         slot.task = task
         self.tasks[tid] = task
         cluster.tasks_initiated += 1
@@ -348,23 +409,42 @@ class PiscesVM:
         task.shared_state.release_all()
         task.trace(TraceEventType.TASK_TERM, info=f"type={task.ttype.name}")
         self.engine.charge(COST_TASK_TERMINATE) if self.engine.in_process() else None
+        # A task whose process was killed died abnormally -- unless the
+        # whole engine is being reaped, which is a normal end of run.
+        died = bool(task.process is not None and task.process.killed
+                    and not self.engine.shutting_down)
+        reason = task.died_reason or ("killed" if died else "")
+        if died:
+            self.stats.tasks_died += 1
+            if self.metrics.enabled:
+                self.metrics.counter("tasks_died",
+                                     tasktype=task.ttype.name).inc()
         tc = self.task_controllers[task.cluster.number]
+        if tc.cluster.failed:
+            # The home controller died with its PE; a surviving
+            # controller (lowest live cluster) cleans up on its behalf.
+            live = sorted(n for n, c in self.clusters.items() if not c.failed)
+            if not live:
+                return  # nobody left to notify; the run is over
+            tc = self.task_controllers[live[0]]
         # The slot is NOT freed here: the task controller frees it when
         # it processes @TERMINATED, which keeps held initiate requests
         # strictly FIFO with later ones (section 6).
         try:
             self._deliver(tc.inq, tc.cluster.number, tc.process,
-                          "@TERMINATED", (task.tid,), sender=task.tid,
+                          MSG_TERMINATED, (task.tid, died, reason),
+                          sender=task.tid,
                           sender_cluster=task.cluster.number)
         except Exception:
             pass  # heap exhaustion during unwind must not mask the cause
 
-    def kill_task(self, tid: TaskId) -> bool:
+    def kill_task(self, tid: TaskId, reason: str = "killed") -> bool:
         """KILL A TASK (monitor option 2).  Returns False if not live."""
         task = self.tasks.get(tid)
         if task is None or not task.alive:
             return False
         self.stats.tasks_killed += 1
+        task.died_reason = reason
         if task.force is not None:
             for p in task.force.member_procs.values():
                 self.engine.kill(p)
@@ -378,21 +458,141 @@ class PiscesVM:
             raise UnknownTask(f"no task {tid} was ever initiated")
         return task
 
+    # ------------------------------------------------- failure semantics --
+
+    def on_pe_failure(self, pe_number: int, reason: str = "pe-crash") -> None:
+        """A processing element dies (fault injection, or a hang the
+        monitor declares dead).
+
+        Consequences, in deterministic order: the PE is marked failed;
+        every cluster whose *primary* PE it was goes down with it (its
+        held initiate requests are re-routed to survivors); every live
+        task of a failed cluster is killed (``ProcessKilled`` unwinds
+        it mid-statement); any remaining kernel process pinned to the
+        PE -- controller daemons, force members placed there -- is
+        killed too.
+        """
+        pe = self.machine.pe(pe_number)
+        if pe.failed:
+            return
+        self.machine.fail_pe(pe_number)
+        if self.faults is not None:
+            self.faults.record("pe_crash",
+                               f"pe={pe_number} reason={reason}",
+                               pe=pe_number)
+        rerouted: List[PendingInitiate] = []
+        for num in sorted(self.clusters):
+            cr = self.clusters[num]
+            if cr.primary_pe == pe_number and not cr.failed:
+                cr.failed = True
+                while cr.pending:
+                    rerouted.append(cr.pending.popleft())
+        doomed = sorted(
+            (t for t in self.tasks.values()
+             if t.alive and t.cluster.failed),
+            key=lambda t: (t.tid.cluster, t.tid.slot, t.tid.unique))
+        for task in doomed:
+            self.kill_task(task.tid, reason=reason)
+        for p in sorted(self.engine.live_processes(), key=lambda q: q.pid):
+            if p.pe == pe_number and not p.killed:
+                self.engine.kill(p)
+        survivors = sorted(n for n, c in self.clusters.items()
+                           if not c.failed)
+        for req in rerouted:
+            if not survivors:
+                break
+            target = self._least_loaded(survivors)
+            tc = self.task_controllers[target]
+            tc.cluster.inflight_initiates += 1
+            self._deliver(tc.inq, tc.cluster.number, tc.process,
+                          MSG_INITIATE,
+                          (None, req.tasktype, req.args, req.parent,
+                           req.supervision, req.restarts),
+                          sender=req.parent, sender_cluster=target)
+            if self.faults is not None:
+                self.faults.record(
+                    "initiate_rerouted",
+                    f"type={req.tasktype} to=cluster{target}",
+                    injected=False)
+
+    def handle_task_death(self, tid: TaskId, reason: str,
+                          origin: Union[Controller, None] = None) -> None:
+        """Apply the dead task's supervision policy (called by the task
+        controller that processed its abnormal ``@TERMINATED``).
+
+        RESTART with budget left re-initiates the tasktype with the
+        original arguments on a surviving cluster (backed off by the
+        policy's ``backoff_ticks`` per prior incarnation).  Otherwise
+        the parent is notified with a system ``TASK_DIED <taskid,
+        reason>`` message -- re-routed to USER when the parent is the
+        terminal or itself dead -- and, under NOTIFY, USER always
+        hears about it too.
+        """
+        task = self.tasks.get(tid)
+        if task is None:
+            return
+        sup = task.supervision
+        if sup is not None and sup.restarts \
+                and task.restarts_used < sup.max_restarts:
+            try:
+                incarnation = task.restarts_used + 1
+                self.request_initiate(
+                    task.ttype.name, task.args, parent=task.parent,
+                    placement=ANY, supervision=sup, restarts=incarnation,
+                    extra_latency=sup.backoff_ticks * incarnation)
+            except NoSuchCluster:
+                pass  # nowhere left to restart; fall through to notify
+            else:
+                self.stats.tasks_restarted += 1
+                if self.metrics.enabled:
+                    self.metrics.counter("tasks_restarted",
+                                         tasktype=task.ttype.name).inc()
+                if self.faults is not None:
+                    self.faults.record(
+                        "restart",
+                        f"type={task.ttype.name} of={tid} "
+                        f"incarnation={incarnation}",
+                        task=tid, injected=False)
+                return
+        if self.faults is not None:
+            self.faults.record("task_died", f"task={tid} reason={reason}",
+                               task=tid, injected=False)
+        notify = []
+        parent_task = self.tasks.get(task.parent)
+        if task.parent != USER_TERMINAL_ID and parent_task is not None \
+                and parent_task.alive:
+            notify.append(task.parent)
+        else:
+            notify.append(USER_TERMINAL_ID)
+        if sup is not None and sup.policy == "notify" \
+                and USER_TERMINAL_ID not in notify:
+            notify.append(USER_TERMINAL_ID)
+        for dest in notify:
+            try:
+                self.send_message(dest, MSG_TASK_DIED, (tid, reason),
+                                  origin=origin)
+            except MessageError:
+                pass  # the notification must never take the system down
+
     # ------------------------------------------------------------ messages --
 
     def send_message(self, dest, mtype: str, args: Tuple[Any, ...],
-                     origin: Union[TaskContext, Controller, None]) -> int:
+                     origin: Union[TaskContext, Controller, None],
+                     require_delivery: bool = False) -> int:
         """Deliver a message; returns the number of deliveries made.
 
         ``origin`` identifies the sender: a task context, a controller,
         or None for the user at the terminal (the monitor's SEND A
-        MESSAGE).
+        MESSAGE).  ``require_delivery=True`` raises
+        :class:`~repro.errors.SendFailed` instead of silently dropping
+        a send to a dead taskid.
         """
         sender, sender_cluster = self._origin_identity(origin)
         if self.engine.in_process():
             _, npackets = message_bytes(args)
             self.engine.charge(COST_SEND + npackets * COST_PER_PACKET)
-        targets = self._resolve_dest(dest, origin)
+        targets = self._resolve_dest(dest, origin,
+                                     require_delivery=require_delivery)
         n = 0
         for inq, rcluster, proc, rtid in targets:
             self._deliver(inq, rcluster, proc, mtype, args,
@@ -412,7 +612,8 @@ class PiscesVM:
             return origin.tid, origin.cluster.number
         raise MessageError(f"bad message origin {origin!r}")
 
-    def _resolve_dest(self, dest, origin) -> List[Tuple[InQueue, int, Any, TaskId]]:
+    def _resolve_dest(self, dest, origin, require_delivery: bool = False
+                      ) -> List[Tuple[InQueue, int, Any, TaskId]]:
         """Resolve a destination to (in-queue, cluster, process, tid) list."""
         if isinstance(dest, SendTarget):
             if dest is SendTarget.USER:
@@ -464,8 +665,19 @@ class PiscesVM:
                 raise UnknownTask(f"send to unknown taskid {dest}")
             if not task.alive:
                 # Stale taskid (the unique number exists for this): the
-                # message is undeliverable and silently dropped.
+                # message is undeliverable and silently dropped -- unless
+                # the sender opted into strict delivery (per-send, or a
+                # fault plan's ``strict_sends`` for all task origins).
                 self.stats.messages_to_dead += 1
+                strict = (self.faults is not None
+                          and self.faults.plan.strict_sends
+                          and isinstance(origin, TaskContext))
+                if require_delivery or strict:
+                    self.stats.send_failures += 1
+                    if self.faults is not None:
+                        self.faults.record("send_failed", f"dest={dest}",
+                                           task=dest, injected=False)
+                    raise SendFailed(dest)
                 return []
             return [(task.inq, task.cluster.number, task.process, task.tid)]
         raise MessageError(f"bad send destination {dest!r}")
@@ -473,16 +685,46 @@ class PiscesVM:
     def _deliver(self, inq: InQueue, receiver_cluster: int, receiver_proc,
                  mtype: str, args: Tuple[Any, ...], *, sender: TaskId,
                  sender_cluster: int,
-                 receiver: Optional[TaskId] = None) -> Message:
-        """Allocate, enqueue and wake; the single delivery primitive."""
+                 receiver: Optional[TaskId] = None,
+                 extra_latency: int = 0) -> Optional[Message]:
+        """Allocate, enqueue and wake; the single delivery primitive.
+
+        With a fault plan active, eligible deliveries pass through the
+        injector here: a dropped message is never allocated (returns
+        None), a delayed one arrives late, a corrupted one carries a
+        payload that fails its checksum at accept, a duplicated one is
+        enqueued twice.
+        """
         now = self.engine.now()
         latency = (MSG_LATENCY_INTRA_CLUSTER
                    if sender_cluster == receiver_cluster
-                   else MSG_LATENCY_INTER_CLUSTER)
+                   else MSG_LATENCY_INTER_CLUSTER) + extra_latency
+        faults = self.faults
+        action = None
+        if faults is not None:
+            action = faults.on_message(mtype)
+            if action is not None:
+                to = receiver or inq.owner
+                faults.record(action, f"type={mtype} from={sender} to={to}")
+                if action == "drop":
+                    self.stats.messages_dropped += 1
+                    return None
+                if action == "delay":
+                    self.stats.messages_delayed += 1
+                    latency += faults.delay_ticks
         msg = allocate_message(self.machine.shared, mtype, tuple(args),
                                sender=sender,
                                receiver=receiver or inq.owner,
                                send_time=now, arrival_time=now + latency)
+        if faults is not None and faults.checksums \
+                and faults.message_eligible(mtype):
+            msg.checksum = payload_checksum(mtype, msg.args)
+            if action == "corrupt":
+                # Mutate the payload *after* allocation: the heap bytes
+                # are unchanged (a bit flip, not a resize) and the stale
+                # checksum makes the damage detectable at accept.
+                self.stats.messages_corrupted += 1
+                msg.args = corrupt_args(msg.args)
         inq.enqueue(msg)
         self.stats.messages_sent += 1
         self.stats.message_bytes_sent += msg.nbytes
@@ -503,6 +745,19 @@ class PiscesVM:
                               info=f"type={mtype} bytes={msg.nbytes}",
                               other=inq.owner)
         self._wake_receiver(receiver_proc, msg.arrival_time)
+        if action == "duplicate":
+            # At-least-once transport: a second identical copy arrives
+            # right behind the first (same latency, later queue seq).
+            self.stats.messages_duplicated += 1
+            dup = allocate_message(self.machine.shared, mtype, msg.args,
+                                   sender=sender, receiver=msg.receiver,
+                                   send_time=now,
+                                   arrival_time=msg.arrival_time)
+            dup.checksum = msg.checksum
+            inq.enqueue(dup)
+            self.stats.messages_sent += 1
+            self.stats.message_bytes_sent += dup.nbytes
+            self._wake_receiver(receiver_proc, dup.arrival_time)
         return msg
 
     def _wake_receiver(self, proc, arrival: int) -> None:

@@ -56,11 +56,17 @@ class DeadlockError(MMOSError):
     """All live processes are blocked with no pending timeout.
 
     Carries a human-readable ``dump`` describing the state of every
-    blocked process, produced by the engine at detection time.
+    blocked process, produced by the engine at detection time, plus a
+    structured ``blocked`` list of ``(name, blocked_on, deadline)``
+    tuples -- one per blocked non-daemon process -- so a crashed-PE
+    hang is distinguishable from a true deadlock without parsing the
+    dump text.
     """
 
-    def __init__(self, dump: str):
+    def __init__(self, dump: str, blocked=None):
         self.dump = dump
+        #: ``[(process name, blocked_on reason, deadline or None), ...]``
+        self.blocked = list(blocked or [])
         super().__init__("deadlock: all live processes blocked\n" + dump)
 
 
@@ -68,6 +74,17 @@ class ProcessKilled(MMOSError):
     """Raised *inside* a simulated process when it is killed.
 
     User task code should not catch this (it unwinds the task thread).
+    """
+
+
+class EngineShutdown(ProcessKilled):
+    """Raised inside a process blocked in ACCEPT (or any kernel wait)
+    when the engine shuts down underneath it.
+
+    Subclasses :class:`ProcessKilled` so generic unwind handling keeps
+    working, but is distinguishable: an accept waiter drained by
+    :meth:`Engine.shutdown` fails fast with this instead of being
+    silently reaped.
     """
 
 
@@ -103,6 +120,20 @@ class NoSuchCluster(RuntimeLibraryError):
 
 class MessageError(RuntimeLibraryError):
     """Malformed send/accept usage."""
+
+
+class SendFailed(MessageError):
+    """A SEND addressed a task known to be dead and delivery was
+    required (``require_delivery=True`` or a strict-sends fault plan).
+
+    The default PISCES semantics silently drop sends to stale taskids;
+    this typed error is the opt-in failure-semantics alternative.
+    """
+
+    def __init__(self, dest, reason: str = "task is dead"):
+        self.dest = dest
+        self.reason = reason
+        super().__init__(f"send to {dest} failed: {reason}")
 
 
 class AcceptTimeout(RuntimeLibraryError):

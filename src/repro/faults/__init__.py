@@ -1,0 +1,85 @@
+"""Deterministic fault injection and failure semantics.
+
+The paper's virtual machine assumes PEs, slots and message transport
+never fail; this package makes failure a first-class, *testable* part
+of the environment:
+
+* :mod:`repro.faults.plan` -- declarative seeded :class:`FaultPlan`
+  (PE crashes, task kills, lossy/duplicating/delaying/corrupting
+  message transport), with the section-9 style text file format;
+* :mod:`repro.faults.injector` -- the :class:`FaultInjector` that
+  executes a plan against one VM deterministically;
+* :mod:`repro.core.supervision` (re-exported here) -- what the system
+  does about a dead task: ``NONE`` / ``NOTIFY`` / ``RESTART``.
+
+Install a plan either explicitly::
+
+    vm = PiscesVM(config, registry=reg, fault_plan=plan)
+
+or ambiently, for application entry points that build their own VM::
+
+    with plan_scope(plan):
+        result = run_jacobi_windows(...)
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from ..core.supervision import NONE, NOTIFY, RESTART, Supervision
+from .injector import (
+    CORRUPT,
+    CORRUPTION_MARKER,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    FaultEvent,
+    FaultInjector,
+    corrupt_args,
+)
+from .plan import (
+    ALWAYS_PROTECTED,
+    FaultPlan,
+    MessagePolicy,
+    PECrash,
+    TaskKill,
+    dumps,
+    load,
+    loads,
+    save,
+)
+
+#: Ambient plan installed by :func:`plan_scope`; consulted by
+#: ``PiscesVM.__init__`` when no explicit ``fault_plan`` is given.
+_ambient_plan: Optional[FaultPlan] = None
+
+
+@contextmanager
+def plan_scope(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Install ``plan`` for every VM constructed inside the ``with``.
+
+    Lets the chaos suite drive application entry points (which build
+    their own VM internally) without changing their signatures.
+    """
+    global _ambient_plan
+    prev = _ambient_plan
+    _ambient_plan = plan
+    try:
+        yield plan
+    finally:
+        _ambient_plan = prev
+
+
+def ambient_plan() -> Optional[FaultPlan]:
+    """The plan installed by the innermost :func:`plan_scope`, if any."""
+    return _ambient_plan
+
+
+__all__ = [
+    "ALWAYS_PROTECTED", "CORRUPT", "CORRUPTION_MARKER", "DELAY", "DROP",
+    "DUPLICATE", "FaultEvent", "FaultInjector", "FaultPlan",
+    "MessagePolicy", "NONE", "NOTIFY", "PECrash", "RESTART", "Supervision",
+    "TaskKill", "ambient_plan", "corrupt_args", "dumps", "load", "loads",
+    "plan_scope", "save",
+]

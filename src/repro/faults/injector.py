@@ -1,0 +1,217 @@
+"""The fault injector: executes a :class:`~repro.faults.plan.FaultPlan`
+against one running VM, deterministically.
+
+Determinism contract (same as the dispatcher identity suite): the same
+program, configuration, seed and plan produce bit-identical fault event
+streams and virtual-time traces across runs.  Two mechanisms keep that
+true:
+
+* timed faults fire from the engine's dispatch loop -- the injector's
+  :meth:`FaultInjector.pump` runs *before* a slice whose start time has
+  passed a fault's ``at``, so a crash lands at the same point of the
+  dispatch order every run;
+* message faults consume exactly one ``random.Random(seed)`` variate
+  per eligible delivery, regardless of outcome, so the stream position
+  is a pure function of the delivery sequence.
+
+Every injected fault (and every failure-semantics action taken in
+response) is recorded as a :class:`FaultEvent`, emitted as a ``FAULT``
+trace event, and counted in ``RunStats`` / the obs metrics registry.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, TYPE_CHECKING, Union
+
+from ..core.taskid import TaskId, USER_TERMINAL_ID
+from ..core.tracing import TraceEvent, TraceEventType
+from .plan import ALWAYS_PROTECTED, FaultPlan, MessagePolicy, PECrash, TaskKill
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.vm import PiscesVM
+
+#: Message-fault actions returned by :meth:`FaultInjector.on_message`.
+DROP = "drop"
+DUPLICATE = "duplicate"
+DELAY = "delay"
+CORRUPT = "corrupt"
+
+#: Marker value substituted into a corrupted payload.
+CORRUPTION_MARKER = "<CORRUPTED>"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault or failure-semantics action."""
+
+    at: int       # virtual time the event was applied
+    seq: int      # per-run injection order
+    kind: str     # pe_crash | task_kill | drop | duplicate | ... | restart
+    detail: str
+
+    def line(self) -> str:
+        """Deterministic JSONL rendering (the chaos-suite artifact)."""
+        return json.dumps({"at": self.at, "seq": self.seq,
+                           "kind": self.kind, "detail": self.detail},
+                          sort_keys=True)
+
+
+def corrupt_args(args: Tuple) -> Tuple:
+    """Deterministically mutate a payload (stale-checksum corruption)."""
+    if args:
+        return (CORRUPTION_MARKER,) + tuple(args[1:])
+    return (CORRUPTION_MARKER,)
+
+
+class FaultInjector:
+    """Executes one plan against one VM.
+
+    A fresh injector (fresh ``Random(seed)``, fresh timed-event heap)
+    is built per VM, so re-running the same plan is bit-identical.
+    """
+
+    def __init__(self, vm: "PiscesVM", plan: FaultPlan):
+        self.vm = vm
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.events: List[FaultEvent] = []
+        self._seq = 0
+        #: min-heap of (at, order, event) still to fire.
+        self._timed: List[Tuple[int, int, Union[PECrash, TaskKill]]] = []
+        for i, ev in enumerate(plan.timed_events()):
+            heapq.heappush(self._timed, (ev.at, i, ev))
+        mp = plan.messages
+        self._policy: Optional[MessagePolicy] = (
+            mp if mp is not None and mp.any_faults else None)
+        if self._policy is not None:
+            p = self._policy
+            self._cum_drop = p.drop
+            self._cum_dup = self._cum_drop + p.duplicate
+            self._cum_delay = self._cum_dup + p.delay
+            self._cum_corrupt = self._cum_delay + p.corrupt
+            self._protected = frozenset(ALWAYS_PROTECTED) | set(p.protected)
+
+    # -------------------------------------------------------- recording --
+
+    def record(self, kind: str, detail: str, *,
+               task: Optional[TaskId] = None, pe: int = 0,
+               injected: bool = True) -> FaultEvent:
+        """Log one fault event (+ trace + stats + metrics).
+
+        ``injected=False`` marks failure-*semantics* actions (a
+        detection, a restart) that belong in the event stream but are
+        not themselves injected faults.
+        """
+        vm = self.vm
+        now = vm.engine.now()
+        ev = FaultEvent(at=now, seq=self._seq, kind=kind, detail=detail)
+        self._seq += 1
+        self.events.append(ev)
+        if injected:
+            vm.stats.faults_injected += 1
+        vm.tracer.emit(TraceEvent(
+            etype=TraceEventType.FAULT,
+            task=task if task is not None else USER_TERMINAL_ID,
+            pe=pe, ticks=now, info=f"{kind}: {detail}"))
+        m = vm.metrics
+        if m.enabled:
+            m.counter("faults_injected", kind=kind).inc()
+        return ev
+
+    def export_jsonl(self) -> str:
+        """All fault events as JSON lines (the CI chaos artifact)."""
+        return "\n".join(ev.line() for ev in self.events)
+
+    def write_jsonl(self, path) -> Path:
+        p = Path(path)
+        text = self.export_jsonl()
+        p.write_text(text + "\n" if text else "")
+        return p
+
+    # ------------------------------------------------------ timed faults --
+
+    def pump(self, upto: Optional[int]) -> bool:
+        """Fire pending timed faults.
+
+        ``upto`` is the start time of the slice the engine is about to
+        dispatch: every fault scheduled at or before it fires first.
+        ``upto=None`` means the engine found nothing runnable (it would
+        declare deadlock); the earliest pending fault fires so a run
+        blocked on a doomed PE still crashes rather than deadlocks.
+        Returns True when anything fired.
+        """
+        fired = False
+        while self._timed:
+            at = self._timed[0][0]
+            if upto is not None and at > upto:
+                break
+            _, _, ev = heapq.heappop(self._timed)
+            self._fire(ev)
+            fired = True
+            if upto is None:
+                break
+        return fired
+
+    def _fire(self, ev: Union[PECrash, TaskKill]) -> None:
+        vm = self.vm
+        if isinstance(ev, PECrash):
+            vm.on_pe_failure(ev.pe, reason=f"pe{ev.pe}-crash")
+            return
+        # TaskKill: the nth live task of the tasktype, in taskid order.
+        victims = sorted(
+            (t for t in vm.tasks.values()
+             if t.alive and t.ttype.name == ev.tasktype),
+            key=lambda t: (t.tid.cluster, t.tid.slot, t.tid.unique))
+        if len(victims) < ev.nth:
+            self.record("task_kill_miss",
+                        f"type={ev.tasktype} nth={ev.nth} "
+                        f"live={len(victims)}")
+            return
+        victim = victims[ev.nth - 1]
+        self.record("task_kill", f"task={victim.tid} type={ev.tasktype}",
+                    task=victim.tid, pe=victim.cluster.primary_pe)
+        vm.kill_task(victim.tid, reason="fault-injected kill")
+
+    # ---------------------------------------------------- message faults --
+
+    def on_message(self, mtype: str) -> Optional[str]:
+        """Decide the fate of one delivery; one variate per eligible call.
+
+        Returns one of DROP/DUPLICATE/DELAY/CORRUPT or None (deliver
+        normally).  System messages (``@`` types), failure notifications
+        and explicitly protected types are never eligible and consume
+        no randomness.
+        """
+        if self._policy is None or not self.message_eligible(mtype):
+            return None
+        u = self.rng.random()
+        if u < self._cum_drop:
+            return DROP
+        if u < self._cum_dup:
+            return DUPLICATE
+        if u < self._cum_delay:
+            return DELAY
+        if u < self._cum_corrupt:
+            return CORRUPT
+        return None
+
+    def message_eligible(self, mtype: str) -> bool:
+        if self._policy is None:
+            return False
+        return not mtype.startswith("@") and mtype not in self._protected
+
+    @property
+    def delay_ticks(self) -> int:
+        return self._policy.delay_ticks if self._policy is not None else 0
+
+    @property
+    def checksums(self) -> bool:
+        """Stamp integrity checksums on eligible messages?  Only when
+        the plan can corrupt payloads -- detection costs an adler32 per
+        eligible message, pointless otherwise."""
+        return self._policy is not None and self._policy.corrupt > 0

@@ -66,6 +66,9 @@ class ProcessingElement:
     runs_unix: bool = False
     has_disk: bool = False
     booted: bool = False
+    #: Set when the PE has crashed/hung (fault injection); a failed PE
+    #: never hosts another process until the machine is rebuilt.
+    failed: bool = False
 
     def boot(self) -> None:
         self.booted = True
@@ -114,6 +117,18 @@ class FlexMachine:
             raise BadPE(f"PE {number} runs Unix only and is not available "
                         f"to PISCES user tasks")
         return number
+
+    # ----------------------------------------------------------- failure --
+
+    def fail_pe(self, number: int) -> ProcessingElement:
+        """Mark a PE crashed/hung (fault injection).  Idempotent."""
+        pe = self.pe(number)
+        pe.failed = True
+        return pe
+
+    def failed_pes(self) -> List[int]:
+        """PE numbers currently marked failed, in order."""
+        return sorted(n for n, pe in self.pes.items() if pe.failed)
 
     # ------------------------------------------------------------ timing --
 

@@ -49,7 +49,13 @@ import time
 import warnings
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from ..errors import DeadlockError, NotInProcess, ProcessKilled, TimeLimitExceeded
+from ..errors import (
+    DeadlockError,
+    EngineShutdown,
+    NotInProcess,
+    ProcessKilled,
+    TimeLimitExceeded,
+)
 from ..flex.machine import FlexMachine
 from .process import KernelProcess, ProcState
 
@@ -98,6 +104,17 @@ class Engine:
         #: Names of processes whose threads survived :meth:`shutdown`
         #: (stuck mid-slice or unjoinable) -- see the RuntimeWarning.
         self.leaked_threads: List[str] = []
+        #: Names of processes that were blocked in an ACCEPT when
+        #: :meth:`shutdown` drained them (each raised
+        #: :class:`~repro.errors.EngineShutdown` while unwinding).
+        self.drained_accept_waiters: List[str] = []
+        #: Fault-injection hook (see :mod:`repro.faults`): called with
+        #: the next slice's start time before every dispatch, and with
+        #: None when nothing is runnable; returns True when a fault
+        #: fired (scheduling state may have changed).  None means no
+        #: fault plan is installed -- the zero-fault cost is one
+        #: attribute test per dispatch.
+        self._fault_pump: Optional[Callable[[Optional[int]], bool]] = None
         #: When True, every executed slice is appended to ``slices`` as
         #: (pe, start, end, process name) -- the raw material for the
         #: per-PE timeline in :mod:`repro.analysis`.
@@ -309,6 +326,10 @@ class Engine:
             p.grant.clear()
             p.run_granted = False
         if p.killed:
+            if self._shutdown:
+                raise EngineShutdown(
+                    f"engine shut down while {p.name!r} was "
+                    f"{p.blocked_on or 'running'}")
             raise ProcessKilled(p.name)
 
     # ----------------------------------------------------- engine-side ----
@@ -382,18 +403,28 @@ class Engine:
         after that virtual time -- the monitor uses this so that pumping
         the machine "now" does not fast-forward through long DELAYs.
         """
-        if self._indexed:
-            p, key = self._pop_runnable()
-        else:
-            p = self._pick()
-            key = None if p is None else self._runnable_key(p)
-        if p is None:
-            return False
-        if horizon is not None and key[0] > horizon:
+        while True:
             if self._indexed:
-                # The entry was valid; put it back for the next step.
-                heapq.heappush(self._heap, (key, p.pid, p.sched_gen))
-            return False
+                p, key = self._pop_runnable()
+            else:
+                p = self._pick()
+                key = None if p is None else self._runnable_key(p)
+            if p is None:
+                return False
+            if horizon is not None and key[0] > horizon:
+                if self._indexed:
+                    # The entry was valid; put it back for the next step.
+                    heapq.heappush(self._heap, (key, p.pid, p.sched_gen))
+                return False
+            if self._fault_pump is not None and self._fault_pump(key[0]):
+                # A timed fault fired at or before this slice's start;
+                # it may have killed/woken processes, so re-pick.  The
+                # popped entry goes back (if stale, lazy deletion drops
+                # it on the next pop).
+                if self._indexed:
+                    heapq.heappush(self._heap, (key, p.pid, p.sched_gen))
+                continue
+            break
         if p.state is ProcState.BLOCKED:
             # Deadline fired: resume with timed_out set.
             p.timed_out = True
@@ -443,10 +474,18 @@ class Engine:
                 progressed = self.step()
                 if progressed:
                     continue
+                if self._fault_pump is not None and self._fault_pump(None):
+                    # Nothing runnable, but a timed fault was pending:
+                    # fire it (e.g. the PE crash a blocked receiver was
+                    # unknowingly waiting on) and try again.
+                    continue
                 live_users = [p for p in self._procs.values()
                               if p.live and not p.daemon]
                 if live_users:
-                    raise DeadlockError(self.state_dump())
+                    blocked = [(p.name, p.blocked_on, p.deadline)
+                               for p in sorted(live_users,
+                                               key=lambda q: q.pid)]
+                    raise DeadlockError(self.state_dump(), blocked=blocked)
                 return
         except Exception:
             self.shutdown()
@@ -472,6 +511,14 @@ class Engine:
         if self._shutdown:
             return
         self._shutdown = True
+        # Pending ACCEPT waiters are drained, not abandoned: each one is
+        # granted below, observes `killed`, and unwinds with a clear
+        # EngineShutdown error instead of waiting on messages that can
+        # never arrive.
+        self.drained_accept_waiters = sorted(
+            p.name for p in self._procs.values()
+            if p.live and p.state is ProcState.BLOCKED
+            and p.blocked_on.startswith("accept("))
         for p in list(self._procs.values()):
             if p.live:
                 p.killed = True
@@ -524,7 +571,18 @@ class Engine:
     def state_dump(self) -> str:
         lines = [f"engine time {self.now()}, "
                  f"{len(self.live_processes())} live processes:"]
+        failed = self.machine.failed_pes()
+        if failed:
+            # A hang caused by a crashed PE must be tellable apart from
+            # a true deadlock by the dump alone.
+            lines.append(f"  failed PEs: {failed} (processes pinned there "
+                         f"were killed; blocked peers may be waiting on "
+                         f"messages that will never arrive)")
         for p in sorted(self._procs.values(), key=lambda q: q.pid):
             if p.live:
                 lines.append("  " + p.describe())
         return "\n".join(lines)
+
+    @property
+    def shutting_down(self) -> bool:
+        return self._shutdown

@@ -53,12 +53,14 @@ class TestDialogue:
         assert cfg.trace_events == ("MSG_SEND", "LOCK")
 
     def test_trace_all(self):
+        from repro.core.tracing import ALL_EVENT_TYPES
         cfg, _ = run_menu([
             "2", "1", "3", "4", "-",
             "5", "ALL",
             "0",
         ])
-        assert len(cfg.trace_events) == 8
+        # Every event type, including the FAULT extension.
+        assert len(cfg.trace_events) == len(ALL_EVENT_TYPES)
 
     def test_remove_cluster(self):
         cfg, _ = run_menu([

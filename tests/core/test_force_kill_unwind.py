@@ -1,0 +1,149 @@
+"""Behavioral tests: ProcessKilled unwinding inside force constructs.
+
+A member killed while holding a lock, queued for one, or parked at a
+barrier must never strand its siblings: locks are released or handed
+past the corpse, barrier generations shrink so survivors complete.
+"""
+
+import pytest
+
+
+class TestKilledLockHolder:
+    def test_sibling_still_acquires_after_holder_killed(self, make_vm,
+                                                        registry,
+                                                        force_config):
+        def region(m):
+            eng = m.vm.engine
+            lk = m.lock("L")
+            if m.member == 1:
+                with m.critical(lk):
+                    eng.block("hold-forever")   # killed holding L
+                return "unreachable"
+            if m.is_primary:
+                while not lk.locked:            # wait for member 1 to own it
+                    m.compute(10)
+                eng.kill(m.force.member_procs[1])
+                with m.critical(lk):            # must not strand here
+                    return "primary-entered"
+            return "bystander"
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            results = ctx.forcesplit(region)
+            lk = ctx.lock("L")
+            return results, lk.locked, lk.owner_pid
+
+        vm = make_vm(config=force_config, registry=registry)
+        results, locked, owner = vm.run("MAIN").value
+        assert results[0] == "primary-entered"
+        assert results[1] is None               # killed member: no result
+        assert results[2:] == ["bystander", "bystander"]
+        assert not locked and owner is None     # fully released at the end
+
+    def test_killed_waiter_is_skipped_on_release(self, make_vm, registry,
+                                                 force_config):
+        def region(m):
+            eng = m.vm.engine
+            lk = m.lock("L")
+            if m.member == 1:
+                with m.critical(lk):
+                    m.compute(5_000)            # hold while sibling queues
+                return "held"
+            if m.member == 2:
+                with m.critical(lk):            # queues; killed waiting
+                    return "entered"
+            if m.is_primary:
+                while not lk.waiters:
+                    m.compute(10)
+                eng.kill(lk.waiters[0])         # kill the queued member 2
+                return "killed-waiter"
+            return "bystander"
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            results = ctx.forcesplit(region)
+            lk = ctx.lock("L")
+            return results, lk.locked
+
+        vm = make_vm(config=force_config, registry=registry)
+        results, locked = vm.run("MAIN").value
+        assert results[1] == "held"
+        assert results[2] is None               # never entered the region
+        assert not locked                       # not stranded on the corpse
+
+
+class TestKilledAtBarrier:
+    def test_survivors_complete_when_straggler_killed(self, make_vm,
+                                                      registry,
+                                                      force_config):
+        ran_body = []
+
+        def region(m):
+            eng = m.vm.engine
+            if m.member == 1:
+                eng.block("never-arrives")      # killed before the barrier
+                return "unreachable"
+            if m.is_primary:
+                eng.kill(m.force.member_procs[1])
+            m.barrier(lambda: ran_body.append(m.force.barrier_gen))
+            return "passed"
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            return ctx.forcesplit(region)
+
+        vm = make_vm(config=force_config, registry=registry)
+        results = vm.run("MAIN").value
+        assert results == ["passed", None, "passed", "passed"]
+        assert len(ran_body) == 1               # body ran exactly once
+
+    def test_member_killed_while_parked_at_barrier(self, make_vm, registry,
+                                                   force_config):
+        def region(m):
+            eng = m.vm.engine
+            gen = m.force.current_barrier
+            if m.is_primary:
+                # Wait until every other member is parked at the barrier,
+                # kill one of them, then arrive: the generation must
+                # complete with the surviving three.
+                while gen.arrived < 3:
+                    m.compute(10)
+                eng.kill(m.force.member_procs[2])
+            m.barrier()
+            return "passed"
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            return ctx.forcesplit(region)
+
+        vm = make_vm(config=force_config, registry=registry)
+        results = vm.run("MAIN").value
+        assert results[0] == "passed"
+        assert results[2] is None
+
+
+class TestSecondBarrierAfterDeath:
+    def test_shrunk_force_reaches_a_later_barrier(self, make_vm, registry,
+                                                  force_config):
+        """The membership shrink must persist: a second barrier after the
+        death completes with three members."""
+
+        def region(m):
+            eng = m.vm.engine
+            if m.member == 1:
+                eng.block("never-arrives")
+                return "unreachable"
+            if m.is_primary:
+                eng.kill(m.force.member_procs[1])
+            m.barrier()
+            m.compute(100)
+            m.barrier()
+            return "twice"
+
+        @registry.tasktype("MAIN")
+        def main(ctx):
+            return ctx.forcesplit(region)
+
+        vm = make_vm(config=force_config, registry=registry)
+        results = vm.run("MAIN").value
+        assert results == ["twice", None, "twice", "twice"]

@@ -7,6 +7,7 @@ import pytest
 from repro.core.taskid import TaskId
 from repro.core.tracing import (
     ALL_EVENT_TYPES,
+    PAPER_EVENT_TYPES,
     TraceEvent,
     TraceEventType,
     Tracer,
@@ -23,9 +24,15 @@ def ev(etype=TraceEventType.MSG_SEND, task=T1, info="type=GO", other=None):
 
 class TestEventTypes:
     def test_the_eight_paper_event_types_exist(self):
-        names = {t.value for t in TraceEventType}
+        names = {t.value for t in PAPER_EVENT_TYPES}
         assert names == {"TASK_INIT", "TASK_TERM", "MSG_SEND", "MSG_ACCEPT",
                          "LOCK", "UNLOCK", "BARRIER_ENTER", "FORCE_SPLIT"}
+
+    def test_fault_is_an_extension_event_type(self):
+        # FAULT is this reproduction's addition, deliberately outside
+        # the paper's eight.
+        assert TraceEventType.FAULT in ALL_EVENT_TYPES
+        assert TraceEventType.FAULT not in PAPER_EVENT_TYPES
 
 
 class TestLineFormat:

@@ -1,0 +1,120 @@
+"""Unit tests: fault-plan data model, validation and the text format."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    ALWAYS_PROTECTED,
+    FaultPlan,
+    MessagePolicy,
+    PECrash,
+    TaskKill,
+    dumps,
+    load,
+    loads,
+    save,
+)
+from repro.faults.plan import PLAN_HEADER
+
+FULL = FaultPlan(
+    seed=42,
+    crashes=(PECrash(at=120_000, pe=7), PECrash(at=5_000, pe=3)),
+    kills=(TaskKill(at=50_000, tasktype="JWORKER", nth=2),),
+    messages=MessagePolicy(drop=0.02, duplicate=0.01, delay=0.05,
+                           corrupt=0.01, delay_ticks=800,
+                           protected=("ROWS", "SWEPT")),
+    strict_sends=True,
+    name="full")
+
+
+class TestRoundTrip:
+    def test_full_plan_survives_dumps_loads(self):
+        assert loads(dumps(FULL)) == FULL
+
+    def test_default_plan_survives(self):
+        assert loads(dumps(FaultPlan())) == FaultPlan()
+
+    def test_dumps_starts_with_the_header(self):
+        assert dumps(FULL).startswith(PLAN_HEADER)
+
+    def test_save_and_load_file(self, tmp_path):
+        p = save(FULL, tmp_path / "chaos.pfault")
+        assert load(p) == FULL
+
+    def test_comments_and_blank_lines_ignored(self):
+        plan = loads("""
+        # a comment
+        seed 9
+
+        crash pe 4 at 100   # trailing comment
+        """)
+        assert plan.seed == 9
+        assert plan.crashes == (PECrash(at=100, pe=4),)
+
+    def test_kill_nth_defaults_to_one(self):
+        plan = loads("kill WORKER at 500")
+        assert plan.kills == (TaskKill(at=500, tasktype="WORKER", nth=1),)
+
+
+class TestParseErrors:
+    def test_unknown_directive_names_the_line(self):
+        with pytest.raises(ConfigurationError, match="line 2"):
+            loads("seed 1\nfrobnicate everything\n")
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            loads("seed banana")
+
+    def test_crash_missing_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            loads("crash pe 4")
+
+    def test_out_of_range_probability_rejected_at_parse(self):
+        with pytest.raises(ConfigurationError, match="outside"):
+            loads("messages drop 1.5")
+
+
+class TestMessagePolicyValidation:
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessagePolicy(drop=-0.1)
+
+    def test_probabilities_summing_over_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="more than 1"):
+            MessagePolicy(drop=0.6, delay=0.6)
+
+    def test_negative_delay_ticks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MessagePolicy(delay=0.1, delay_ticks=-1)
+
+    def test_any_faults(self):
+        assert not MessagePolicy().any_faults
+        assert MessagePolicy(corrupt=0.01).any_faults
+
+
+class TestPlanSemantics:
+    def test_timed_events_ordered_by_time_then_declaration(self):
+        evs = FULL.timed_events()
+        assert [e.at for e in evs] == [5_000, 50_000, 120_000]
+        assert isinstance(evs[1], TaskKill)
+
+    def test_default_plan_is_empty(self):
+        assert FaultPlan().empty
+
+    def test_zero_probability_messages_still_empty(self):
+        assert FaultPlan(messages=MessagePolicy()).empty
+
+    def test_strict_sends_alone_is_not_empty(self):
+        # A strict-sends-only plan must still install the injector.
+        assert not FaultPlan(strict_sends=True).empty
+
+    def test_any_timed_fault_is_not_empty(self):
+        assert not FaultPlan(crashes=(PECrash(at=1, pe=3),)).empty
+        assert not FaultPlan(kills=(TaskKill(at=1, tasktype="W"),)).empty
+
+    def test_with_seed_replaces_only_the_seed(self):
+        p = FULL.with_seed(7)
+        assert p.seed == 7 and p.crashes == FULL.crashes
+
+    def test_task_died_is_always_protected(self):
+        assert "TASK_DIED" in ALWAYS_PROTECTED
