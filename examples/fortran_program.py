@@ -13,7 +13,7 @@ Run:  python examples/fortran_program.py [--show-python]
 
 import sys
 
-from repro import PiscesVM, Configuration, ClusterSpec
+from repro import Configuration, ClusterSpec, api
 from repro.fortran import preprocess
 
 SOURCE = """
@@ -70,8 +70,8 @@ def main():
     cfg = Configuration(
         clusters=(ClusterSpec(1, 3, 4, secondary_pes=(7, 8, 9)),),
         name="pi-force")
-    vm = PiscesVM(cfg, registry=program.registry)
-    result = vm.run("MAIN")
+    vm = api.make_vm(config=cfg, registry=program.registry)
+    result = api.run_app("MAIN", vm=vm)
     print(result.console)
     print(f"elapsed {result.elapsed} ticks with a force of "
           f"{vm.clusters[1].force_size}")

@@ -15,7 +15,7 @@ Run:  python examples/monitor_session.py
 import tempfile
 from pathlib import Path
 
-from repro import PiscesVM, TaskRegistry, Configuration, ClusterSpec
+from repro import TaskRegistry, Configuration, ClusterSpec, api
 from repro.core.taskid import PARENT
 from repro.exec_env import Monitor, render_vm_figure
 
@@ -45,7 +45,7 @@ def main():
     cfg = Configuration(clusters=(ClusterSpec(1, 3, 4),
                                   ClusterSpec(2, 4, 4)),
                         name="monitor-demo")
-    vm = PiscesVM(cfg, registry=reg)
+    vm = api.make_vm(config=cfg, registry=reg)
     mon = Monitor(vm)
 
     print("=== menu (section 11) ===")
@@ -107,7 +107,7 @@ def main():
 def jacobi_chrome_trace(outdir: Path):
     """A metered, traced Jacobi run exported as a Chrome trace file."""
     from repro.apps.jacobi import run_jacobi_windows
-    from repro.obs import export_run, derive_spans, span_summary
+    from repro.obs import derive_spans, span_summary
 
     cfg = Configuration(
         clusters=tuple(ClusterSpec(number=i, primary_pe=2 + i, slots=4)
@@ -117,7 +117,7 @@ def jacobi_chrome_trace(outdir: Path):
                       "LOCK", "UNLOCK"),
         metrics_enabled=True)
     r = run_jacobi_windows(n=16, sweeps=2, n_workers=2, config=cfg)
-    paths = export_run(r.vm, outdir, prefix="jacobi")
+    paths = api.export_run(r.vm, outdir, prefix="jacobi")
     print(f"jacobi run: {r.elapsed} virtual ticks, "
           f"residual {r.residual:.2e}")
     for kind, p in sorted(paths.items()):

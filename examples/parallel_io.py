@@ -14,7 +14,7 @@ Run:  python examples/parallel_io.py
 
 import numpy as np
 
-from repro import PiscesVM, Configuration, ClusterSpec, TaskRegistry
+from repro import Configuration, ClusterSpec, TaskRegistry, api
 from repro.core.taskid import PARENT, SAME
 
 N = 256                       # matrix is N x N float64 = 512 KB
@@ -44,10 +44,10 @@ def iomain(ctx, parts):
 def run(n_disks: int):
     cfg = Configuration(clusters=(ClusterSpec(1, 3, 6),),
                         name=f"io-{n_disks}d")
-    vm = PiscesVM(cfg, registry=reg)
+    vm = api.make_vm(config=cfg, registry=reg)
     vm.export_file("MATRIX", np.arange(float(N * N)).reshape(N, N))
     vm.configure_file_disks(n_disks, stripe_unit=32 * 1024)
-    result = vm.run("IOMAIN", 4, shutdown=False)
+    result = api.run_app("IOMAIN", 4, vm=vm, shutdown=False)
     return vm, result
 
 
@@ -74,7 +74,7 @@ def main():
 
     @reg2.tasktype("BUMP")
     def bump(ctx, k):
-        w = ctx.file_window("V").shrink(((k * 2, k * 2 + 4),))
+        w = ctx.file_window("V").shrink(rows=(k * 2, k * 2 + 4))
         vals = ctx.window_read(w)
         ctx.window_write(w, vals + 1.0)
         ctx.send(PARENT, "OK")
@@ -86,9 +86,9 @@ def main():
         ctx.accept("OK", count=3)
 
     cfg = Configuration(clusters=(ClusterSpec(1, 3, 5),), name="rmw")
-    vm = PiscesVM(cfg, registry=reg2)
+    vm = api.make_vm(config=cfg, registry=reg2)
     vm.export_file("V", np.zeros(8))
-    vm.run("RMW", shutdown=False)
+    api.run_app("RMW", vm=vm, shutdown=False)
     final = vm.file_controller.arrays.get("V")
     print(f"\noverlapping read-modify-writes on an 8-vector "
           f"(windows [0:4),[2:6),[4:8)): {final.tolist()}")
@@ -114,9 +114,9 @@ def main():
             ctx.initiate("BUMP", k, on=SAME)
         ctx.accept("OK", count=3)
 
-    vm = PiscesVM(cfg, registry=reg3)
+    vm = api.make_vm(config=cfg, registry=reg3)
     vm.export_file("V", np.zeros(9))
-    vm.run("RMW", shutdown=False)
+    api.run_app("RMW", vm=vm, shutdown=False)
     final = vm.file_controller.arrays.get("V")
     print(f"disjoint split(3) partitions instead: {final.tolist()}")
     assert final.sum() == 9.0

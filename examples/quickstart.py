@@ -10,8 +10,7 @@ the USER terminal.
 Run:  python examples/quickstart.py
 """
 
-from repro import (ANY, PARENT, SENDER, USER, PiscesVM, TaskRegistry,
-                   simple_configuration)
+from repro import ANY, PARENT, SENDER, USER, TaskRegistry, api
 
 reg = TaskRegistry()
 
@@ -49,9 +48,8 @@ def main(ctx):
 
 
 def main_program():
-    cfg = simple_configuration(n_clusters=2, slots=4, name="quickstart")
-    vm = PiscesVM(cfg, registry=reg)
-    result = vm.run("MAIN")
+    result = api.run_app("MAIN", registry=reg,
+                         n_clusters=2, slots=4, name="quickstart")
     print(result.console)
     print(f"result = {result.value}")
     print(f"elapsed virtual time = {result.elapsed} ticks")

@@ -11,7 +11,7 @@ per-PE occupancy chart from recorded engine slices.
 Run:  python examples/tune_mapping.py
 """
 
-from repro import PiscesVM, Configuration, ClusterSpec, TaskRegistry
+from repro import TaskRegistry, api
 from repro.analysis import force_size_sweep, idle_report, pe_gantt
 from repro.flex.presets import nasa_langley_flex32
 
@@ -40,10 +40,10 @@ def main():
 
     # Re-run the best mapping with slice recording to see PE occupancy.
     print("\nPE occupancy under the best mapping:")
-    vm = PiscesVM(result.best.configuration, registry=reg,
-                  machine=nasa_langley_flex32())
+    vm = api.make_vm(config=result.best.configuration, registry=reg,
+                     machine=nasa_langley_flex32())
     vm.engine.record_slices = True
-    vm.run("KERNEL")
+    api.run_app("KERNEL", vm=vm)
     print(pe_gantt(vm.engine.slices, width=64))
     print("\nidle analysis (PE, utilization, largest gap):")
     for pe, util, gap in idle_report(vm.engine.slices):

@@ -48,9 +48,11 @@ from .core import (
     Window,
     tasktype,
 )
-from .errors import PiscesError
+from .errors import PiscesError, WindowConflict, WindowError
 from .flex import FlexMachine, MachineSpec, nasa_langley_flex32, small_flex
 from .obs import MetricsRegistry, derive_spans, export_run
+from . import api
+from .api import make_vm, open_window, plan_scope, run_app
 
 __version__ = "1.0.0"
 
@@ -80,10 +82,17 @@ __all__ = [
     "TraceEventType",
     "USER",
     "Window",
+    "WindowConflict",
+    "WindowError",
     "__version__",
+    "api",
     "derive_spans",
     "export_run",
+    "make_vm",
     "nasa_langley_flex32",
+    "open_window",
+    "plan_scope",
+    "run_app",
     "simple_configuration",
     "small_flex",
     "tasktype",

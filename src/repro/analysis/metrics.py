@@ -28,6 +28,11 @@ class RunMetrics:
     forcesplits: int
     window_bytes: int
     heap_high_water: int
+    #: Window data plane: bytes that actually crossed it (cache hits
+    #: move none) and the cache outcome counts.
+    window_bytes_moved: int = 0
+    window_cache_hits: int = 0
+    window_cache_misses: int = 0
     #: Registry-derived figures (None when the observability registry
     #: was disabled for the run).
     messages_accepted: Optional[int] = None
@@ -49,7 +54,10 @@ class RunMetrics:
             ["accepts / timeouts", f"{self.accepts} / {self.accept_timeouts}"],
             ["tasks started", self.tasks_started],
             ["force splits", self.forcesplits],
-            ["window bytes moved", self.window_bytes],
+            ["window bytes requested", self.window_bytes],
+            ["window bytes moved (data plane)", self.window_bytes_moved],
+            ["window cache hits / misses",
+             f"{self.window_cache_hits} / {self.window_cache_misses}"],
             ["heap high-water (bytes)", self.heap_high_water],
         ]
         if self.messages_accepted is not None:
@@ -85,6 +93,9 @@ def collect_metrics(vm: PiscesVM) -> RunMetrics:
         tasks_started=st.tasks_started,
         forcesplits=st.forcesplits,
         window_bytes=st.window_bytes_read + st.window_bytes_written,
+        window_bytes_moved=st.window_bytes_moved,
+        window_cache_hits=st.window_cache_hits,
+        window_cache_misses=st.window_cache_misses,
         heap_high_water=vm.machine.shared.stats.high_water,
         messages_accepted=accepted,
         mean_send_accept_latency=latency,

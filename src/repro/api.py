@@ -1,0 +1,100 @@
+"""One-stop facade over the PISCES 2 reproduction.
+
+Programs, examples and notebooks used to import from five deep modules
+(``repro.core.vm``, ``repro.config.configuration``, ``repro.obs``,
+``repro.faults``, ``repro.flex.presets``) to do four things: build a
+VM, run an application task, inject faults, and export the run record.
+This module is the stable surface for exactly those things::
+
+    from repro import api
+
+    reg = TaskRegistry()
+    ...
+    result = api.run_app("MAIN", registry=reg, n_clusters=2, slots=4)
+    api.export_run(result.vm, "out/")
+
+Everything here is a thin composition of public pieces -- the deep
+modules remain importable for anything not covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Optional, Tuple
+
+from .config.configuration import Configuration, simple_configuration
+from .core.task import TaskRegistry
+from .core.taskid import Placement
+from .core.vm import PiscesVM, RunResult
+from .core.windows import Window
+from .errors import ConfigurationError, WindowError
+from .faults import plan_scope
+from .flex.machine import FlexMachine
+from .obs.export import export_run
+
+__all__ = [
+    "export_run",
+    "make_vm",
+    "open_window",
+    "plan_scope",
+    "run_app",
+]
+
+
+def make_vm(n_clusters: int = 2, slots: int = 4, *,
+            force_pes_per_cluster: int = 0,
+            config: Optional[Configuration] = None,
+            registry: Optional[TaskRegistry] = None,
+            machine: Optional[FlexMachine] = None,
+            metrics: bool = False,
+            time_limit: Optional[int] = None,
+            trace_events: Tuple[str, ...] = (),
+            window_path: str = "",
+            fault_plan: Optional[Any] = None,
+            name: str = "api") -> PiscesVM:
+    """Build a booted VM without touching the configuration layer.
+
+    A ready-made ``config`` wins over the shape arguments; otherwise a
+    :func:`simple_configuration` of ``n_clusters`` x ``slots`` (plus
+    ``force_pes_per_cluster`` secondary PEs each) is built and the
+    keyword toggles (metrics, time limit, tracing, window data-plane
+    path) applied to it.
+    """
+    if config is None:
+        config = replace(
+            simple_configuration(n_clusters=n_clusters, slots=slots,
+                                 force_pes_per_cluster=force_pes_per_cluster,
+                                 name=name),
+            metrics_enabled=metrics, time_limit=time_limit,
+            trace_events=tuple(trace_events), window_path=window_path)
+    return PiscesVM(config, registry=registry, machine=machine,
+                    fault_plan=fault_plan)
+
+
+def run_app(tasktype: str, *args: Any,
+            registry: Optional[TaskRegistry] = None,
+            vm: Optional[PiscesVM] = None,
+            on: Placement = None,
+            shutdown: bool = True,
+            **vm_kwargs: Any) -> RunResult:
+    """Run one application task to completion and return its result.
+
+    Builds a VM via :func:`make_vm` (forwarding ``vm_kwargs``) unless an
+    existing ``vm`` is supplied.
+    """
+    if vm is None:
+        vm = make_vm(registry=registry, **vm_kwargs)
+    elif registry is not None or vm_kwargs:
+        raise ConfigurationError(
+            "run_app: pass either vm=... or VM-construction keywords")
+    return vm.run(tasktype, *args, on=on, shutdown=shutdown)
+
+
+def open_window(vm: PiscesVM, name: str, *, region=None,
+                rows=None, cols=None) -> Window:
+    """A window on a file-store array, from outside any task (monitor /
+    analysis use; inside a task use ``ctx.file_window``)."""
+    fc = vm.file_controller
+    if fc is None:
+        raise WindowError("no file controller in this configuration")
+    return fc.window_for(name, region=region, rows=rows, cols=cols)

@@ -85,7 +85,7 @@ def build_windows_registry(n: int, sweeps: int, n_workers: int) -> TaskRegistry:
             new = block.copy()
             sweep_rows(block, new, range(1, rows - 1))
             ctx.compute((rows - 2) * (n - 2) * TICKS_PER_CELL)
-            interior = w.shrink((slice(1, rows - 1), slice(0, n)))
+            interior = w.shrink(rows=(1, rows - 1))
             ctx.window_write(interior, new[1:-1, :])
             ctx.send(PARENT, "SWEPT", k)
         return None
@@ -105,7 +105,7 @@ def build_windows_registry(n: int, sweeps: int, n_workers: int) -> TaskRegistry:
         for _ in range(sweeps):
             for k, rows in enumerate(interior):
                 lo, hi = rows[0] - 1, rows[-1] + 2
-                w = full.shrink((slice(lo, hi), slice(0, n)))
+                w = full.shrink(rows=(lo, hi))
                 ctx.send(workers[k], "WIN", w)
             ctx.accept("SWEPT", count=n_workers)
         resid = float(np.abs(np.diff(grid, axis=0)).mean())

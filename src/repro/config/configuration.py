@@ -112,6 +112,12 @@ class Configuration:
     #: each successive wait (see ``docs/architecture.md``).
     accept_retries: int = 0
     accept_backoff: float = 2.0
+    #: Window data-plane selection: "fast" (batched transfers + reader
+    #: cache), "batched" (no cache) or "reference" (the unbatched
+    #: per-row oracle).  "" defers to the ``PISCES_WINDOW_PATH``
+    #: environment variable, then to "fast".  Every path is bit-identical
+    #: in virtual time (see docs/architecture.md).
+    window_path: str = ""
     name: str = "unnamed"
 
     # ------------------------------------------------------------ access --
@@ -185,6 +191,10 @@ class Configuration:
             raise ConfigurationError("accept_retries must be >= 0")
         if self.accept_backoff < 1.0:
             raise ConfigurationError("accept_backoff must be >= 1")
+        if self.window_path not in ("", "fast", "batched", "reference"):
+            raise ConfigurationError(
+                f"window_path must be fast/batched/reference, "
+                f"got {self.window_path!r}")
         return self
 
     # ------------------------------------------------------------ editing --
@@ -212,6 +222,8 @@ class Configuration:
             lines.append(f"  trace: {', '.join(self.trace_events)}")
         if self.metrics_enabled:
             lines.append("  metrics: enabled")
+        if self.window_path:
+            lines.append(f"  window data plane: {self.window_path}")
         return "\n".join(lines)
 
 

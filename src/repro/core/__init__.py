@@ -30,7 +30,13 @@ from .taskid import (
 )
 from .tracing import TraceEvent, TraceEventType, Tracer
 from .vm import PiscesVM, RunResult, RunStats
-from .windows import Window, make_window
+from .windows import (
+    Window,
+    WindowCache,
+    WindowTxn,
+    WindowTxnReply,
+    make_window,
+)
 
 __all__ = [
     "ALL_RECEIVED",
@@ -70,6 +76,9 @@ __all__ = [
     "USER_TERMINAL_ID",
     "UserController",
     "Window",
+    "WindowCache",
+    "WindowTxn",
+    "WindowTxnReply",
     "make_window",
     "tasktype",
 ]

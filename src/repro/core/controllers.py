@@ -18,6 +18,7 @@ message mechanism as user-to-user traffic.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
@@ -217,19 +218,57 @@ class FileController(Controller):
         from .fileio import DiskArray
         self.disks = DiskArray(1)
         self.disks.metrics = vm.metrics
+        #: Transfers still occupying the disks: (window, is_write,
+        #: completion tick).  Used to serialize conflicting overlapping
+        #: requests (section 8); pruned as they land.
+        self._inflight: List[Tuple[Window, bool, int]] = []
 
-    def export_file(self, name: str, array: np.ndarray) -> None:
-        self.arrays.export(name, array)
+    def export_file(self, name: str, array: np.ndarray,
+                    cacheable: bool = True) -> None:
+        self.arrays.export(name, array, cacheable=cacheable)
 
-    def window_for(self, name: str, region=None) -> Window:
+    def window_for(self, name: str, *args, region=None,
+                   rows=None, cols=None) -> Window:
+        """A window on (a region of) a file-store array.
+
+        The region is the keyword ``region=`` or the ``rows=``/``cols=``
+        selectors; the positional region form is deprecated."""
+        if args:
+            if len(args) > 1 or region is not None:
+                raise WindowError("window_for takes one region")
+            warnings.warn(
+                "positional region in window_for() is deprecated; "
+                "pass region=... or rows=/cols= selectors",
+                DeprecationWarning, stacklevel=2)
+            region = args[0]
         base = self.arrays.get(name)
-        return make_window(self.tid, name, base, region)
+        return make_window(self.tid, name, base, region,
+                           rows=rows, cols=cols)
+
+    # -------------------------------------- overlapping-access contract --
+
+    def conflicting_transfer(self, w: Window, write: bool,
+                             now: int) -> Optional[int]:
+        """Latest completion tick among in-flight transfers conflicting
+        with ``w`` (overlap where either side writes), or None."""
+        self._inflight = [e for e in self._inflight if e[2] > now]
+        worst = None
+        for other, other_write, done in self._inflight:
+            if (write or other_write) and other.overlaps(w):
+                if worst is None or done > worst:
+                    worst = done
+        return worst
+
+    def note_transfer(self, w: Window, write: bool, done: int) -> None:
+        if done > self.vm.engine.now():
+            self._inflight.append((w, write, done))
 
     def handle(self, msg: Message) -> None:
         if msg.mtype == MSG_FILE_WINDOW:
-            (name,) = msg.args
+            name, *sel = msg.args
             try:
-                w = self.window_for(name)
+                w = self.window_for(name, rows=sel[0] if sel else None,
+                                    cols=sel[1] if len(sel) > 1 else None)
                 self.vm.send_message(msg.sender, MSG_FILE_WINDOW_REPLY, (w,),
                                      origin=self)
             except WindowError as e:

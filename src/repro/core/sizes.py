@@ -100,8 +100,14 @@ def packed_size(value: Any) -> int:
     of their elements.
     """
     from .taskid import TaskId          # local import to avoid a cycle
-    from .windows import Window
+    from .windows import Window, WindowTxn, WindowTxnReply
 
+    if isinstance(value, WindowTxn):
+        # The window descriptor, op/generation words, and the payload.
+        return (WINDOW_BYTES + 16
+                + (int(value.data.nbytes) if value.data is not None else 0))
+    if isinstance(value, WindowTxnReply):
+        return 16 + (int(value.data.nbytes) if value.data is not None else 0)
     if isinstance(value, bool):
         return 4
     if isinstance(value, (int, float, np.integer, np.floating)):

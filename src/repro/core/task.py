@@ -21,6 +21,7 @@ terminal output.
 from __future__ import annotations
 
 import inspect
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING, Union
 
@@ -32,6 +33,7 @@ from ..errors import (
     NotInForce,
     RuntimeLibraryError,
     UnknownTaskType,
+    WindowError,
 )
 from ..mmos.process import KernelProcess
 from .accept import (
@@ -53,7 +55,7 @@ from .sizes import (
 )
 from .taskid import ANY, Designator, Placement, SendTarget, TaskId
 from .tracing import TraceEvent, TraceEventType
-from .windows import ArrayStore, Window, make_window
+from .windows import ArrayStore, Window, WindowCache, make_window
 
 if TYPE_CHECKING:  # pragma: no cover
     from .forces import Force, ForceContext
@@ -172,6 +174,10 @@ class Task:
         self.shared_state = SharedState(vm.machine.shared)
         self.arrays = ArrayStore(tid)
         self.arrays.metrics = vm.metrics
+        #: Reader-side window cache (fast data-plane path only); force
+        #: members share it, which is safe under the engine's
+        #: one-at-a-time admission.
+        self.window_cache = WindowCache()
         self.force: Optional["Force"] = None
         self.alive = False
         self.result: Any = None
@@ -448,27 +454,60 @@ class TaskContext:
 
     # ------------------------------------------------------------ windows --
 
-    def export_array(self, name: str, array: np.ndarray) -> Window:
-        """Make a local array window-addressable; returns the full window."""
-        self.task.arrays.export(name, array)
+    def export_array(self, name: str, array: np.ndarray,
+                     cacheable: bool = True) -> Window:
+        """Make a local array window-addressable; returns the full window.
+
+        ``cacheable=False`` opts the array out of reader-side caching;
+        pass it when this task will mutate the array directly instead of
+        through window writes (or call :meth:`touch_array` after each
+        direct mutation)."""
+        self.task.arrays.export(name, array, cacheable=cacheable)
         return make_window(self.self_id, name, array)
 
-    def window(self, name: str, region=None) -> Window:
-        """Create a window on (a region of) one of this task's arrays."""
+    def window(self, name: str, *args, region=None,
+               rows=None, cols=None) -> Window:
+        """Create a window on (a region of) one of this task's arrays.
+
+        The region is the keyword ``region=`` or the ``rows=``/``cols=``
+        selectors (slice, (start, stop) pair, or int along axis 0 /
+        axis 1); the positional region form is deprecated."""
+        if args:
+            if len(args) > 1 or region is not None:
+                raise WindowError("window() takes one region")
+            warnings.warn(
+                "positional region in ctx.window() is deprecated; "
+                "pass region=... or rows=/cols= selectors",
+                DeprecationWarning, stacklevel=2)
+            region = args[0]
         base = self.task.arrays.get(name)
-        return make_window(self.self_id, name, base, region)
+        return make_window(self.self_id, name, base, region,
+                           rows=rows, cols=cols)
 
-    def window_read(self, w: Window) -> np.ndarray:
-        """Read a copy of the data visible in a window (remote access)."""
-        return self.vm.window_read(self, w)
+    def window_read(self, w: Window, *, rows=None, cols=None) -> np.ndarray:
+        """Read a copy of the data visible in a window (remote access);
+        ``rows=``/``cols=`` shrink the window for this one access."""
+        return self.vm.window_read(self, w, rows=rows, cols=cols)
 
-    def window_write(self, w: Window, data: np.ndarray) -> None:
-        """Write data through a window into the owner's array."""
-        self.vm.window_write(self, w, data)
+    def window_write(self, w: Window, data: np.ndarray, *,
+                     rows=None, cols=None, if_unchanged: bool = False) -> None:
+        """Write data through a window into the owner's array;
+        ``rows=``/``cols=`` shrink the window for this one access.
+        ``if_unchanged=True`` refuses with :class:`WindowConflict` if the
+        region changed since this task last read it."""
+        self.vm.window_write(self, w, data, rows=rows, cols=cols,
+                             if_unchanged=if_unchanged)
 
-    def file_window(self, name: str) -> Window:
+    def file_window(self, name: str, *, region=None,
+                    rows=None, cols=None) -> Window:
         """Request a window on a file-system array (via file controller)."""
-        return self.vm.file_window(self, name)
+        return self.vm.file_window(self, name, region=region,
+                                   rows=rows, cols=cols)
+
+    def touch_array(self, name: str) -> None:
+        """Declare a direct (non-window) mutation of an exported array,
+        so remote cached blocks of it revalidate as stale."""
+        self.task.arrays.touch(name)
 
     # ------------------------------------------------------------- shared --
 

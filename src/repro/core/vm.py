@@ -14,6 +14,7 @@ in shared memory, ready to initiate user tasks.  The VM owns:
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -26,6 +27,7 @@ from ..errors import (
     RuntimeLibraryError,
     SendFailed,
     UnknownTask,
+    WindowConflict,
     WindowError,
 )
 from ..faults.injector import corrupt_args
@@ -89,7 +91,29 @@ from .taskid import (
 )
 from .supervision import Supervision
 from .tracing import TraceEvent, TraceEventType, Tracer
-from .windows import ArrayStore, Window
+from .windows import (
+    ArrayStore,
+    MSG_WINDOW_ROW,
+    MSG_WINDOW_TXN,
+    MSG_WINDOW_TXN_REPLY,
+    Window,
+    WindowTxn,
+    WindowTxnReply,
+)
+
+#: Valid window data-plane selections (see Configuration.window_path).
+WINDOW_PATHS = ("fast", "batched", "reference")
+
+
+def resolve_window_path(config: Configuration) -> str:
+    """Data-plane selection: configuration wins, then the
+    ``PISCES_WINDOW_PATH`` environment variable, then "fast"."""
+    path = config.window_path or \
+        os.environ.get("PISCES_WINDOW_PATH", "").strip() or "fast"
+    if path not in WINDOW_PATHS:
+        raise ConfigurationError(
+            f"PISCES_WINDOW_PATH={path!r}: must be one of {WINDOW_PATHS}")
+    return path
 
 #: Controller slots per cluster counted in the static system table
 #: (task controller, user controller, file controller).
@@ -117,6 +141,15 @@ class RunStats:
     window_writes: int = 0
     window_bytes_read: int = 0
     window_bytes_written: int = 0
+    # Window data plane (see docs/architecture.md): bytes that actually
+    # crossed the plane (cache hits move none), transaction count, cache
+    # outcomes, and §8 overlapping-access serialization events.
+    window_bytes_moved: int = 0
+    window_txns: int = 0
+    window_cache_hits: int = 0
+    window_cache_misses: int = 0
+    window_overlap_waits: int = 0
+    window_conflicts: int = 0
     message_bytes_sent: int = 0
     # Fault injection / failure semantics (see :mod:`repro.faults`).
     faults_injected: int = 0
@@ -161,6 +194,8 @@ class PiscesVM:
         for name in config.trace_events:
             self.tracer.enable(TraceEventType(name))
         self.stats = RunStats()
+        #: Window data-plane selection, fixed for the life of the VM.
+        self.window_path = resolve_window_path(config)
         #: Observability registry (see :mod:`repro.obs`).  Disabled by
         #: default; every instrumentation site guards on ``.enabled`` so
         #: an unmetered run pays one attribute test per site at most.
@@ -804,10 +839,26 @@ class PiscesVM:
 
     def _file_io_wait(self, w: Window, write: bool) -> None:
         """For windows owned by the file controller: occupy the disks
-        and block the requester until the (striped) transfer lands."""
+        and block the requester until the (striped) transfer lands.
+
+        Section 8's overlapping-access contract is enforced here: a
+        transfer that conflicts with one still in flight (any overlap
+        where either side writes) waits for it to land first; disjoint
+        transfers -- and overlapping reads -- proceed in parallel
+        across the disk stripes.
+        """
         fc = self.file_controller
         if fc is None or w.owner != fc.tid:
             return
+        while True:
+            now = self.engine.now()
+            until = fc.conflicting_transfer(w, write, now)
+            if until is None:
+                break
+            self.stats.window_overlap_waits += 1
+            if self.metrics.enabled:
+                self.metrics.counter("window_overlap_waits").inc()
+            self.engine.block("window-overlap-wait", deadline=until, cost=0)
         base = fc.arrays.get(w.array)
         itemsize = base.dtype.itemsize
         # File offset of the window's first element in the byte stream.
@@ -818,57 +869,206 @@ class PiscesVM:
             offset += lo * stride
         now = self.engine.now()
         done = fc.disks.transfer(now, offset, w.nbytes, write)
+        fc.note_transfer(w, write, done)
         if done > now:
             self.engine.block("disk-io", deadline=done, cost=0)
 
-    def window_read(self, ctx: TaskContext, w: Window) -> np.ndarray:
+    # Every data-plane path below charges the identical virtual-time
+    # cost (one window_transfer_cost, the same disk wait, one preempt),
+    # so fast/batched/reference runs are bit-identical in virtual time;
+    # the paths differ only in host-level data movement.  This is the
+    # same oracle pattern as the PR-2 scan dispatcher.
+
+    def _requester_id(self, ctx, store: ArrayStore) -> TaskId:
+        return getattr(ctx, "self_id", None) or store.owner
+
+    def _requester_cache(self, ctx):
+        task = getattr(ctx, "task", None)
+        return None if task is None else task.window_cache
+
+    def _window_txn(self, store: ArrayStore, txn: WindowTxn,
+                    requester: TaskId) -> WindowTxnReply:
+        """Carry one WindowTxn to the owner on its typed transaction
+        queue and serve it (a one-sided shared-memory access: the
+        engine's one-at-a-time admission makes it atomic, so request,
+        service and reply land at the same virtual instant).  Request
+        and reply claim real heap extents, so window traffic shows up
+        in the message-heap high-water mark like any other traffic."""
+        heap = self.machine.shared
+        now = self.engine.now()
+        q = store.txns
+        if q.metrics is None:
+            q.metrics = self.metrics
+            q.metric_labels = {"kind": "wtxn"}
+        req = allocate_message(heap, MSG_WINDOW_TXN, (txn,),
+                               sender=requester, receiver=store.owner,
+                               send_time=now, arrival_time=now)
+        q.enqueue(req)
+        try:
+            m = q.first_matching((MSG_WINDOW_TXN,), not_after=now)
+            q.remove(m)
+            reply = store.serve_txn(m.args[0], now)
+            rep = allocate_message(heap, MSG_WINDOW_TXN_REPLY, (reply,),
+                                   sender=store.owner, receiver=requester,
+                                   send_time=now, arrival_time=now)
+            release_message(heap, rep)
+        finally:
+            release_message(heap, req)
+        self.stats.window_txns += 1
+        return reply
+
+    def _window_read_reference(self, store: ArrayStore, w: Window,
+                               requester: TaskId) -> np.ndarray:
+        """The unbatched oracle: one transient message per leading-axis
+        row, each allocated and freed on the shared heap."""
+        heap = self.machine.shared
+        now = self.engine.now()
+        out = np.empty(w.shape, dtype=np.dtype(w.dtype))
+        i = 0
+        for row in store.read_rows(w, now):
+            msg = allocate_message(heap, MSG_WINDOW_ROW, (w, row),
+                                   sender=store.owner, receiver=requester,
+                                   send_time=now, arrival_time=now)
+            out[i:i + 1] = row
+            release_message(heap, msg)
+            i += 1
+        return out
+
+    def _window_write_reference(self, store: ArrayStore, w: Window,
+                                data: np.ndarray, requester: TaskId) -> None:
+        heap = self.machine.shared
+        now = self.engine.now()
+
+        def per_row(row: np.ndarray) -> None:
+            msg = allocate_message(heap, MSG_WINDOW_ROW, (w, row),
+                                   sender=requester, receiver=store.owner,
+                                   send_time=now, arrival_time=now)
+            release_message(heap, msg)
+
+        store.write_rows(w, data, now, per_row=per_row)
+
+    def window_read(self, ctx: TaskContext, w: Window, *,
+                    rows=None, cols=None) -> np.ndarray:
         """Remote read of the data visible in a window.
 
-        Charges the requester the transfer cost and passes the bytes
-        through the shared-memory message heap (transient header+packet
-        allocation, freed on completion), so window traffic shows up in
-        the heap high-water mark like any other message traffic.  Reads
-        of file-controller windows additionally wait for the simulated
-        disks (requests to distinct stripes overlap).
+        ``rows=`` / ``cols=`` shrink the window for this one access.
+        Charges the requester the transfer cost and moves the block
+        through the shared-memory message heap; reads of file-controller
+        windows additionally wait for the simulated disks (requests to
+        distinct stripes overlap; conflicting overlapping requests
+        serialize).  On the fast path a repeated read of an unchanged
+        region validates against the owner's generation counter and
+        hits the reader-side cache -- no payload moves.
         """
+        if rows is not None or cols is not None:
+            w = w.shrink(rows=rows, cols=cols)
         store = self._owner_store(w.owner)
         nbytes = w.nbytes
         self.engine.charge(window_transfer_cost(nbytes))
         self._file_io_wait(w, write=False)
-        total, _ = message_bytes((w, np.zeros(0)))
-        transit = self.machine.shared.alloc(total + nbytes, tag="message")
-        try:
-            data = store.read(w, self.engine.now())
-        finally:
-            self.machine.shared.free(transit)
-        self.stats.window_reads += 1
-        self.stats.window_bytes_read += nbytes
+        path = self.window_path
+        hit = False
+        cache = None
+        if path == "reference":
+            data = self._window_read_reference(
+                store, w, self._requester_id(ctx, store))
+            moved = nbytes
+        else:
+            if path == "fast":
+                cache = self._requester_cache(ctx)
+            entry = cache.lookup(w) if cache is not None else None
+            txn = WindowTxn(op="read", window=w,
+                            cached_generation=None if entry is None
+                            else entry[0])
+            reply = self._window_txn(store, txn,
+                                     self._requester_id(ctx, store))
+            if reply.status == "valid":
+                data = np.array(entry[1], copy=True)
+                moved, hit = 0, True
+                cache.hits += 1
+            else:
+                data = reply.data
+                moved = nbytes
+                if cache is not None:
+                    cache.misses += 1
+                    if reply.cacheable:
+                        cache.store(w, reply.generation,
+                                    np.array(data, copy=True))
+        st = self.stats
+        st.window_reads += 1
+        st.window_bytes_read += nbytes
+        st.window_bytes_moved += moved
+        if hit:
+            st.window_cache_hits += 1
+        elif cache is not None:
+            st.window_cache_misses += 1
         m = self.metrics
         if m.enabled:
             m.counter("window_ops", op="read").inc()
             m.histogram("window_transfer_bytes", op="read").observe(nbytes)
+            m.counter("window_bytes_moved", op="read").inc(moved)
+            if cache is not None:
+                m.counter("window_cache_hits" if hit
+                          else "window_cache_misses").inc()
         self.engine.preempt(0)
         return data
 
     def window_write(self, ctx: TaskContext, w: Window,
-                     data: np.ndarray) -> None:
-        """Remote write through a window into the owner's array."""
+                     data: np.ndarray, *, rows=None, cols=None,
+                     if_unchanged: bool = False) -> None:
+        """Remote write through a window into the owner's array.
+
+        ``rows=`` / ``cols=`` shrink the window for this one access.
+        ``if_unchanged=True`` makes the write conditional: it is refused
+        with :class:`WindowConflict` if the region was written through
+        the data plane after this task last read it (requires the
+        cached fast path, which tracks observed generations).
+        """
+        if rows is not None or cols is not None:
+            w = w.shrink(rows=rows, cols=cols)
         store = self._owner_store(w.owner)
         nbytes = w.nbytes
         self.engine.charge(window_transfer_cost(nbytes))
         self._file_io_wait(w, write=True)
-        total, _ = message_bytes((w, np.zeros(0)))
-        transit = self.machine.shared.alloc(total + nbytes, tag="message")
-        try:
-            store.write(w, data, self.engine.now())
-        finally:
-            self.machine.shared.free(transit)
-        self.stats.window_writes += 1
-        self.stats.window_bytes_written += nbytes
+        path = self.window_path
+        cache = self._requester_cache(ctx) if path == "fast" else None
+        require = None
+        if if_unchanged:
+            if cache is None:
+                raise WindowConflict(
+                    w, "conditional writes need the cached (fast) window "
+                       "path and a task context")
+            require = cache.observed_generation(w)
+            if require is None:
+                raise WindowConflict(
+                    w, "no cached observation to validate against "
+                       "(window_read the region first)")
+        if path == "reference":
+            self._window_write_reference(
+                store, w, data, self._requester_id(ctx, store))
+        else:
+            payload = np.asarray(data, dtype=np.dtype(w.dtype))
+            txn = WindowTxn(op="write", window=w, data=payload,
+                            require_unchanged_since=require)
+            reply = self._window_txn(store, txn,
+                                     self._requester_id(ctx, store))
+            if reply.status == "conflict":
+                self.stats.window_conflicts += 1
+                if self.metrics.enabled:
+                    self.metrics.counter("window_conflicts").inc()
+                self.engine.preempt(0)
+                raise WindowConflict(w, reply.detail)
+        if cache is not None:
+            cache.invalidate_overlapping(w)
+        st = self.stats
+        st.window_writes += 1
+        st.window_bytes_written += nbytes
+        st.window_bytes_moved += nbytes
         m = self.metrics
         if m.enabled:
             m.counter("window_ops", op="write").inc()
             m.histogram("window_transfer_bytes", op="write").observe(nbytes)
+            m.counter("window_bytes_moved", op="write").inc(nbytes)
         self.engine.preempt(0)
 
     def configure_file_disks(self, n_disks: int,
@@ -882,20 +1082,22 @@ class PiscesVM:
             n_disks, stripe_unit or DEFAULT_STRIPE_UNIT)
         self.file_controller.disks.metrics = self.metrics
 
-    def file_window(self, ctx: TaskContext, name: str) -> Window:
+    def file_window(self, ctx: TaskContext, name: str, *,
+                    region=None, rows=None, cols=None) -> Window:
         """Synchronous window request on a file-store array."""
         fc = self.file_controller
         if fc is None:
             raise WindowError("no file controller in this configuration")
         self.engine.charge(COST_SEND)
         self.engine.preempt(0)
-        return fc.window_for(name)
+        return fc.window_for(name, region=region, rows=rows, cols=cols)
 
-    def export_file(self, name: str, array: np.ndarray) -> None:
+    def export_file(self, name: str, array: np.ndarray,
+                    cacheable: bool = True) -> None:
         """Put an array into the simulated file system (pre-run setup)."""
         if self.file_controller is None:
             raise WindowError("no file controller in this configuration")
-        self.file_controller.export_file(name, array)
+        self.file_controller.export_file(name, array, cacheable=cacheable)
 
     # ----------------------------------------------------------------- run --
 

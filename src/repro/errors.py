@@ -154,6 +154,21 @@ class WindowError(RuntimeLibraryError):
     """Invalid window operation (shrink outside bounds, dead owner ...)."""
 
 
+class WindowConflict(WindowError):
+    """A conditional window write (``if_unchanged=True``) lost the race:
+    the region was written through the data plane after this task last
+    observed it, or the task holds no cached observation to validate
+    against.  The owner's array is left untouched.
+    """
+
+    def __init__(self, window, detail: str = ""):
+        self.window = window
+        msg = f"conflicting write on {window.describe()}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
 # ---------------------------------------------------------------- config ----
 
 class ConfigurationError(PiscesError):

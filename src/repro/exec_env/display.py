@@ -101,6 +101,13 @@ def render_metrics(vm: PiscesVM) -> str:
     if hold is not None and hold.count:
         headline.append(f"lock hold: mean {hold.mean:.1f} ticks, "
                         f"max {hold.max}")
+    hits = reg.counter_total("window_cache_hits")
+    misses = reg.counter_total("window_cache_misses")
+    if hits or misses:
+        moved = reg.counter_total("window_bytes_moved")
+        rate = 100.0 * hits / (hits + misses)
+        headline.append(f"window cache: {hits} hits / {misses} misses "
+                        f"({rate:.0f}% hit rate), {moved} bytes moved")
     if headline:
         parts.append("")
         parts.extend(headline)
