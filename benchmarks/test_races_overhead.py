@@ -1,0 +1,173 @@
+"""Correctness-subsystem overhead: detection and recording are free in
+virtual time, cheap in wall time at the paper's grain.
+
+Four measured modes per workload:
+
+* **baseline** -- plain run, no correctness instrumentation;
+* **detect**   -- happens-before race detection on (and the shipped
+  apps must report *zero* races);
+* **record**   -- schedule recording into a ``.psched`` stream;
+* **replay**   -- re-execution of that recording.
+
+The virtual-time contract is exact and unconditional: all four modes
+produce the *same* elapsed ticks and dispatch count, asserted on every
+workload.  The wall-clock contract is asserted on the ``large-grain``
+workload, whose members do real numpy work per scheduling event --
+PISCES targets large-grain parallelism (section 2), and per-access
+detector cost (vector clocks + extent tracking, tens of microseconds)
+is only meaningful relative to the grain it instruments.  The
+access-dense micro workloads would time the detector against a baseline
+that does *no* real work per access (virtual compute charges no wall
+time); their ratios are reported in the JSON but not bounded.
+
+``RACES_BENCH_SMOKE=1`` shrinks sizes and skips the wall-clock
+assertion (timing a sub-100ms run is noise).  Writes
+``BENCH_races_overhead.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import check_races, record_run, replay_run, run_app
+from repro.apps.jacobi import build_force_registry, build_windows_registry
+from repro.apps.matmul import build_tasks_registry
+from repro.core.task import TaskRegistry
+
+SMOKE = bool(os.environ.get("RACES_BENCH_SMOKE"))
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_races_overhead.json"
+
+#: Allowed detection-on wall-clock overhead at large grain.
+MAX_WALL_OVERHEAD = 1.15
+
+N = 12 if SMOKE else 24
+SWEEPS = 2 if SMOKE else 4
+GRAIN_N = 96 if SMOKE else 384
+GRAIN_SWEEPS = 2 if SMOKE else 4
+
+REPS = 1 if SMOKE else 3
+
+
+def build_grain_registry(n: int, sweeps: int) -> TaskRegistry:
+    """Large-grain force: each member's iteration is one real ``n x n``
+    matrix product bracketed by one tracked SHARED COMMON read and one
+    tracked write -- the grain the paper's forces are designed for."""
+    reg = TaskRegistry()
+
+    def region(m):
+        blk = m.common("G")
+        for s in range(sweeps):
+            for i in m.presched(4):
+                block = np.asarray(blk.a[:])         # tracked read
+                r = block @ block.T                  # the real work
+                blk.out[i] = float(r[0, 0])          # tracked write
+                m.compute(n * n)
+            m.barrier()
+
+    @reg.tasktype("GRAIN", shared={"G": {"a": ("f8", (n, n)),
+                                         "out": ("f8", (4,))}})
+    def grain(ctx):
+        blk = ctx.common("G")
+        blk.a[...] = np.linspace(0.0, 1.0, n * n).reshape(n, n)
+        ctx.forcesplit(region)
+        return float(np.asarray(blk.out[:]).sum())
+
+    return reg
+
+
+#: (name, tasktype, args, registry builder, vm kwargs, wall-bounded?)
+WORKLOADS = [
+    ("large-grain", "GRAIN", (),
+     lambda: build_grain_registry(GRAIN_N, GRAIN_SWEEPS),
+     dict(n_clusters=1, force_pes_per_cluster=3), True),
+    ("jacobi-force", "JFORCE", (N, SWEEPS),
+     lambda: build_force_registry(N, SWEEPS),
+     dict(n_clusters=1, force_pes_per_cluster=3), False),
+    ("jacobi-windows", "JMASTER", (),
+     lambda: build_windows_registry(N, SWEEPS, 3), {}, False),
+    ("matmul-tasks", "MMASTER", (),
+     lambda: build_tasks_registry(N, 3), {}, False),
+]
+
+
+def _timed(fn):
+    best = None
+    out = None
+    for _ in range(REPS):
+        t0 = time.perf_counter()
+        out = fn()
+        wall = time.perf_counter() - t0
+        best = wall if best is None else min(best, wall)
+    return best, out
+
+
+def test_detection_and_recording_charge_no_virtual_time(report):
+    rows = []
+    report("correctness-subsystem overhead: virtual time identical on "
+           "every workload;")
+    report(f"detect wall < x{MAX_WALL_OVERHEAD} at large grain "
+           f"(best of {REPS})")
+    header = (f"{'workload':<16} {'vtime':>9} {'disp':>6} {'base_s':>8} "
+              f"{'detect_s':>9} {'ratio':>6} {'wall bound':>11}")
+    report(header)
+    report("-" * len(header))
+
+    for name, ttype, args, build, kw, bounded in WORKLOADS:
+        base_wall, base = _timed(
+            lambda: run_app(ttype, *args, registry=build(), **kw))
+        fp = (int(base.elapsed), int(base.vm.engine.dispatch_count))
+
+        det_wall, chk = _timed(
+            lambda: check_races(ttype, *args, registry=build(), **kw))
+        assert chk.clean, (
+            f"{name}: shipped app reported races: {chk.report_text()}")
+        assert (chk.result.elapsed,
+                chk.result.vm.engine.dispatch_count) == fp, (
+            f"{name}: detection perturbed the virtual history")
+
+        rec_wall, rec = _timed(
+            lambda: record_run(ttype, *args, registry=build(),
+                               trace=False, **kw))
+        assert (rec.elapsed, rec.result.vm.engine.dispatch_count) == fp, (
+            f"{name}: recording perturbed the virtual history")
+
+        rep_wall, rep = _timed(
+            lambda: replay_run(ttype, *args, schedule=rec.schedule,
+                               registry=build(), trace=False, **kw))
+        assert (rep.elapsed, rep.vm.engine.dispatch_count) == fp, (
+            f"{name}: replay diverged from the recorded history")
+
+        ratio = det_wall / base_wall
+        rows.append({
+            "workload": name, "virtual_elapsed": fp[0], "dispatches": fp[1],
+            "wall_s": {"baseline": round(base_wall, 4),
+                       "detect": round(det_wall, 4),
+                       "record": round(rec_wall, 4),
+                       "replay": round(rep_wall, 4)},
+            "detect_ratio": round(ratio, 3),
+            "wall_bounded": bounded,
+            "accesses_checked": chk.detector.accesses_checked,
+            "races": len(chk.reports),
+        })
+        bound = f"x{MAX_WALL_OVERHEAD}" if bounded else "reported"
+        report(f"{name:<16} {fp[0]:>9} {fp[1]:>6} {base_wall:>8.4f} "
+               f"{det_wall:>9.4f} {ratio:>6.3f} {bound:>11}")
+        if bounded and not SMOKE:
+            assert ratio <= MAX_WALL_OVERHEAD, (
+                f"{name}: detection wall overhead x{ratio:.3f} "
+                f"(> x{MAX_WALL_OVERHEAD})")
+
+    OUT_PATH.write_text(json.dumps({
+        "benchmark": "races_overhead",
+        "smoke": SMOKE,
+        "max_wall_overhead": MAX_WALL_OVERHEAD,
+        "wall_checked": not SMOKE,
+        "reps": REPS,
+        "workloads": rows,
+    }, indent=2) + "\n")
+    report(f"\nwritten: {OUT_PATH.name}")

@@ -48,11 +48,27 @@ from .core import (
     Window,
     tasktype,
 )
-from .errors import PiscesError, WindowConflict, WindowError
+from .errors import (
+    PiscesError,
+    RaceError,
+    RaceWarning,
+    ReplayDivergence,
+    TraceOverflow,
+    WindowConflict,
+    WindowError,
+)
 from .flex import FlexMachine, MachineSpec, nasa_langley_flex32, small_flex
 from .obs import MetricsRegistry, derive_spans, export_run
 from . import api
-from .api import make_vm, open_window, plan_scope, run_app
+from .api import (
+    check_races,
+    make_vm,
+    open_window,
+    plan_scope,
+    record_run,
+    replay_run,
+    run_app,
+)
 
 __version__ = "1.0.0"
 
@@ -71,6 +87,9 @@ __all__ = [
     "PARENT",
     "PiscesError",
     "PiscesVM",
+    "RaceError",
+    "RaceWarning",
+    "ReplayDivergence",
     "RunResult",
     "SAME",
     "SELF",
@@ -80,15 +99,19 @@ __all__ = [
     "TaskId",
     "TaskRegistry",
     "TraceEventType",
+    "TraceOverflow",
     "USER",
     "Window",
     "WindowConflict",
     "WindowError",
     "__version__",
     "api",
+    "check_races",
     "derive_spans",
     "export_run",
     "make_vm",
+    "record_run",
+    "replay_run",
     "nasa_langley_flex32",
     "open_window",
     "plan_scope",

@@ -37,4 +37,7 @@ def run_report(vm: PiscesVM, gantt_width: int = 64,
     if vm.metrics.families():
         parts.append("")
         parts.append(vm.metrics.snapshot_text())
+    if vm.race_detector is not None:
+        parts.append("")
+        parts.append(vm.race_detector.report_text())
     return "\n".join(parts)

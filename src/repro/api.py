@@ -19,26 +19,40 @@ modules remain importable for anything not covered.
 
 from __future__ import annotations
 
-from dataclasses import replace
-from typing import Any, Optional, Tuple
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, List, Optional, Tuple, Union
 
 from .config.configuration import Configuration, simple_configuration
 from .core.task import TaskRegistry
 from .core.taskid import Placement
+from .core.tracing import TraceEventType
 from .core.vm import PiscesVM, RunResult
 from .core.windows import Window
+from .correctness.detector import RaceDetector, RaceReport
+from .correctness.recorder import Schedule, ScheduleRecorder
 from .errors import ConfigurationError, WindowError
 from .faults import plan_scope
 from .flex.machine import FlexMachine
 from .obs.export import export_run
 
 __all__ = [
+    "RaceCheck",
+    "RecordedRun",
+    "check_races",
     "export_run",
     "make_vm",
     "open_window",
     "plan_scope",
+    "record_run",
+    "replay_run",
     "run_app",
 ]
+
+#: Trace event type names enabled by record_run/replay_run when
+#: ``trace=True`` (the full stream: its bit-identity is part of the
+#: replay contract).
+_ALL_TRACE_EVENTS = tuple(t.value for t in TraceEventType)
 
 
 def make_vm(n_clusters: int = 2, slots: int = 4, *,
@@ -51,6 +65,9 @@ def make_vm(n_clusters: int = 2, slots: int = 4, *,
             trace_events: Tuple[str, ...] = (),
             window_path: str = "",
             fault_plan: Optional[Any] = None,
+            detect_races: Optional[Any] = None,
+            recorder: Optional[ScheduleRecorder] = None,
+            replay: Union[Schedule, str, Path, None] = None,
             name: str = "api") -> PiscesVM:
     """Build a booted VM without touching the configuration layer.
 
@@ -58,7 +75,8 @@ def make_vm(n_clusters: int = 2, slots: int = 4, *,
     :func:`simple_configuration` of ``n_clusters`` x ``slots`` (plus
     ``force_pes_per_cluster`` secondary PEs each) is built and the
     keyword toggles (metrics, time limit, tracing, window data-plane
-    path) applied to it.
+    path) applied to it.  ``detect_races`` / ``recorder`` / ``replay``
+    reach the correctness subsystem (:mod:`repro.correctness`).
     """
     if config is None:
         config = replace(
@@ -68,7 +86,8 @@ def make_vm(n_clusters: int = 2, slots: int = 4, *,
             metrics_enabled=metrics, time_limit=time_limit,
             trace_events=tuple(trace_events), window_path=window_path)
     return PiscesVM(config, registry=registry, machine=machine,
-                    fault_plan=fault_plan)
+                    fault_plan=fault_plan, detect_races=detect_races,
+                    recorder=recorder, replay=replay)
 
 
 def run_app(tasktype: str, *args: Any,
@@ -88,6 +107,119 @@ def run_app(tasktype: str, *args: Any,
         raise ConfigurationError(
             "run_app: pass either vm=... or VM-construction keywords")
     return vm.run(tasktype, *args, on=on, shutdown=shutdown)
+
+
+@dataclass
+class RecordedRun:
+    """A run plus everything needed to replay and compare it."""
+
+    result: RunResult
+    #: In-memory schedule (replayable directly via ``replay_run``).
+    schedule: Schedule
+    #: Where the ``.psched`` artifact was written (None: memory only).
+    psched_path: Optional[Path]
+    #: The textual trace stream (bit-identity evidence for replays).
+    trace_lines: List[str]
+
+    @property
+    def elapsed(self) -> int:
+        return self.result.elapsed
+
+
+@dataclass
+class RaceCheck:
+    """Outcome of :func:`check_races`."""
+
+    result: RunResult
+    reports: List[RaceReport]      # races (severity "race")
+    warnings: List[RaceReport]     # window read/write warnings
+    detector: RaceDetector
+
+    @property
+    def clean(self) -> bool:
+        return not self.reports
+
+    def report_text(self) -> str:
+        return self.detector.report_text()
+
+
+def _trace_lines(vm: PiscesVM) -> List[str]:
+    return [e.line() for e in vm.tracer.events]
+
+
+def record_run(tasktype: str, *args: Any,
+               path: Union[str, Path, None] = None,
+               registry: Optional[TaskRegistry] = None,
+               on: Placement = None,
+               trace: bool = True,
+               **vm_kwargs: Any) -> RecordedRun:
+    """Run an application while recording its schedule (tentpole API).
+
+    Captures the dispatcher's complete decision stream into a
+    ``.psched`` artifact (written to ``path`` when given, else kept in
+    memory) so :func:`replay_run` can re-execute the run bit-identically.
+    ``trace=True`` (default) also enables the full trace stream in
+    strict-overflow mode -- the stream is replay-comparison evidence, so
+    silent truncation must fail loudly.
+    """
+    recorder = ScheduleRecorder(path=path, meta={"app": tasktype})
+    if trace:
+        vm_kwargs.setdefault("trace_events", _ALL_TRACE_EVENTS)
+    vm = make_vm(registry=registry, recorder=recorder, **vm_kwargs)
+    if trace:
+        vm.tracer.strict_overflow = True
+    result = vm.run(tasktype, *args, on=on)
+    return RecordedRun(result=result, schedule=recorder.as_schedule(),
+                       psched_path=None if path is None else Path(path),
+                       trace_lines=_trace_lines(vm))
+
+
+def replay_run(tasktype: str, *args: Any,
+               schedule: Union[RecordedRun, Schedule, str, Path],
+               registry: Optional[TaskRegistry] = None,
+               on: Placement = None,
+               trace: bool = True,
+               **vm_kwargs: Any) -> RunResult:
+    """Re-execute a recorded run under the replay dispatcher.
+
+    ``schedule`` is a :class:`RecordedRun`, an in-memory
+    :class:`Schedule`, or a ``.psched`` path.  Every scheduling decision
+    is verified against the recording
+    (:class:`~repro.errors.ReplayDivergence` on the first mismatch) and
+    the whole recording must be consumed; the replayed run is
+    bit-identical -- same elapsed ticks, same trace stream, same
+    RunStats.
+    """
+    if isinstance(schedule, RecordedRun):
+        schedule = schedule.schedule
+    if isinstance(schedule, (str, Path)):
+        schedule = Schedule.load(schedule)
+    if trace:
+        vm_kwargs.setdefault("trace_events", _ALL_TRACE_EVENTS)
+    vm = make_vm(registry=registry, replay=schedule, **vm_kwargs)
+    if trace:
+        vm.tracer.strict_overflow = True
+    result = vm.run(tasktype, *args, on=on)
+    schedule.check_complete()
+    return result
+
+
+def check_races(tasktype: str, *args: Any,
+                registry: Optional[TaskRegistry] = None,
+                on: Placement = None,
+                mode: str = "record",
+                **vm_kwargs: Any) -> RaceCheck:
+    """Run an application under the happens-before race detector.
+
+    ``mode``: ``"record"`` collects reports (default), ``"warn"`` also
+    emits :class:`~repro.errors.RaceWarning`, ``"raise"`` raises
+    :class:`~repro.errors.RaceError` at the first racing access.
+    """
+    vm = make_vm(registry=registry, detect_races=mode, **vm_kwargs)
+    result = vm.run(tasktype, *args, on=on)
+    det = vm.race_detector
+    return RaceCheck(result=result, reports=list(det.reports),
+                     warnings=list(det.warnings), detector=det)
 
 
 def open_window(vm: PiscesVM, name: str, *, region=None,

@@ -156,11 +156,11 @@ def build_force_registry(n: int, sweeps: int) -> TaskRegistry:
 
     @reg.tasktype("JFORCE", shared={"GRID": {}})
     def jforce(ctx, _n, _sweeps):
-        # SHARED COMMON declared empty above and filled here because the
-        # block shape depends on run arguments.
-        blk = ctx.task.shared_state.commons.pop("GRID")
-        blk.release()
-        blk = ctx.task.shared_state.declare_common(
+        # SHARED COMMON declared empty above and re-declared here because
+        # the block shape depends on run arguments (FREE COMMON frees the
+        # storage and makes the name declarable again).
+        ctx.free_common("GRID")
+        blk = ctx.declare_common(
             "GRID", {"g": ("f8", (_n, _n)), "new": ("f8", (_n, _n))})
         blk.g[...] = make_problem(_n)
         blk.new[...] = blk.g

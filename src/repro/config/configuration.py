@@ -118,6 +118,9 @@ class Configuration:
     #: environment variable, then to "fast".  Every path is bit-identical
     #: in virtual time (see docs/architecture.md).
     window_path: str = ""
+    #: Enable the happens-before race detector at boot (see
+    #: :mod:`repro.correctness`); detection charges no virtual time.
+    detect_races: bool = False
     name: str = "unnamed"
 
     # ------------------------------------------------------------ access --

@@ -95,6 +95,13 @@ class Controller:
             m = self.inq.peek()
             if m is not None and m.arrival_time <= now:
                 self.inq.remove(m)
+                det = self.vm.race_detector
+                if det is not None:
+                    # Controller pop is the accept side of the HB edge
+                    # for INITIATE and other control messages, so
+                    # initiate -> task start is ordered through the
+                    # controller's subsequent spawn.
+                    det.on_accept(m)
                 return m
             eng.block(f"{self.kind}-wait",
                       deadline=None if m is None else m.arrival_time)

@@ -38,6 +38,9 @@ def presched(member: "ForceContext",
     """
     seq = _materialize(iterations)
     n = member.force.size
+    det = member.force.task.vm.race_detector
+    if det is not None:
+        det.on_presched_claim(member.member, len(seq), n)
     for i in range(member.member, len(seq), n):
         yield seq[i]
 
@@ -77,12 +80,23 @@ def selfsched(engine: Engine, member: "ForceContext",
     """
     seq = _materialize(iterations)
     counter = member.force.selfsched_counter(member, len(seq))
+    vm = member.force.task.vm
     while True:
         engine.charge(COST_SELFSCHED_FETCH)
         engine.preempt(0)
         i = counter.fetch(member.member)
+        det = vm.race_detector
+        if det is not None:
+            # The shared counter is a read-modify-write chain: each
+            # fetch is ordered after every earlier fetch (the run-time
+            # library's internal lock), which is exactly what makes
+            # "my claimed iterations are mine alone" sound.
+            det.on_selfsched_fetch(counter, i, member.member)
         if i < 0:
             return
+        sh = vm.sched_hook
+        if sh is not None:
+            sh.on_selfsched(member.member, i)
         yield seq[i]
 
 

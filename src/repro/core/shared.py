@@ -23,6 +23,136 @@ from .sizes import LOCK_BYTES
 CommonSpec = Dict[str, Tuple[str, Union[Tuple[int, ...], int]]]
 
 
+def _index_bounds(key, shape, region, dims, exact):
+    """Extents touched by indexing a (possibly viewed) tracked array.
+
+    ``region`` holds one half-open ``(lo, hi)`` interval per dimension
+    of the *root* array; ``dims`` maps each own dimension to its root
+    dimension (``-1`` for a ``newaxis`` dimension); ``exact[rd]`` is
+    False once a root dimension went through a non-unit-step slice or
+    advanced index, after which it can never be narrowed again.  The
+    result is conservative: it covers at least every touched element.
+
+    Returns ``(bounds, view_dims, view_exact)`` where ``bounds`` doubles
+    as the access extents and the resulting view's region.
+    """
+    if not isinstance(key, tuple):
+        key = (key,)
+    if any(k is Ellipsis for k in key):
+        explicit = sum(1 for k in key if k is not Ellipsis and k is not None)
+        expanded = []
+        for k in key:
+            if k is Ellipsis:
+                expanded.extend([slice(None)] * (len(shape) - explicit))
+            else:
+                expanded.append(k)
+        key = expanded
+
+    bounds = list(region)
+    new_exact = list(exact)
+    kept = []        # root dim (or -1) per surviving view dimension
+    own = 0
+    for k in key:
+        if k is None:            # np.newaxis: adds a dim, consumes none
+            kept.append(-1)
+            continue
+        if own >= len(dims):
+            break
+        rd = dims[own]
+        n = shape[own]
+        own += 1
+        if rd < 0:               # indexing into an inserted axis
+            if not isinstance(k, (int, np.integer)):
+                kept.append(-1)
+            continue
+        lo, hi = bounds[rd]
+        if not exact[rd]:        # inexact: full interval, never narrow
+            if not isinstance(k, (int, np.integer)):
+                kept.append(rd)
+            continue
+        if isinstance(k, (int, np.integer)):
+            i = int(k)
+            if i < 0:
+                i += n
+            if 0 <= i < n:
+                bounds[rd] = (lo + i, lo + i + 1)
+            # dim collapses: interval stays pinned, not kept
+        elif isinstance(k, slice):
+            r = range(*k.indices(n))
+            if len(r) == 0:
+                bounds[rd] = (lo, lo)
+            else:
+                bounds[rd] = (lo + min(r), lo + max(r) + 1)
+                if r.step != 1:
+                    new_exact[rd] = False   # covering interval only
+            kept.append(rd)
+        else:
+            # Advanced index (array/list/mask): covering interval is the
+            # whole dim; the result is a copy, so the view attrs computed
+            # here are discarded by the caller anyway.
+            new_exact[rd] = False
+            kept.append(rd)
+    kept.extend(dims[own:])
+    return tuple(bounds), tuple(kept), tuple(new_exact)
+
+
+class TrackedArray(np.ndarray):
+    """A SHARED COMMON variable with per-access race monitoring.
+
+    Only constructed when race detection is on (blocks declared with no
+    monitor hold plain ndarrays -- detection off costs nothing).  Every
+    ``__getitem__``/``__setitem__`` reports its conservative element
+    extents to the monitor; basic-indexing *views* stay tracked with
+    their absolute position in the root array, so ``row = blk.u[i]``
+    followed by ``row[j] = v`` reports the right extents.
+
+    Known blind spots (documented, conservative in the "no false
+    negative within supported usage" sense): in-place ufuncs on the
+    whole array (``blk.u += 1``) and ``np.copyto`` bypass
+    ``__setitem__``; advanced indexing returns untracked copies (which
+    is semantically right -- writing a copy does not touch shared
+    memory).
+    """
+
+    def __array_finalize__(self, obj):
+        # Never inherit monitoring: ufunc temporaries, copies and
+        # reductions must not report phantom accesses.  Tracking is
+        # re-attached explicitly (block construction, __getitem__).
+        self._pisces_monitor = None
+        self._pisces_label = None
+        self._pisces_region = None
+        self._pisces_dims = None
+        self._pisces_exact = None
+
+    def __getitem__(self, key):
+        result = super().__getitem__(key)
+        mon = self._pisces_monitor
+        if mon is None:
+            return result
+        bounds, vdims, vexact = _index_bounds(
+            key, self.shape, self._pisces_region, self._pisces_dims,
+            self._pisces_exact)
+        mon(self._pisces_label, bounds, False)
+        if (type(result) is TrackedArray
+                and result.ndim == len(vdims)
+                and result.base is not None):
+            result._pisces_monitor = mon
+            result._pisces_label = self._pisces_label
+            result._pisces_region = bounds
+            result._pisces_dims = vdims
+            result._pisces_exact = vexact
+        return result
+
+    def __setitem__(self, key, value):
+        mon = self._pisces_monitor
+        if mon is not None:
+            bounds, _, _ = _index_bounds(
+                key, self.shape, self._pisces_region, self._pisces_dims,
+                self._pisces_exact)
+            mon(self._pisces_label, bounds, True)
+        super().__setitem__(key, value)
+
+
 class SharedCommonBlock:
     """A named COMMON block resident in (simulated) shared memory.
 
@@ -33,7 +163,8 @@ class SharedCommonBlock:
     ``blk.u[i] = 4.0``; scalars are 0-d arrays: ``blk.n[()] = 10``.
     """
 
-    def __init__(self, name: str, spec: CommonSpec, heap: HeapAllocator):
+    def __init__(self, name: str, spec: CommonSpec, heap: HeapAllocator,
+                 monitor=None):
         self._name = name
         self._vars: Dict[str, np.ndarray] = {}
         nbytes = 0
@@ -41,6 +172,15 @@ class SharedCommonBlock:
             if isinstance(shape, int):
                 shape = (shape,)
             arr = np.zeros(shape, dtype=dtype)
+            if monitor is not None:
+                # Race detection on: wrap in a TrackedArray reporting
+                # (label, extents, is_write) for every indexed access.
+                arr = arr.view(TrackedArray)
+                arr._pisces_monitor = monitor
+                arr._pisces_label = (name, var)
+                arr._pisces_region = tuple((0, n) for n in shape)
+                arr._pisces_dims = tuple(range(len(shape)))
+                arr._pisces_exact = (True,) * len(shape)
             self._vars[var] = arr
             nbytes += int(arr.nbytes)
         self._nbytes = nbytes
@@ -74,6 +214,15 @@ class SharedCommonBlock:
             self._heap.free(self._alloc)
             self._alloc = None
 
+    #: Alias for the explicit-deallocation API (FREE COMMON): releasing
+    #: the simulated shared-memory storage is the whole operation -- the
+    #: numpy arrays stay readable for post-mortem analysis.
+    free = release
+
+    @property
+    def freed(self) -> bool:
+        return self._alloc is None
+
 
 @dataclass
 class LockState:
@@ -104,16 +253,36 @@ class LockState:
 class SharedState:
     """Per-task container of SHARED COMMON blocks and LOCK variables."""
 
-    def __init__(self, heap: HeapAllocator):
+    def __init__(self, heap: HeapAllocator, monitor=None):
         self._heap = heap
+        #: Access monitor threaded into every declared block when race
+        #: detection is on (None otherwise -- plain ndarrays, no cost).
+        self.monitor = monitor
         self.commons: Dict[str, SharedCommonBlock] = {}
         self.locks: Dict[str, LockState] = {}
+        #: Blocks explicitly freed before task exit (kept for
+        #: post-mortem reads; their storage is already released).
+        self.freed_commons: List[SharedCommonBlock] = []
 
     def declare_common(self, name: str, spec: CommonSpec) -> SharedCommonBlock:
         if name in self.commons:
             raise RuntimeLibraryError(f"SHARED COMMON /{name}/ already declared")
-        blk = SharedCommonBlock(name, spec, self._heap)
+        blk = SharedCommonBlock(name, spec, self._heap, monitor=self.monitor)
         self.commons[name] = blk
+        return blk
+
+    def free_common(self, name: str) -> SharedCommonBlock:
+        """Explicitly deallocate a block before task exit (FREE COMMON).
+
+        The name becomes declarable again; the old block object is kept
+        (storage released) so final values stay readable.
+        """
+        try:
+            blk = self.commons.pop(name)
+        except KeyError:
+            raise RuntimeLibraryError(f"no SHARED COMMON /{name}/") from None
+        blk.free()
+        self.freed_commons.append(blk)
         return blk
 
     def common(self, name: str) -> SharedCommonBlock:

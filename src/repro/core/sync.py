@@ -64,6 +64,12 @@ def barrier(engine: Engine, force: "Force", member: "ForceContext",
 
     gen = force.current_barrier
     proc = engine.current()
+    det = force.task.vm.race_detector
+    if det is not None:
+        # Happens-before: every arrival exports its clock into the
+        # generation; whoever runs the body joins the full set, and the
+        # release wakes carry it to the remaining members transitively.
+        det.on_barrier_arrive(gen, proc, force.barrier_gen, member.member)
     if member.is_primary:
         gen.primary_proc = proc
     gen.arrived += 1
@@ -73,6 +79,8 @@ def barrier(engine: Engine, force: "Force", member: "ForceContext",
         if info == _RUN_BODY:
             # Last arrival was not the primary; we are, so run the body
             # and release everyone else.
+            if det is not None:
+                det.on_barrier_body(gen, proc)
             if body is not None:
                 body()
             _release_others(engine, gen, proc)
@@ -82,6 +90,8 @@ def barrier(engine: Engine, force: "Force", member: "ForceContext",
     # We are the last to arrive.
     force.advance_barrier()
     if member.is_primary:
+        if det is not None:
+            det.on_barrier_body(gen, proc)
         if body is not None:
             body()
         _release_others(engine, gen, proc)
@@ -144,6 +154,13 @@ def acquire_lock(engine: Engine, force: "Force", member: "ForceContext",
     else:
         lock.locked = True
         lock.owner_pid = proc.pid
+    vm = force.task.vm
+    det = vm.race_detector
+    if det is not None:
+        det.on_lock_acquire(lock, proc, member.member)
+    sh = vm.sched_hook
+    if sh is not None:
+        sh.on_lock_grant(member.member, lock.name)
     lock.acquired_at = engine.now()
     if metrics.enabled:
         metrics.counter("lock_acquisitions", lock=lock.name).inc()
@@ -166,6 +183,11 @@ def release_lock(engine: Engine, force: "Force", member: "ForceContext",
                           ).observe(engine.now() - lock.acquired_at)
     force.task.trace(TraceEventType.UNLOCK,
                      info=f"lock={lock.name} member={member.member}")
+    det = force.task.vm.race_detector
+    if det is not None:
+        # Export before the hand-off so the next holder's acquire join
+        # sees everything this region did.
+        det.on_lock_release(lock, proc, member.member)
     _grant_next(engine, lock)
 
 

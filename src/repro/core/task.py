@@ -171,7 +171,10 @@ class Task:
         self.inq.metrics = vm.metrics
         self.inq.metric_labels = {"cluster": cluster.number, "kind": "task"}
         self.process: Optional[KernelProcess] = None
-        self.shared_state = SharedState(vm.machine.shared)
+        det = vm.race_detector
+        self.shared_state = SharedState(
+            vm.machine.shared,
+            monitor=None if det is None else det.common_monitor(self))
         self.arrays = ArrayStore(tid)
         self.arrays.metrics = vm.metrics
         #: Reader-side window cache (fast data-plane path only); force
@@ -381,6 +384,9 @@ class TaskContext:
     def _discard_corrupt(self, m: Message) -> None:
         """Drop a message whose payload fails its integrity checksum."""
         vm = self.vm
+        det = vm.race_detector
+        if det is not None:
+            det.forget_message(m)
         release_message(vm.machine.shared, m)
         vm.stats.corruptions_detected += 1
         if vm.faults is not None:
@@ -395,6 +401,14 @@ class TaskContext:
 
     def _process_message(self, m: Message, state: AcceptState) -> None:
         vm = self.vm
+        det = vm.race_detector
+        if det is not None:
+            # Happens-before: everything the sender did before SEND is
+            # ordered before everything this task does after ACCEPT.
+            det.on_accept(m)
+        sh = vm.sched_hook
+        if sh is not None:
+            sh.on_accept_match(str(self.task.tid), str(m.sender), m.mtype)
         release_message(vm.machine.shared, m)
         vm.stats.messages_accepted += 1
         self.sender = m.sender
@@ -518,6 +532,22 @@ class TaskContext:
     def lock(self, name: str) -> LockState:
         """Access (or lazily declare) a LOCK variable."""
         return self.task.shared_state.lock(name)
+
+    def declare_common(self, name: str, spec) -> SharedCommonBlock:
+        """Declare a SHARED COMMON block at run time (beyond the static
+        tasktype declaration -- e.g. re-declaring after
+        :meth:`free_common` with a different shape)."""
+        return self.task.shared_state.declare_common(name, spec)
+
+    def free_common(self, name: str) -> None:
+        """FREE COMMON: release a block's shared-memory storage now.
+
+        Task termination releases every still-declared block anyway;
+        explicit freeing matters for long-lived tasks that cycle through
+        differently-shaped blocks (the paper's static allocation is per
+        task initiation, and this is the matching deallocation).  The
+        name becomes declarable again."""
+        self.task.shared_state.free_common(name)
 
 
 __all__ = [

@@ -132,7 +132,8 @@ class Tracer:
     event and each task".
     """
 
-    def __init__(self, max_events: Optional[int] = DEFAULT_MAX_EVENTS) -> None:
+    def __init__(self, max_events: Optional[int] = DEFAULT_MAX_EVENTS,
+                 strict_overflow: bool = False) -> None:
         self.enabled_types: Set[TraceEventType] = set()
         #: If non-empty, only these tasks are traced.
         self.solo_tasks: Set[TaskId] = set()
@@ -150,6 +151,16 @@ class Tracer:
         #: Events pushed out of the full ring buffer (still delivered to
         #: the file/screen sinks, only the in-memory copy was lost).
         self.overflow_dropped = 0
+        #: When True, ring-buffer overflow raises
+        #: :class:`~repro.errors.TraceOverflow` instead of silently
+        #: evicting the oldest event.  Consumers that *analyze* the
+        #: in-memory stream (schedule recording, race evidence, replay
+        #: trace comparison) enable this: a truncated stream would make
+        #: their artifacts quietly wrong.
+        self.strict_overflow = strict_overflow
+        #: Optional MetricsRegistry; overflow events bump the
+        #: ``trace_overflow_dropped`` counter when wired.
+        self.metrics = None
 
     # ------------------------------------------------------------ config --
 
@@ -203,6 +214,15 @@ class Tracer:
             ev = self.events
             if ev.maxlen is not None and len(ev) == ev.maxlen:
                 self.overflow_dropped += 1
+                m = self.metrics
+                if m is not None and m.enabled:
+                    m.counter("trace_overflow_dropped").inc()
+                if self.strict_overflow:
+                    from ..errors import TraceOverflow
+                    raise TraceOverflow(
+                        f"trace ring buffer overflowed at {ev.maxlen} "
+                        f"events (strict_overflow); raise max_events or "
+                        f"narrow the enabled event types")
             ev.append(event)
         if self._file is not None:
             self._file.write(event.line() + "\n")

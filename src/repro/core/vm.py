@@ -162,6 +162,8 @@ class RunStats:
     tasks_died: int = 0
     send_failures: int = 0
     accept_retries: int = 0
+    # Concurrency-correctness subsystem (see :mod:`repro.correctness`).
+    races_detected: int = 0
 
 
 @dataclass
@@ -183,17 +185,53 @@ class PiscesVM:
                  registry: Optional[TaskRegistry] = None,
                  machine: Optional[FlexMachine] = None,
                  autoboot: bool = True,
-                 fault_plan: Optional[Any] = None):
+                 fault_plan: Optional[Any] = None,
+                 detect_races: Optional[Any] = None,
+                 recorder: Optional[Any] = None,
+                 replay: Optional[Any] = None):
         self.config = config
         self.registry = registry if registry is not None else GLOBAL_REGISTRY
         self.machine = machine if machine is not None else nasa_langley_flex32()
         config.validate(self.machine.spec)
-        self.kernel = MMOSKernel(self.machine, time_limit=config.time_limit)
+        schedule = None
+        if replay is not None:
+            from ..correctness.recorder import Schedule
+            schedule = (Schedule.load(replay)
+                        if isinstance(replay, (str, os.PathLike))
+                        else replay)
+        self.kernel = MMOSKernel(self.machine, time_limit=config.time_limit,
+                                 schedule=schedule)
         self.engine = self.kernel.engine
+        if recorder is not None:
+            # Explicit recorder wins over the PISCES_RECORD_SCHEDULE env
+            # default the engine may have installed.
+            self.engine.sched_hook = recorder
+        #: Schedule decision hook (ScheduleRecorder / replayed Schedule /
+        #: None), mirrored from the engine so the run-time library's
+        #: hook sites (lock grants, SELFSCHED grabs, accept matches) pay
+        #: one attribute test when off.
+        self.sched_hook = self.engine.sched_hook
         self.tracer = Tracer()
         for name in config.trace_events:
             self.tracer.enable(TraceEventType(name))
         self.stats = RunStats()
+        #: Happens-before race detector, or None (off).  Resolution
+        #: order: explicit argument, then the configuration flag, then
+        #: the PISCES_DETECT_RACES environment variable.  A True value
+        #: means "record" mode; a string selects record/warn/raise.
+        self.race_detector: Optional[Any] = None
+        if detect_races is None:
+            if config.detect_races:
+                detect_races = True
+            else:
+                env = os.environ.get("PISCES_DETECT_RACES", "").strip()
+                if env and env not in ("0", "false", "off"):
+                    detect_races = env if env in ("record", "warn", "raise") \
+                        else True
+        if detect_races:
+            self.enable_race_detection(
+                mode=detect_races if isinstance(detect_races, str)
+                else "record")
         #: Window data-plane selection, fixed for the life of the VM.
         self.window_path = resolve_window_path(config)
         #: Observability registry (see :mod:`repro.obs`).  Disabled by
@@ -201,6 +239,7 @@ class PiscesVM:
         #: an unmetered run pays one attribute test per site at most.
         self.metrics = MetricsRegistry(enabled=config.metrics_enabled)
         self.engine.metrics = self.metrics
+        self.tracer.metrics = self.metrics
         self.default_accept_delay = config.default_accept_delay
         #: System-wide ACCEPT timeout escalation (satellite 2); None
         #: keeps the paper's single-wait semantics with zero overhead.
@@ -245,6 +284,28 @@ class PiscesVM:
 
     def disable_metrics(self) -> None:
         self.metrics.enabled = False
+
+    # ------------------------------------------------------------- races --
+
+    def enable_race_detection(self, mode: Optional[str] = None):
+        """Turn on the happens-before race detector (idempotent).
+
+        Best enabled before the run starts: tasks created while it is
+        off hold plain (untracked) SHARED COMMON arrays, so only
+        synchronization edges -- not their accesses -- are observed for
+        them.  ``mode=None`` keeps an existing detector's mode
+        (``"record"`` for a fresh one).  Detection charges no virtual
+        time; see :mod:`repro.correctness`.
+        """
+        if self.race_detector is not None:
+            if mode is not None:
+                self.race_detector.mode = mode
+            return self.race_detector
+        from ..correctness.detector import RaceDetector
+        det = RaceDetector(self, mode=mode or "record")
+        self.race_detector = det
+        self.engine.hb_hook = det
+        return det
 
     def _metric_name_of(self, tid: TaskId) -> str:
         """Tasktype / controller-kind name of a taskid (metric label)."""
@@ -761,6 +822,9 @@ class PiscesVM:
                 self.stats.messages_corrupted += 1
                 msg.args = corrupt_args(msg.args)
         inq.enqueue(msg)
+        det = self.race_detector
+        if det is not None:
+            det.on_send(msg)
         self.stats.messages_sent += 1
         self.stats.message_bytes_sent += msg.nbytes
         m = self.metrics
@@ -790,6 +854,8 @@ class PiscesVM:
                                    arrival_time=msg.arrival_time)
             dup.checksum = msg.checksum
             inq.enqueue(dup)
+            if det is not None:
+                det.on_send(dup)
             self.stats.messages_sent += 1
             self.stats.message_bytes_sent += dup.nbytes
             self._wake_receiver(receiver_proc, dup.arrival_time)
@@ -963,6 +1029,9 @@ class PiscesVM:
         if rows is not None or cols is not None:
             w = w.shrink(rows=rows, cols=cols)
         store = self._owner_store(w.owner)
+        det = self.race_detector
+        if det is not None:
+            det.on_window_access(w, False)
         nbytes = w.nbytes
         self.engine.charge(window_transfer_cost(nbytes))
         self._file_io_wait(w, write=False)
@@ -1027,6 +1096,9 @@ class PiscesVM:
         if rows is not None or cols is not None:
             w = w.shrink(rows=rows, cols=cols)
         store = self._owner_store(w.owner)
+        det = self.race_detector
+        if det is not None:
+            det.on_window_access(w, True)
         nbytes = w.nbytes
         self.engine.charge(window_transfer_cost(nbytes))
         self._file_io_wait(w, write=True)

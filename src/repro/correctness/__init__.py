@@ -1,0 +1,39 @@
+"""Concurrency-correctness subsystem: race detection and schedule replay.
+
+Section 7 of the paper leaves SHARED COMMON discipline to the
+programmer ("the programmer is responsible" for LOCK/CRITICAL/BARRIER
+usage); section 12's trace stream is meant for off-line analysis.  This
+package closes the loop with two cooperating halves:
+
+* **Race detection** (:mod:`~repro.correctness.detector`) -- vector
+  clocks over every kernel process, happens-before edges from the
+  Pisces-level synchronization operations (message send -> accept,
+  initiate -> start, barrier generations, lock hand-offs, SELFSCHED
+  counter fetches, spawn and wake), locksets as corroborating evidence,
+  and extent-overlap conflict tests on SHARED COMMON variables and
+  window regions.  Conflicting unordered accesses become structured
+  :class:`RaceReport` records.
+
+* **Record/replay** (:mod:`~repro.correctness.recorder`) -- a
+  :class:`ScheduleRecorder` captures the dispatcher's decision stream
+  into a compact ``.psched`` artifact and a :class:`Schedule` drives
+  the engine's ``replay`` dispatcher, re-executing the run
+  bit-identically and raising
+  :class:`~repro.errors.ReplayDivergence` on the first mismatch.
+
+Both halves are zero-cost when off (one ``is not None`` test per hook
+site) and charge no virtual time when on: elapsed ticks are
+bit-identical with detection or recording enabled.
+"""
+
+from __future__ import annotations
+
+from .detector import RaceDetector, RaceReport
+from .recorder import Schedule, ScheduleRecorder
+
+__all__ = [
+    "RaceDetector",
+    "RaceReport",
+    "Schedule",
+    "ScheduleRecorder",
+]

@@ -169,6 +169,53 @@ class WindowConflict(WindowError):
         super().__init__(msg)
 
 
+# ----------------------------------------------------------- correctness ----
+
+class RaceError(RuntimeLibraryError):
+    """A data race was detected on a SHARED COMMON variable or window
+    region (two accesses, at least one a write, with no happens-before
+    ordering and no common lock).
+
+    Carries the structured :class:`~repro.correctness.RaceReport`
+    evidence; raised only when the detector runs in ``raise`` mode --
+    the default is to collect reports for the monitor/analysis layer.
+    """
+
+    def __init__(self, report):
+        self.report = report
+        super().__init__(report.describe() if hasattr(report, "describe")
+                         else str(report))
+
+
+class RaceWarning(UserWarning):
+    """Warning category for detected races in ``warn`` mode."""
+
+
+class TraceOverflow(RuntimeLibraryError):
+    """The tracer's in-memory ring buffer overflowed in
+    ``strict_overflow`` mode.
+
+    Schedule recording and race analysis read the in-memory stream; a
+    silently truncated stream would make a ``.psched`` artifact or a
+    race report quietly wrong, so strict mode fails loudly instead.
+    """
+
+
+class ReplayDivergence(MMOSError):
+    """A replayed run diverged from its recorded schedule.
+
+    The replay dispatcher verifies every decision (dispatch order and
+    start times, SELFSCHED grabs, lock grant order, accept matches)
+    against the ``.psched`` stream; any mismatch -- a changed program,
+    configuration, fault plan or environment -- raises this with the
+    first differing decision.
+    """
+
+
+class ScheduleFormatError(MMOSError):
+    """A ``.psched`` artifact could not be parsed."""
+
+
 # ---------------------------------------------------------------- config ----
 
 class ConfigurationError(PiscesError):

@@ -124,6 +124,21 @@ class ExecutionCLI:
             enable = tuple(t[1:] for t in rest if t.startswith("+"))
             disable = tuple(t[1:] for t in rest if t.startswith("-"))
             self._say(m.change_trace_options(enable=enable, disable=disable))
+        elif op == "10":
+            self._say(m.display_metrics())
+        elif op == "11":
+            enable = True if "on" in rest else False if "off" in rest else None
+            self._say(m.change_metric_options(enable=enable,
+                                              reset="reset" in rest))
+        elif op == "12":
+            self._say(m.export_trace(rest[0] if rest else "."))
+        elif op == "13":
+            # 13 [on|off] [record|warn|raise] -- default: on, keeping
+            # the current mode (record on first enable).
+            enable = False if "off" in rest else True
+            mode = next((t for t in rest
+                         if t in ("record", "warn", "raise")), None)
+            self._say(m.detect_races(enable=enable, mode=mode))
         else:
             self._say(f"no such option {op!r}")
         return False

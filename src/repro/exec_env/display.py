@@ -114,6 +114,17 @@ def render_metrics(vm: PiscesVM) -> str:
     return "\n".join(parts)
 
 
+def render_races(vm: PiscesVM) -> str:
+    """DETECT RACES: detector status plus every finding so far."""
+    det = vm.race_detector
+    if det is None:
+        return ("race detection: off "
+                "(enable with monitor.detect_races() or option 13; "
+                "tasks initiated afterwards get tracked SHARED COMMON)")
+    status = "on" if det.enabled else "paused"
+    return f"race detection: {status} (mode {det.mode})\n" + det.report_text()
+
+
 def render_vm_figure(vm: PiscesVM) -> str:
     """Figure 1: PISCES 2 VIRTUAL MACHINE ORGANIZATION.
 

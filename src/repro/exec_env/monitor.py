@@ -47,6 +47,7 @@ EXTENDED_MENU = (
     (10, "DISPLAY METRICS"),
     (11, "CHANGE METRIC OPTIONS"),
     (12, "EXPORT TRACE"),
+    (13, "DETECT RACES"),
 )
 
 
@@ -183,6 +184,28 @@ class Monitor:
         paths = export_run(self.vm, directory, prefix=prefix)
         return "\n".join(f"wrote {kind}: {path}"
                          for kind, path in sorted(paths.items()))
+
+    def detect_races(self, enable: Optional[bool] = None,
+                     mode: Optional[str] = None) -> str:
+        """Option 13: DETECT RACES (happens-before race detection).
+
+        With no argument (or ``enable=True``) turns the detector on --
+        best done before initiating the tasks under suspicion, since
+        already-running tasks keep their untracked SHARED COMMON
+        arrays -- and renders the current findings.  ``enable=False``
+        stops checking new accesses but keeps the evidence displayable.
+        ``mode=None`` keeps the current mode (``"record"`` on first
+        enable).
+        """
+        vm = self.vm
+        if enable is None:
+            enable = True
+        if enable:
+            vm.enable_race_detection(mode=mode).enabled = True
+        elif vm.race_detector is not None:
+            # Stop checking new accesses; evidence stays displayable.
+            vm.race_detector.enabled = False
+        return display.render_races(vm)
 
     def menu_text(self) -> str:
         return "\n".join(f"{n}   {label}"

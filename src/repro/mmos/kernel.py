@@ -29,9 +29,11 @@ class ConsoleLine(Tuple[int, int, str]):
 class MMOSKernel:
     """Kernel services for one machine."""
 
-    def __init__(self, machine: FlexMachine, time_limit: Optional[int] = None):
+    def __init__(self, machine: FlexMachine, time_limit: Optional[int] = None,
+                 dispatcher: Optional[str] = None, schedule=None):
         self.machine = machine
-        self.engine = Engine(machine, time_limit=time_limit)
+        self.engine = Engine(machine, time_limit=time_limit,
+                             dispatcher=dispatcher, schedule=schedule)
         self.console: List[Tuple[int, int, str]] = []
         #: Optional live sink for terminal output (the execution
         #: environment hooks this to echo to the real screen).

@@ -84,6 +84,11 @@ class KernelProcess:
         #: the generation they were pushed with, so stale entries are
         #: recognized and discarded lazily at pop time.
         self.sched_gen: int = 0
+        #: Per-engine spawn order (0-based), assigned by Engine.spawn.
+        #: Pids come from a process-global counter and vary run to run;
+        #: the schedule artifact (.psched) identifies processes by this
+        #: run-stable ordinal instead.
+        self.spawn_ordinal: int = -1
 
     # ------------------------------------------------------------------
 

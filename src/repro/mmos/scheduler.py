@@ -62,8 +62,9 @@ from .process import KernelProcess, ProcState
 #: Default ticks charged by a kernel point when the caller gives none.
 DEFAULT_KERNEL_COST = 5
 
-#: Recognized dispatcher implementations.
-DISPATCHERS = ("indexed", "scan")
+#: Recognized dispatcher implementations.  ``replay`` re-executes a
+#: recorded decision stream (see :mod:`repro.correctness.recorder`).
+DISPATCHERS = ("indexed", "scan", "replay")
 
 
 def default_dispatcher() -> str:
@@ -79,15 +80,19 @@ class Engine:
     """The MMOS scheduler/dispatcher for one machine."""
 
     def __init__(self, machine: FlexMachine, time_limit: Optional[int] = None,
-                 dispatcher: Optional[str] = None):
+                 dispatcher: Optional[str] = None, schedule: Optional[Any] = None):
         self.machine = machine
         self.time_limit = time_limit
         if dispatcher is None:
-            dispatcher = default_dispatcher()
+            dispatcher = "replay" if schedule is not None \
+                else default_dispatcher()
         if dispatcher not in DISPATCHERS:
             raise ValueError(
                 f"dispatcher {dispatcher!r}: must be one of {DISPATCHERS}")
         self.dispatcher = dispatcher
+        self._replay = dispatcher == "replay"
+        # Replay reuses the scan picker's data structures only for state
+        # dumps; selection itself is driven by the recorded stream.
         self._indexed = dispatcher == "indexed"
         self._cv = threading.Condition()
         self._procs: Dict[int, KernelProcess] = {}
@@ -126,6 +131,38 @@ class Engine:
         #: Optional MetricsRegistry (wired by the VM).  Observations are
         #: pure bookkeeping -- they never influence dispatch order.
         self.metrics = None
+        #: Happens-before hook (the race detector, or None).  Called on
+        #: spawn and in-process wakes; observers only -- they never
+        #: charge ticks or change scheduling state.
+        self.hb_hook: Optional[Any] = None
+        #: Per-run spawn ordinals: kernel pids come from a process-global
+        #: counter and are not stable across runs, so the schedule
+        #: artifact identifies processes by spawn order instead.
+        self._spawn_seq = 0
+        self._by_ordinal: List[KernelProcess] = []
+        #: Schedule decision hook: a ScheduleRecorder when recording, the
+        #: replayed Schedule (consume == verify) when replaying, None
+        #: otherwise.  One attribute test per dispatch when unused.
+        self.sched_hook: Optional[Any] = None
+        self._schedule: Optional[Any] = None
+        if self._replay:
+            if schedule is None:
+                path = os.environ.get("PISCES_REPLAY_SCHEDULE", "").strip()
+                if not path:
+                    raise ValueError(
+                        "replay dispatcher needs a schedule: pass "
+                        "schedule=... or set PISCES_REPLAY_SCHEDULE to a "
+                        ".psched path")
+                from ..correctness.recorder import Schedule
+                schedule = Schedule.load(path)
+            schedule.reset()
+            self._schedule = schedule
+            self.sched_hook = schedule
+        else:
+            rec_path = os.environ.get("PISCES_RECORD_SCHEDULE", "").strip()
+            if rec_path:
+                from ..correctness.recorder import ScheduleRecorder
+                self.sched_hook = ScheduleRecorder(path=rec_path)
 
     # ------------------------------------------------------------ spawn --
 
@@ -142,6 +179,15 @@ class Engine:
         p = KernelProcess(name, pe, target, daemon=daemon)
         p.ready_time = self._now if start_time is None else start_time
         p.state = ProcState.READY
+        p.spawn_ordinal = self._spawn_seq
+        self._spawn_seq += 1
+        self._by_ordinal.append(p)
+        sh = self.sched_hook
+        if sh is not None:
+            sh.on_spawn(p.spawn_ordinal, p.name)
+        hb = self.hb_hook
+        if hb is not None and self.in_process():
+            hb.on_spawn(self._current, p)
         t = threading.Thread(target=self._thread_body, args=(p,),
                              name=f"pisces-{name}-{p.pid}", daemon=True)
         p.thread = t
@@ -272,6 +318,11 @@ class Engine:
         """
         if p.state is not ProcState.BLOCKED:
             return False
+        hb = self.hb_hook
+        if hb is not None and self.in_process():
+            # A wake is a causal edge (the wakee resumes after the
+            # waker's action); external wakes (the monitor) carry none.
+            hb.on_wake(self._current, p)
         t = self.now() if at_time is None else at_time
         p.ready_time = max(p.ready_time, t)
         p.deadline = None
@@ -396,6 +447,34 @@ class Engine:
                     best, best_key = p, k
         return best
 
+    def _peek_replay(self) -> Tuple[Optional[KernelProcess], Optional[tuple]]:
+        """Replay selection: the recorded stream *is* the dispatch order.
+
+        Peeks (does not consume) the next D record; the ``on_dispatch``
+        verification in :meth:`step` consumes it.  A record naming a
+        process that does not exist or is not runnable means the live
+        run diverged from the recording.
+        """
+        from ..errors import ReplayDivergence
+        rec = self._schedule.peek_dispatch()
+        if rec is None:
+            return None, None
+        ordinal, start = rec
+        if ordinal >= len(self._by_ordinal):
+            raise ReplayDivergence(
+                f"schedule names spawn #{ordinal} "
+                f"({self._schedule.name_of(ordinal)!r}) but only "
+                f"{len(self._by_ordinal)} processes have spawned "
+                f"({self._schedule.progress()})")
+        p = self._by_ordinal[ordinal]
+        if not self._is_runnable(p):
+            raise ReplayDivergence(
+                f"schedule dispatches {p.name!r} (spawn #{ordinal}, "
+                f"recorded start {start}) but it is {p.state.value}"
+                + (f" on {p.blocked_on!r}" if p.blocked_on else "")
+                + f" ({self._schedule.progress()})")
+        return p, self._runnable_key(p)
+
     def step(self, horizon: Optional[int] = None) -> bool:
         """Dispatch one slice.  Returns False when nothing is runnable.
 
@@ -404,7 +483,9 @@ class Engine:
         the machine "now" does not fast-forward through long DELAYs.
         """
         while True:
-            if self._indexed:
+            if self._replay:
+                p, key = self._peek_replay()
+            elif self._indexed:
                 p, key = self._pop_runnable()
             else:
                 p = self._pick()
@@ -435,6 +516,11 @@ class Engine:
         start = max(p.ready_time, self.machine.clocks[p.pe].ticks)
         if self.time_limit is not None and start > self.time_limit:
             raise TimeLimitExceeded(self.time_limit)
+        sh = self.sched_hook
+        if sh is not None:
+            # Recording appends; replay consumes-and-verifies (the start
+            # tick doubles as a virtual-time checksum per dispatch).
+            sh.on_dispatch(p.spawn_ordinal, start, p.name)
         self._now = max(self._now, start)
         self._dispatch_seq += 1
         p.last_dispatched = self._dispatch_seq
@@ -511,6 +597,11 @@ class Engine:
         if self._shutdown:
             return
         self._shutdown = True
+        sh = self.sched_hook
+        if sh is not None and getattr(sh, "autosave", None) is not None:
+            # Recorder only (a replayed Schedule has no autosave): flush
+            # the .psched artifact even when the run ends in an error.
+            sh.autosave()
         # Pending ACCEPT waiters are drained, not abandoned: each one is
         # granted below, observes `killed`, and unwinds with a clear
         # EngineShutdown error instead of waiting on messages that can

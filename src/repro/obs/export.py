@@ -170,4 +170,10 @@ def export_run(vm, directory: Union[str, Path],
     with p.open("w") as f:
         write_metrics_snapshot(vm.metrics, f)
     out["metrics_txt"] = p
+
+    det = getattr(vm, "race_detector", None)
+    if det is not None:
+        p = directory / f"{prefix}.races.jsonl"
+        det.export_jsonl(p)
+        out["races"] = p
     return out

@@ -1,0 +1,113 @@
+"""Force programs with known race status, shared by the detector tests,
+the hypothesis properties and the race-debugging example checks.
+
+Each builder returns a registry with one tasktype.  The racy variants
+contain a *genuine* data race under the PISCES memory model (an access
+to SHARED COMMON unordered with another member's write); the guarded
+variants are the same programs with the missing BARRIER / CRITICAL
+added, and must never be flagged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.task import TaskRegistry
+from repro.core.taskid import PARENT
+
+VEC_N = 12
+
+
+def racy_presched_registry(n: int = VEC_N) -> TaskRegistry:
+    """Members write disjoint PRESCHED slices then read the whole vector
+    with no intervening barrier: the read races every other member's
+    writes."""
+    reg = TaskRegistry()
+
+    def region(m):
+        blk = m.common("VEC")
+        x = blk.x
+        for i in m.presched(n):
+            x[i] = float(i + m.member)
+        return float(np.asarray(x[:]).sum())    # BUG: unordered read
+
+    @reg.tasktype("RACY", shared={"VEC": {"x": ("f8", (n,))}})
+    def racy(ctx):
+        ctx.forcesplit(region)
+        return float(np.asarray(ctx.common("VEC").x[:]).sum())
+
+    return reg
+
+
+def barrier_guarded_registry(n: int = VEC_N) -> TaskRegistry:
+    """The racy program with the missing BARRIER: every member's read is
+    ordered after every write through the barrier generation."""
+    reg = TaskRegistry()
+
+    def region(m):
+        blk = m.common("VEC")
+        x = blk.x
+        for i in m.presched(n):
+            x[i] = float(i + m.member)
+        m.barrier()
+        return float(np.asarray(x[:]).sum())
+
+    @reg.tasktype("GUARDED", shared={"VEC": {"x": ("f8", (n,))}})
+    def guarded(ctx):
+        ctx.forcesplit(region)
+        return float(np.asarray(ctx.common("VEC").x[:]).sum())
+
+    return reg
+
+
+def critical_guarded_registry(rounds: int = 3) -> TaskRegistry:
+    """Members all read-modify-write the same cell, every access inside
+    the same CRITICAL section: common locksets, never a race."""
+    reg = TaskRegistry()
+
+    def region(m):
+        blk = m.common("ACC")
+        for _ in range(rounds):
+            with m.critical("L"):
+                blk.total[0] = float(blk.total[0]) + 1.0
+        return None
+
+    @reg.tasktype("LOCKED", shared={"ACC": {"total": ("f8", (1,))}})
+    def locked(ctx):
+        ctx.forcesplit(region)
+        return float(ctx.common("ACC").total[0])
+
+    return reg
+
+
+def window_conflict_registry(n: int = 8, write_write: bool = True
+                             ) -> TaskRegistry:
+    """Two workers given the *same* window region with no ordering edge
+    between them.  ``write_write=True``: both write (a race);
+    ``False``: one reads while the other writes (data-plane transfers
+    serialize at the owner, so this downgrades to a warning)."""
+    reg = TaskRegistry()
+
+    @reg.tasktype("WWORKER")
+    def wworker(ctx, do_write):
+        ctx.send(PARENT, "READY")
+        res = ctx.accept("WIN")
+        w = res.args[0]
+        if do_write:
+            ctx.window_write(w, np.full((n, n), 7.0))
+        else:
+            ctx.window_read(w)
+        ctx.send(PARENT, "DONE")
+
+    @reg.tasktype("WMASTER")
+    def wmaster(ctx):
+        full = ctx.export_array("G", np.zeros((n, n)))
+        ctx.initiate("WWORKER", True, on=1)
+        ctx.initiate("WWORKER", write_write, on=2)
+        res = ctx.accept("READY", count=2)
+        for m in res.messages:
+            ctx.send(m.sender, "WIN", full)
+        ctx.accept("DONE", count=2)
+        return None
+
+    return reg

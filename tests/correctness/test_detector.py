@@ -1,0 +1,152 @@
+"""Behavioral tests: the happens-before race detector.
+
+The contract under test: a genuinely racy program is always flagged
+with usable evidence; the same program correctly synchronized (BARRIER
+or CRITICAL) is never flagged; window conflicts grade W-W as races and
+R-W as warnings; and the three reporting modes (record / warn / raise)
+deliver reports through their respective channels.
+"""
+
+import json
+
+import pytest
+
+from repro import check_races
+from repro.correctness import RaceDetector, RaceReport
+from repro.correctness.detector import extents_overlap
+from repro.errors import RaceError, RaceWarning
+
+from .programs import (VEC_N, barrier_guarded_registry,
+                       critical_guarded_registry, racy_presched_registry,
+                       window_conflict_registry)
+
+FORCE_KW = dict(n_clusters=1, force_pes_per_cluster=3)
+
+
+class TestSharedCommonRaces:
+    def test_racy_presched_read_is_flagged(self):
+        chk = check_races("RACY", registry=racy_presched_registry(),
+                          **FORCE_KW)
+        assert not chk.clean
+        r = chk.reports[0]
+        assert isinstance(r, RaceReport)
+        assert r.kind == "shared_common"
+        assert r.severity == "race"
+        assert r.variable == "VEC.x"
+        # Evidence: two different processes, overlapping extents, at
+        # least one side a write, and a human-readable HB explanation.
+        assert r.a.pid != r.b.pid
+        assert r.a.write or r.b.write
+        assert extents_overlap(r.a.bounds, r.b.bounds)
+        assert "happens-before" in r.hb_note
+        assert "VEC.x" in chk.report_text()
+
+    def test_barrier_guarded_is_clean(self):
+        chk = check_races("GUARDED", registry=barrier_guarded_registry(),
+                          **FORCE_KW)
+        assert chk.clean and not chk.warnings
+        # The detector actually looked at the program's accesses.
+        assert chk.detector.accesses_checked > VEC_N
+
+    def test_critical_guarded_is_clean(self):
+        chk = check_races("LOCKED", registry=critical_guarded_registry(),
+                          **FORCE_KW)
+        assert chk.clean and not chk.warnings
+        assert chk.detector.accesses_checked > 0
+
+    def test_racy_run_result_is_still_produced(self):
+        """record mode observes, it does not perturb: the racy program
+        finishes and returns a value as if undetected."""
+        chk = check_races("RACY", registry=racy_presched_registry(),
+                          **FORCE_KW)
+        assert isinstance(chk.result.value, float)
+        assert chk.result.value > 0
+
+
+class TestWindowConflicts:
+    def test_write_write_overlap_is_a_race(self):
+        chk = check_races("WMASTER",
+                          registry=window_conflict_registry(write_write=True))
+        assert not chk.clean
+        r = chk.reports[0]
+        assert r.kind == "window"
+        assert r.a.write and r.b.write
+
+    def test_read_write_overlap_is_a_warning(self):
+        chk = check_races("WMASTER",
+                          registry=window_conflict_registry(write_write=False))
+        assert chk.clean              # no hard race...
+        assert chk.warnings           # ...but the R-W overlap is surfaced
+        assert chk.warnings[0].severity == "warning"
+
+
+class TestModes:
+    def test_warn_mode_emits_race_warning(self):
+        with pytest.warns(RaceWarning):
+            check_races("RACY", registry=racy_presched_registry(),
+                        mode="warn", **FORCE_KW)
+
+    def test_raise_mode_stops_at_first_race(self):
+        with pytest.raises(RaceError) as ei:
+            check_races("RACY", registry=racy_presched_registry(),
+                        mode="raise", **FORCE_KW)
+        assert ei.value.report.severity == "race"
+
+    def test_guarded_program_is_silent_in_every_mode(self):
+        for mode in ("record", "warn", "raise"):
+            chk = check_races("GUARDED", registry=barrier_guarded_registry(),
+                              mode=mode, **FORCE_KW)
+            assert chk.clean
+
+
+class TestReporting:
+    def test_export_jsonl_round_trips_the_evidence(self, tmp_path):
+        chk = check_races("RACY", registry=racy_presched_registry(),
+                          **FORCE_KW)
+        p = tmp_path / "races.jsonl"
+        n = chk.detector.export_jsonl(p)
+        lines = [json.loads(l) for l in p.read_text().splitlines()]
+        assert n == len(lines) == len(chk.reports) + len(chk.warnings)
+        d = lines[0]
+        assert d["variable"] == "VEC.x" and d["severity"] == "race"
+        assert d["first"]["proc"] and d["second"]["proc"]
+        assert isinstance(d["first"]["bounds"], list)
+
+    def test_dedup_bounds_report_volume(self):
+        """Repeated identical conflicts collapse: the racy program's
+        report count stays proportional to distinct (pair, direction)
+        combinations, not to iteration count."""
+        chk = check_races("RACY", registry=racy_presched_registry(n=64),
+                          **FORCE_KW)
+        assert 0 < len(chk.reports) <= 32
+
+    def test_detector_counts_races_into_run_stats(self):
+        chk = check_races("RACY", registry=racy_presched_registry(),
+                          **FORCE_KW)
+        assert chk.result.stats.races_detected == len(chk.reports)
+
+
+class TestZeroCost:
+    def test_detection_charges_no_virtual_time(self):
+        from repro import run_app
+        base = run_app("GUARDED", registry=barrier_guarded_registry(),
+                       **FORCE_KW)
+        chk = check_races("GUARDED", registry=barrier_guarded_registry(),
+                          **FORCE_KW)
+        assert chk.result.elapsed == base.elapsed
+        assert (chk.result.vm.engine.dispatch_count
+                == base.vm.engine.dispatch_count)
+
+    def test_off_by_default(self):
+        from repro import run_app
+        r = run_app("GUARDED", registry=barrier_guarded_registry(),
+                    **FORCE_KW)
+        assert r.vm.race_detector is None
+
+    def test_paused_detector_records_nothing(self):
+        from repro import make_vm
+        vm = make_vm(registry=racy_presched_registry(), **FORCE_KW)
+        det = vm.enable_race_detection()
+        det.enabled = False
+        vm.run("RACY")
+        assert not det.reports and det.accesses_checked == 0

@@ -1,0 +1,97 @@
+"""FREE COMMON: shared-common heap storage is reclaimed, not leaked.
+
+Every byte tagged ``shared_common`` must be back on the heap once its
+block is freed -- explicitly via ``ctx.free_common`` (which also makes
+the name declarable again, the pattern the Jacobi force solver uses for
+argument-dependent shapes) or implicitly at task exit.
+"""
+
+import numpy as np
+import pytest
+
+from repro import run_app
+from repro.apps.jacobi import run_jacobi_force
+from repro.core.task import TaskRegistry
+from repro.errors import RuntimeLibraryError
+
+
+def _shared_bytes(vm) -> int:
+    return vm.storage_report()["shared_common_bytes"]
+
+
+class TestExplicitFree:
+    def test_free_common_releases_storage_immediately(self):
+        reg = TaskRegistry()
+        sizes = {}
+
+        @reg.tasktype("T", shared={"B": {"x": ("f8", (256,))}})
+        def t(ctx):
+            sizes["before"] = _shared_bytes(ctx.vm)
+            ctx.free_common("B")
+            sizes["after"] = _shared_bytes(ctx.vm)
+
+        run_app("T", registry=reg)
+        assert sizes["before"] >= 256 * 8
+        assert sizes["after"] == 0
+
+    def test_freed_name_is_redeclarable_with_a_new_shape(self):
+        reg = TaskRegistry()
+
+        @reg.tasktype("T", shared={"B": {"x": ("f8", (8,))}})
+        def t(ctx):
+            ctx.free_common("B")
+            blk = ctx.declare_common("B", {"x": ("f8", (32,))})
+            blk.x[...] = 1.0
+            return float(np.asarray(blk.x).sum())
+
+        assert run_app("T", registry=reg).value == 32.0
+
+    def test_block_knows_it_was_freed(self):
+        reg = TaskRegistry()
+        seen = {}
+
+        @reg.tasktype("T", shared={"B": {"x": ("f8", (8,))}})
+        def t(ctx):
+            blk = ctx.common("B")
+            seen["before"] = blk.freed
+            ctx.free_common("B")
+            seen["after"] = blk.freed
+
+        run_app("T", registry=reg)
+        assert seen == {"before": False, "after": True}
+
+    def test_freeing_an_unknown_block_is_an_error(self):
+        reg = TaskRegistry()
+
+        @reg.tasktype("T")
+        def t(ctx):
+            ctx.free_common("NOPE")
+
+        with pytest.raises(RuntimeLibraryError):
+            run_app("T", registry=reg)
+
+
+class TestNoLeaks:
+    def test_task_exit_releases_shared_common(self):
+        reg = TaskRegistry()
+
+        @reg.tasktype("T", shared={"B": {"x": ("f8", (512,)),
+                                         "y": ("i8", (64, 4))}})
+        def t(ctx):
+            ctx.common("B").x[0] = 1.0
+
+        r = run_app("T", registry=reg)
+        assert _shared_bytes(r.vm) == 0
+
+    def test_force_app_with_redeclare_leaks_nothing(self):
+        r = run_jacobi_force(n=10, sweeps=2, force_pes=3)
+        assert _shared_bytes(r.vm) == 0
+        r.vm.shutdown()
+
+    def test_detector_tracked_blocks_release_too(self):
+        """TrackedArray wrapping must not pin the allocation."""
+        from repro import check_races
+        from .programs import barrier_guarded_registry
+        chk = check_races("GUARDED", registry=barrier_guarded_registry(),
+                          n_clusters=1, force_pes_per_cluster=3)
+        assert _shared_bytes(chk.result.vm) == 0

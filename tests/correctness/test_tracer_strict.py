@@ -1,0 +1,64 @@
+"""Tracer strict-overflow mode: ring-buffer saturation fails loudly.
+
+``record_run``/``replay_run`` compare trace streams line for line, so a
+silently truncated stream would fake a replay mismatch (or worse, hide
+one).  ``strict_overflow`` turns the ring-buffer drop into a
+:class:`~repro.errors.TraceOverflow`; the drop is also counted in the
+``trace_overflow_dropped`` metric either way.
+"""
+
+import pytest
+
+from repro.core.taskid import TaskId
+from repro.core.tracing import TraceEvent, TraceEventType, Tracer
+from repro.errors import TraceOverflow
+from repro.obs.metrics import MetricsRegistry
+
+
+def _event(i: int) -> TraceEvent:
+    return TraceEvent(etype=TraceEventType.MSG_SEND,
+                      task=TaskId.parse("1.1.1"), pe=1, ticks=i)
+
+
+def _full_tracer(**kw) -> Tracer:
+    tr = Tracer(max_events=4, **kw)
+    tr.enable_all()
+    for i in range(4):
+        tr.emit(_event(i))
+    return tr
+
+
+class TestStrictOverflow:
+    def test_default_mode_drops_and_counts(self):
+        tr = _full_tracer()
+        tr.emit(_event(99))
+        assert tr.overflow_dropped == 1
+        assert len(tr.events) == 4
+
+    def test_strict_mode_raises(self):
+        tr = _full_tracer(strict_overflow=True)
+        with pytest.raises(TraceOverflow, match="strict_overflow"):
+            tr.emit(_event(99))
+        assert tr.overflow_dropped == 1
+
+    def test_overflow_bumps_the_metric(self):
+        tr = _full_tracer()
+        reg = MetricsRegistry(enabled=True)
+        tr.metrics = reg
+        tr.emit(_event(99))
+        tr.emit(_event(100))
+        assert reg.counter_total("trace_overflow_dropped") == 2
+
+    def test_vm_wires_tracer_to_its_registry(self):
+        from repro import make_vm
+        vm = make_vm()
+        try:
+            assert vm.tracer.metrics is vm.metrics
+        finally:
+            vm.shutdown()
+
+    def test_record_run_sets_strict_overflow(self):
+        from repro import record_run
+        from repro.apps.jacobi import build_windows_registry
+        rec = record_run("JMASTER", registry=build_windows_registry(8, 2, 2))
+        assert rec.result.vm.tracer.strict_overflow

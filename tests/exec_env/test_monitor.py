@@ -35,7 +35,7 @@ class TestMenu:
     def test_extended_menu_adds_observability_options(self):
         labels = [label for _, label in EXTENDED_MENU]
         assert labels == ["DISPLAY METRICS", "CHANGE METRIC OPTIONS",
-                          "EXPORT TRACE"]
+                          "EXPORT TRACE", "DETECT RACES"]
 
 
 class TestOperations:
@@ -164,3 +164,30 @@ class TestOperations:
         assert any(mt == "PONG" and args == ("payload",)
                    for mt, args, _, _ in vm_with_sleeper.user_messages)
         m.terminate_run()
+
+
+class TestDetectRaces:
+    def test_option_13_enables_and_renders(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        out = m.detect_races(True)
+        assert vm_with_sleeper.race_detector is not None
+        assert vm_with_sleeper.race_detector.mode == "record"
+        assert "race detection: on" in out
+
+    def test_status_query_keeps_the_chosen_mode(self, vm_with_sleeper):
+        # Regression: a no-arg status call must not reset warn/raise
+        # back to the record default.
+        m = Monitor(vm_with_sleeper)
+        m.detect_races(True, mode="warn")
+        out = m.detect_races()
+        assert vm_with_sleeper.race_detector.mode == "warn"
+        assert "mode warn" in out
+
+    def test_off_pauses_but_keeps_evidence_displayable(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        m.detect_races(True, mode="warn")
+        out = m.detect_races(False)
+        det = vm_with_sleeper.race_detector
+        assert det is not None and not det.enabled
+        assert det.mode == "warn"
+        assert "race" in out.lower()

@@ -60,3 +60,23 @@ def test_app_virtual_history_is_dispatcher_independent(name, fn):
     got = _run_both(fn)
     assert got["indexed"] == got["scan"], (
         f"{name}: virtual history diverged between dispatchers")
+
+
+@pytest.mark.parametrize("name,fn", APPS, ids=[a[0] for a in APPS])
+def test_replay_dispatcher_retraces_recorded_history(name, fn, tmp_path,
+                                                     monkeypatch):
+    """Third leg of the matrix: record each app under the indexed
+    dispatcher (PISCES_RECORD_SCHEDULE autosaves the .psched at
+    shutdown), then re-run under PISCES_DISPATCHER=replay and the full
+    observable history must again match bit for bit."""
+    psched = tmp_path / f"{name}.psched"
+    monkeypatch.setenv("PISCES_DISPATCHER", "indexed")
+    monkeypatch.setenv("PISCES_RECORD_SCHEDULE", str(psched))
+    recorded = _fingerprint(fn())
+    monkeypatch.delenv("PISCES_RECORD_SCHEDULE")
+    assert psched.exists(), "recorder did not autosave at shutdown"
+    monkeypatch.setenv("PISCES_DISPATCHER", "replay")
+    monkeypatch.setenv("PISCES_REPLAY_SCHEDULE", str(psched))
+    replayed = _fingerprint(fn())
+    assert replayed == recorded, (
+        f"{name}: replay diverged from its own recording")

@@ -1,0 +1,85 @@
+"""Property-based tests: race-detector soundness and replay identity.
+
+Three properties over program/size/seed space:
+
+* a program with a genuine unordered conflicting access pair is
+  *always* flagged, whatever the force width or problem size;
+* the same program correctly synchronized (BARRIER or CRITICAL) is
+  *never* flagged -- no false positives from the epoch optimization,
+  lockset tracking or extent narrowing;
+* a recorded schedule replays bit-identically, including under an
+  actively lossy fault plan whose seed hypothesis chooses.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import check_races, record_run, replay_run
+from repro.apps.chaos_jacobi import build_chaos_registry
+from repro.apps.jacobi import build_windows_registry
+from repro.faults import FaultPlan, MessagePolicy
+
+from ..correctness.programs import (barrier_guarded_registry,
+                                    critical_guarded_registry,
+                                    racy_presched_registry)
+
+FORCE_WIDTHS = st.integers(min_value=1, max_value=3)   # secondary PEs
+
+
+@given(FORCE_WIDTHS, st.integers(min_value=6, max_value=24))
+@settings(max_examples=6, deadline=None)
+def test_racy_program_is_always_flagged(force_pes, n):
+    chk = check_races("RACY", registry=racy_presched_registry(n),
+                      n_clusters=1, force_pes_per_cluster=force_pes)
+    assert not chk.clean
+    assert all(r.severity == "race" for r in chk.reports)
+
+
+@given(FORCE_WIDTHS, st.integers(min_value=6, max_value=24))
+@settings(max_examples=6, deadline=None)
+def test_barrier_guarded_is_never_flagged(force_pes, n):
+    chk = check_races("GUARDED", registry=barrier_guarded_registry(n),
+                      n_clusters=1, force_pes_per_cluster=force_pes)
+    assert chk.clean and not chk.warnings
+
+
+@given(FORCE_WIDTHS, st.integers(min_value=1, max_value=4))
+@settings(max_examples=6, deadline=None)
+def test_critical_guarded_is_never_flagged(force_pes, rounds):
+    chk = check_races("LOCKED", registry=critical_guarded_registry(rounds),
+                      n_clusters=1, force_pes_per_cluster=force_pes)
+    assert chk.clean and not chk.warnings
+
+
+def _identical(rec, rep):
+    assert rep.elapsed == rec.elapsed
+    assert [e.line() for e in rep.vm.tracer.events] == rec.trace_lines
+    assert rep.stats == rec.result.stats
+
+
+@given(st.integers(min_value=6, max_value=12),
+       st.integers(min_value=1, max_value=3),
+       st.integers(min_value=2, max_value=3))
+@settings(max_examples=5, deadline=None)
+def test_replay_identity_over_problem_space(n, sweeps, workers):
+    rec = record_run("JMASTER",
+                     registry=build_windows_registry(n, sweeps, workers))
+    rep = replay_run("JMASTER", schedule=rec,
+                     registry=build_windows_registry(n, sweeps, workers))
+    _identical(rec, rep)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=4, deadline=None)
+def test_replay_identity_under_fault_plans(seed):
+    plan = FaultPlan(seed=seed, name=f"prop-{seed}",
+                     messages=MessagePolicy(drop=0.05, duplicate=0.04,
+                                            delay=0.08, delay_ticks=600))
+
+    def reg():
+        return build_chaos_registry(8, 2, 2, None, "reassign",
+                                    8_000, 60_000, 200)
+
+    rec = record_run("CMASTER", registry=reg(), fault_plan=plan)
+    rep = replay_run("CMASTER", schedule=rec, registry=reg(),
+                     fault_plan=plan)
+    _identical(rec, rep)
