@@ -1,0 +1,91 @@
+"""Shared schema for the committed ``BENCH_*.json`` perf records.
+
+Every benchmark that writes a ``BENCH_<name>.json`` at the repo root
+builds it through :func:`make_record` so the files share one shape::
+
+    {
+      "schema_version": 1,
+      "benchmark": "<name>",
+      "smoke": false,
+      "gate": {
+        "virtual":      {"<key>": <ticks>, ...},   # must never change
+        "wall_ratios":  {"<key>": <ratio>, ...},   # on/off ratios, lower=better
+        "wall_seconds": {"<key>": <seconds>, ...}  # absolute walls, informative
+      },
+      ... benchmark-specific payload ...
+    }
+
+The ``gate`` section is what ``benchmarks/compare.py`` reads: the
+``virtual`` map is the determinism contract (bit-identical elapsed
+virtual ticks -- *any* change fails the gate), ``wall_ratios`` are
+machine-independent on/off overhead ratios bounded at +15%%, and
+``wall_seconds`` are absolute timings compared with the same bound but
+only above a noise floor.  Keeping the gate separate from the payload
+lets each benchmark keep its own reporting shape while the comparator
+stays generic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+SCHEMA_VERSION = 1
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_path(name: str, root: Optional[Path] = None) -> Path:
+    """The canonical location of one benchmark's committed record."""
+    return (root or ROOT) / f"BENCH_{name}.json"
+
+
+def make_record(name: str, *, smoke: bool,
+                virtual: Optional[Dict[str, Any]] = None,
+                wall_ratios: Optional[Dict[str, Any]] = None,
+                wall_seconds: Optional[Dict[str, Any]] = None,
+                **payload: Any) -> Dict[str, Any]:
+    """Build a schema-conforming record; ``payload`` keys are the
+    benchmark's own reporting fields and pass through untouched."""
+    record: Dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": name,
+        "smoke": bool(smoke),
+        "gate": {
+            "virtual": {k: int(v) for k, v in sorted((virtual or {}).items())},
+            "wall_ratios": {k: round(float(v), 4)
+                            for k, v in sorted((wall_ratios or {}).items())},
+            "wall_seconds": {k: round(float(v), 4)
+                             for k, v in sorted((wall_seconds or {}).items())},
+        },
+    }
+    for k, v in payload.items():
+        record[k] = v
+    return record
+
+
+def write_bench(record: Dict[str, Any], path: Optional[Path] = None) -> Path:
+    """Write one record to its canonical path (or ``path``)."""
+    if "benchmark" not in record or "gate" not in record:
+        raise ValueError("bench record must come from make_record()")
+    out = path or bench_path(record["benchmark"])
+    out.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n")
+    return out
+
+
+def load_bench(path: Path) -> Dict[str, Any]:
+    """Load and sanity-check one record."""
+    doc = json.loads(Path(path).read_text())
+    if not isinstance(doc, dict) or "benchmark" not in doc:
+        raise ValueError(f"{path}: not a BENCH record")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise ValueError(f"{path}: schema_version "
+                         f"{doc.get('schema_version')!r} != {SCHEMA_VERSION}")
+    gate = doc.get("gate")
+    if not isinstance(gate, dict):
+        raise ValueError(f"{path}: missing gate section")
+    for part in ("virtual", "wall_ratios", "wall_seconds"):
+        if not isinstance(gate.get(part), dict):
+            raise ValueError(f"{path}: gate.{part} missing or not a map")
+    return doc

@@ -1,0 +1,156 @@
+"""Benchmark regression gate: fresh ``BENCH_*.json`` vs committed baseline.
+
+Usage (what the CI ``profile-smoke`` job runs)::
+
+    python benchmarks/compare.py --baseline-dir .ci-baseline --fresh-dir .
+
+Compares every ``BENCH_*.json`` present in *both* directories (or only
+the names given as positional arguments) through the shared ``gate``
+section (see ``benchmarks/_bench_schema.py``):
+
+* ``gate.virtual`` -- elapsed virtual ticks per workload.  These are
+  the determinism contract: a key present in both records must be
+  **exactly equal**; any difference fails the gate.  Keys present in
+  only one side (the workload matrix changed) are reported but do not
+  fail.
+* ``gate.wall_ratios`` -- machine-independent on/off overhead ratios
+  (profiling-on / profiling-off and the like).  A fresh ratio more than
+  ``--max-wall-regression`` (default 1.15, i.e. +15%) above the
+  baseline fails.
+* ``gate.wall_seconds`` -- absolute wall times, held to the same bound
+  but only when the baseline is above a noise floor (50 ms) and
+  neither record is a smoke run.
+
+Stdlib only; exits nonzero on any failure so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Tuple
+
+#: Baseline wall times below this are dominated by noise, not work.
+WALL_NOISE_FLOOR_S = 0.05
+
+
+def _load(path: Path) -> Dict[str, Any]:
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: not a JSON object")
+    gate = doc.get("gate")
+    if not isinstance(gate, dict):
+        raise ValueError(f"{path}: no gate section (regenerate with "
+                         "benchmarks/_bench_schema.py)")
+    return doc
+
+
+def compare_records(name: str, base: Dict[str, Any], fresh: Dict[str, Any],
+                    max_wall_regression: float,
+                    ) -> Tuple[List[str], List[str]]:
+    """Returns (failures, notes) for one benchmark pair."""
+    failures: List[str] = []
+    notes: List[str] = []
+    bg, fg = base["gate"], fresh["gate"]
+
+    bv = bg.get("virtual", {})
+    fv = fg.get("virtual", {})
+    for key in sorted(set(bv) & set(fv)):
+        if int(bv[key]) != int(fv[key]):
+            failures.append(
+                f"{name}: virtual time changed on {key}: "
+                f"{bv[key]} -> {fv[key]} (must be bit-identical)")
+    for key in sorted(set(bv) ^ set(fv)):
+        side = "baseline" if key in bv else "fresh"
+        notes.append(f"{name}: virtual key {key} only in {side} "
+                     "(workload matrix changed)")
+
+    smoke = bool(base.get("smoke")) or bool(fresh.get("smoke"))
+    br = bg.get("wall_ratios", {})
+    fr = fg.get("wall_ratios", {})
+    for key in sorted(set(br) & set(fr)):
+        b, f = float(br[key]), float(fr[key])
+        if smoke:
+            notes.append(f"{name}: wall ratio {key} {b:.3f} -> {f:.3f} "
+                         "(smoke run, not gated)")
+        elif b > 0 and f > b * max_wall_regression:
+            failures.append(
+                f"{name}: wall ratio regressed on {key}: "
+                f"{b:.3f} -> {f:.3f} (> x{max_wall_regression})")
+
+    bw = bg.get("wall_seconds", {})
+    fw = fg.get("wall_seconds", {})
+    for key in sorted(set(bw) & set(fw)):
+        b, f = float(bw[key]), float(fw[key])
+        if smoke or b < WALL_NOISE_FLOOR_S:
+            continue
+        if f > b * max_wall_regression:
+            failures.append(
+                f"{name}: wall time regressed on {key}: "
+                f"{b:.3f}s -> {f:.3f}s (> x{max_wall_regression})")
+    return failures, notes
+
+
+def main(argv: List[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="compare.py",
+        description="Gate fresh BENCH_*.json records against a baseline.")
+    ap.add_argument("names", nargs="*",
+                    help="benchmark names (default: every BENCH_*.json "
+                         "present in both directories)")
+    ap.add_argument("--baseline-dir", default=".", type=Path)
+    ap.add_argument("--fresh-dir", default=".", type=Path)
+    ap.add_argument("--max-wall-regression", default=1.15, type=float)
+    args = ap.parse_args(argv)
+
+    if args.names:
+        pairs = [(n, args.baseline_dir / f"BENCH_{n}.json",
+                  args.fresh_dir / f"BENCH_{n}.json") for n in args.names]
+        missing = [str(p) for _, b, f in pairs for p in (b, f)
+                   if not p.exists()]
+        if missing:
+            print("compare.py: missing record(s): " + ", ".join(missing))
+            return 2
+    else:
+        base_names = {p.name for p in args.baseline_dir.glob("BENCH_*.json")}
+        fresh_names = {p.name for p in args.fresh_dir.glob("BENCH_*.json")}
+        both = sorted(base_names & fresh_names)
+        if not both:
+            print(f"compare.py: no BENCH_*.json present in both "
+                  f"{args.baseline_dir} and {args.fresh_dir}")
+            return 2
+        pairs = [(n[len("BENCH_"):-len(".json")],
+                  args.baseline_dir / n, args.fresh_dir / n) for n in both]
+        for n in sorted(base_names ^ fresh_names):
+            print(f"note: {n} present on one side only, skipped")
+
+    all_failures: List[str] = []
+    for name, bpath, fpath in pairs:
+        try:
+            base, fresh = _load(bpath), _load(fpath)
+        except (ValueError, json.JSONDecodeError) as exc:
+            all_failures.append(f"{name}: unreadable record: {exc}")
+            continue
+        failures, notes = compare_records(
+            name, base, fresh, args.max_wall_regression)
+        status = "FAIL" if failures else "ok"
+        print(f"[{status}] {name}: "
+              f"{len(base['gate'].get('virtual', {}))} virtual keys, "
+              f"{len(base['gate'].get('wall_ratios', {}))} ratio keys")
+        for line in notes:
+            print(f"  note: {line}")
+        for line in failures:
+            print(f"  FAIL: {line}")
+        all_failures.extend(failures)
+
+    if all_failures:
+        print(f"\ncompare.py: {len(all_failures)} regression(s)")
+        return 1
+    print("\ncompare.py: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

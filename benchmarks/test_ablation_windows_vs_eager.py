@@ -400,17 +400,36 @@ def _path_record(r, wall):
 
 def _merge_bench(key, doc_part):
     """Merge one section into BENCH_windows_dataplane.json (two tests
-    contribute; either may run alone)."""
-    doc = {}
+    contribute; either may run alone), rebuilding the shared gate
+    section (see _bench_schema) from every section present."""
+    from _bench_schema import make_record, write_bench
+
+    sections = {}
     if BENCH_PATH.exists():
         try:
-            doc = json.loads(BENCH_PATH.read_text())
+            old = json.loads(BENCH_PATH.read_text())
+            sections = {k: v for k, v in old.items()
+                        if isinstance(v, dict) and "paths" in v}
         except ValueError:
-            doc = {}
-    doc["bench"] = "windows_dataplane"
-    doc["smoke"] = SMOKE
-    doc[key] = doc_part
-    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+            sections = {}
+    sections[key] = doc_part
+    virtual = {}
+    ratios = {}
+    walls = {}
+    for name, part in sorted(sections.items()):
+        paths = part["paths"]
+        ref_wall = paths.get("reference", {}).get("wall_ms", 0)
+        for path, rec in sorted(paths.items()):
+            virtual[f"{name}/{path}"] = rec["elapsed_ticks"]
+            walls[f"{name}/{path}"] = rec["wall_ms"] / 1000.0
+            if path != "reference" and ref_wall:
+                # Lower is better: the optimized path's share of the
+                # reference data-plane's wall time.
+                ratios[f"{name}/{path}"] = rec["wall_ms"] / ref_wall
+    write_bench(make_record(
+        "windows_dataplane", smoke=SMOKE,
+        virtual=virtual, wall_ratios=ratios, wall_seconds=walls,
+        **sections), BENCH_PATH)
 
 
 def test_jacobi_tree_dataplane(report):

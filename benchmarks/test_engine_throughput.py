@@ -21,12 +21,13 @@ improvement for the indexed engine.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
 import pytest
+
+from _bench_schema import make_record, write_bench
 
 from repro.apps.jacobi import run_jacobi_windows
 from repro.apps.matmul import run_matmul_tasks
@@ -217,13 +218,19 @@ def test_engine_throughput(report):
             "speedup": round(speedup, 2),
         })
 
-    doc = {
-        "benchmark": "engine_throughput",
-        "smoke": SMOKE,
-        "min_speedup_required": MIN_SPEEDUP,
-        "workloads": rows,
-    }
-    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+    # Gate ratios are indexed/scan wall (lower is better): the gate
+    # catches the fast path losing ground against the reference oracle.
+    write_bench(make_record(
+        "engine_throughput", smoke=SMOKE,
+        virtual={f"{r['workload']}/{r['size']}": r["virtual_elapsed"]
+                 for r in rows},
+        wall_ratios={f"{r['workload']}/{r['size']}":
+                     r["indexed"]["wall_s"] / r["scan"]["wall_s"]
+                     for r in rows if r["scan"]["wall_s"] > 0},
+        wall_seconds={f"{r['workload']}/{r['size']}": r["indexed"]["wall_s"]
+                      for r in rows},
+        min_speedup_required=MIN_SPEEDUP,
+        workloads=rows), BENCH_PATH)
 
     header = (f"{'workload':<16} {'size':<6} {'disp':>6} {'vtime':>8} "
               f"{'scan /s':>10} {'indexed /s':>11} {'speedup':>8}")

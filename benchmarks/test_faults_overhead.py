@@ -26,6 +26,7 @@ import time
 from pathlib import Path
 
 import test_engine_throughput as eng_bench
+from _bench_schema import make_record, write_bench
 
 SMOKE = bool(os.environ.get("ENGINE_BENCH_SMOKE"))
 ROOT = Path(__file__).resolve().parent.parent
@@ -89,12 +90,15 @@ def test_no_plan_is_bit_identical_to_baseline(report):
             f"plan-less wall clock regressed x{ratio:.3f} "
             f"(> x{MAX_WALL_REGRESSION}) on sched_stress/large")
 
-    OUT_PATH.write_text(json.dumps({
-        "benchmark": "faults_overhead",
-        "smoke": SMOKE,
-        "compared_to_baseline": compare_baseline,
-        "max_wall_regression": MAX_WALL_REGRESSION,
-        "workloads": rows,
-        "wall_check": wall_row,
-    }, indent=2) + "\n")
+    write_bench(make_record(
+        "faults_overhead", smoke=SMOKE,
+        virtual={f"{r['workload']}/{r['size']}": r["virtual_elapsed"]
+                 for r in rows},
+        wall_ratios=({"sched_stress/large": wall_row["ratio"]}
+                     if wall_row else {}),
+        wall_seconds={f"{r['workload']}/{r['size']}": r["wall_s"]
+                      for r in rows},
+        compared_to_baseline=compare_baseline,
+        max_wall_regression=MAX_WALL_REGRESSION,
+        workloads=rows, wall_check=wall_row), OUT_PATH)
     report(f"\nwritten: {OUT_PATH.name}")

@@ -27,12 +27,13 @@ assertion (timing a sub-100ms run is noise).  Writes
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
+
+from _bench_schema import make_record, write_bench
 
 from repro import check_races, record_run, replay_run, run_app
 from repro.apps.jacobi import build_force_registry, build_windows_registry
@@ -108,6 +109,9 @@ def _timed(fn):
 
 def test_detection_and_recording_charge_no_virtual_time(report):
     rows = []
+    virtual = {}
+    ratios = {}
+    walls = {}
     report("correctness-subsystem overhead: virtual time identical on "
            "every workload;")
     report(f"detect wall < x{MAX_WALL_OVERHEAD} at large grain "
@@ -143,6 +147,10 @@ def test_detection_and_recording_charge_no_virtual_time(report):
             f"{name}: replay diverged from the recorded history")
 
         ratio = det_wall / base_wall
+        virtual[name] = fp[0]
+        walls[name] = base_wall
+        if bounded:
+            ratios[name] = ratio
         rows.append({
             "workload": name, "virtual_elapsed": fp[0], "dispatches": fp[1],
             "wall_s": {"baseline": round(base_wall, 4),
@@ -162,12 +170,9 @@ def test_detection_and_recording_charge_no_virtual_time(report):
                 f"{name}: detection wall overhead x{ratio:.3f} "
                 f"(> x{MAX_WALL_OVERHEAD})")
 
-    OUT_PATH.write_text(json.dumps({
-        "benchmark": "races_overhead",
-        "smoke": SMOKE,
-        "max_wall_overhead": MAX_WALL_OVERHEAD,
-        "wall_checked": not SMOKE,
-        "reps": REPS,
-        "workloads": rows,
-    }, indent=2) + "\n")
+    write_bench(make_record(
+        "races_overhead", smoke=SMOKE,
+        virtual=virtual, wall_ratios=ratios, wall_seconds=walls,
+        max_wall_overhead=MAX_WALL_OVERHEAD,
+        wall_checked=not SMOKE, reps=REPS, workloads=rows), OUT_PATH)
     report(f"\nwritten: {OUT_PATH.name}")

@@ -65,6 +65,7 @@ from .api import (
     make_vm,
     open_window,
     plan_scope,
+    profile_run,
     record_run,
     replay_run,
     run_app,
@@ -110,6 +111,7 @@ __all__ = [
     "derive_spans",
     "export_run",
     "make_vm",
+    "profile_run",
     "record_run",
     "replay_run",
     "nasa_langley_flex32",

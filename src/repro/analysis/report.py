@@ -40,4 +40,8 @@ def run_report(vm: PiscesVM, gantt_width: int = 64,
     if vm.race_detector is not None:
         parts.append("")
         parts.append(vm.race_detector.report_text())
+    if vm.profiler is not None and vm.profiler.slices():
+        from ..obs.profile import profile_report
+        parts.append("")
+        parts.append(profile_report(vm.profiler))
     return "\n".join(parts)

@@ -35,8 +35,16 @@ from .errors import ConfigurationError, WindowError
 from .faults import plan_scope
 from .flex.machine import FlexMachine
 from .obs.export import export_run
+from .obs.profile import (
+    CausalProfiler,
+    CriticalPath,
+    extract_critical_path,
+    profile_report,
+    write_profile,
+)
 
 __all__ = [
+    "ProfiledRun",
     "RaceCheck",
     "RecordedRun",
     "check_races",
@@ -44,6 +52,7 @@ __all__ = [
     "make_vm",
     "open_window",
     "plan_scope",
+    "profile_run",
     "record_run",
     "replay_run",
     "run_app",
@@ -220,6 +229,55 @@ def check_races(tasktype: str, *args: Any,
     det = vm.race_detector
     return RaceCheck(result=result, reports=list(det.reports),
                      warnings=list(det.warnings), detector=det)
+
+
+@dataclass
+class ProfiledRun:
+    """Outcome of :func:`profile_run`: the run, its causal profile and
+    the extracted critical path."""
+
+    result: RunResult
+    profiler: CausalProfiler
+    critical_path: CriticalPath
+
+    @property
+    def elapsed(self) -> int:
+        return self.result.elapsed
+
+    @property
+    def vm(self) -> PiscesVM:
+        return self.result.vm
+
+    def report(self) -> str:
+        """The full text panel (wait states, utilization, path)."""
+        return profile_report(self.profiler, elapsed=self.elapsed)
+
+    def export(self, directory: Union[str, Path],
+               prefix: str = "profile") -> dict:
+        """Write the flamegraph/Chrome/critical-path bundle."""
+        return write_profile(self.profiler, directory, prefix=prefix,
+                             elapsed=self.elapsed,
+                             critical_path=self.critical_path)
+
+
+def profile_run(tasktype: str, *args: Any,
+                registry: Optional[TaskRegistry] = None,
+                on: Placement = None,
+                **vm_kwargs: Any) -> ProfiledRun:
+    """Run one application under the causal profiler (tentpole API).
+
+    Enables the profiler (and the metrics registry, so the wait-state
+    rollups land there) before the run, then extracts the critical
+    path.  Profiling charges zero virtual time: elapsed ticks and trace
+    streams are bit-identical to an unprofiled run.
+    """
+    vm_kwargs.setdefault("metrics", True)
+    vm = make_vm(registry=registry, **vm_kwargs)
+    prof = vm.enable_profiling()
+    result = vm.run(tasktype, *args, on=on)
+    prof.publish_metrics(vm.metrics, elapsed=result.elapsed)
+    cp = extract_critical_path(prof, elapsed=result.elapsed)
+    return ProfiledRun(result=result, profiler=prof, critical_path=cp)
 
 
 def open_window(vm: PiscesVM, name: str, *, region=None,

@@ -121,6 +121,10 @@ class Configuration:
     #: Enable the happens-before race detector at boot (see
     #: :mod:`repro.correctness`); detection charges no virtual time.
     detect_races: bool = False
+    #: Enable the causal profiler at boot (see
+    #: :mod:`repro.obs.profile`); profiling charges no virtual time.
+    #: The ``PISCES_PROFILE`` environment variable also turns it on.
+    profile: bool = False
     name: str = "unnamed"
 
     # ------------------------------------------------------------ access --
@@ -227,6 +231,8 @@ class Configuration:
             lines.append("  metrics: enabled")
         if self.window_path:
             lines.append(f"  window data plane: {self.window_path}")
+        if self.profile:
+            lines.append("  profiling: enabled")
         return "\n".join(lines)
 
 

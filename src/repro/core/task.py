@@ -378,7 +378,12 @@ class TaskContext:
             open_types = state.wanted_types_open()
             next_arr = inq.earliest_arrival(open_types, after=now)
             eff = deadline if next_arr is None else min(deadline, next_arr)
-            eng.block(f"accept({','.join(open_types)})", deadline=eff)
+            # Retry waits carry a marker inside the accept( prefix: the
+            # prefix is what receiver wake-up and shutdown draining
+            # match on, while the profiler charges retry waits to
+            # fault-recovery rather than ordinary message latency.
+            retry = f"retry{attempt}:" if attempt else ""
+            eng.block(f"accept({retry}{','.join(open_types)})", deadline=eff)
             # Woken by a send, or the deadline fired; loop re-scans.
 
     def _discard_corrupt(self, m: Message) -> None:

@@ -234,6 +234,14 @@ class PiscesVM:
                 else "record")
         #: Window data-plane selection, fixed for the life of the VM.
         self.window_path = resolve_window_path(config)
+        #: Causal profiler (see :mod:`repro.obs.profile`), or None
+        #: (off).  Resolution: the configuration flag, then the
+        #: PISCES_PROFILE environment variable; ``enable_profiling()``
+        #: turns it on explicitly (api.profile_run does).
+        self.profiler: Optional[Any] = None
+        if config.profile or os.environ.get(
+                "PISCES_PROFILE", "").strip() not in ("", "0", "false", "off"):
+            self.enable_profiling()
         #: Observability registry (see :mod:`repro.obs`).  Disabled by
         #: default; every instrumentation site guards on ``.enabled`` so
         #: an unmetered run pays one attribute test per site at most.
@@ -306,6 +314,23 @@ class PiscesVM:
         self.race_detector = det
         self.engine.hb_hook = det
         return det
+
+    # ---------------------------------------------------------- profiling --
+
+    def enable_profiling(self):
+        """Turn on the causal profiler (idempotent).
+
+        Best enabled before the run starts: waits that began while it
+        was off cannot be attributed.  Profiling charges no virtual
+        time -- elapsed ticks and trace streams are bit-identical with
+        it on or off (the profile-overhead benchmark asserts this);
+        see :mod:`repro.obs.profile`.
+        """
+        if self.profiler is None:
+            from ..obs.profile import CausalProfiler
+            self.profiler = CausalProfiler()
+            self.engine.prof_hook = self.profiler
+        return self.profiler
 
     def _metric_name_of(self, tid: TaskId) -> str:
         """Tasktype / controller-kind name of a taskid (metric label)."""
@@ -503,13 +528,20 @@ class PiscesVM:
         for m in task.inq.remove_type(None):
             release_message(heap, m)
         task.shared_state.release_all()
-        task.trace(TraceEventType.TASK_TERM, info=f"type={task.ttype.name}")
-        self.engine.charge(COST_TASK_TERMINATE) if self.engine.in_process() else None
         # A task whose process was killed died abnormally -- unless the
         # whole engine is being reaped, which is a normal end of run.
         died = bool(task.process is not None and task.process.killed
                     and not self.engine.shutting_down)
         reason = task.died_reason or ("killed" if died else "")
+        term_info = f"type={task.ttype.name}"
+        if died:
+            # Aborted tasks say so in their TASK_TERM record, so span
+            # derivation closes their lifetime with status=aborted
+            # instead of leaking an open span (reason tokens stay
+            # whitespace-free: the info field is token=value pairs).
+            term_info += f" status=aborted reason={reason.replace(' ', '-')}"
+        task.trace(TraceEventType.TASK_TERM, info=term_info)
+        self.engine.charge(COST_TASK_TERMINATE) if self.engine.in_process() else None
         if died:
             self.stats.tasks_died += 1
             if self.metrics.enabled:

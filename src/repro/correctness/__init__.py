@@ -29,11 +29,15 @@ bit-identical with detection or recording enabled.
 from __future__ import annotations
 
 from .detector import RaceDetector, RaceReport
+from .hb import HBEdge, HBEdgeLog, iter_hb_edges
 from .recorder import Schedule, ScheduleRecorder
 
 __all__ = [
+    "HBEdge",
+    "HBEdgeLog",
     "RaceDetector",
     "RaceReport",
     "Schedule",
     "ScheduleRecorder",
+    "iter_hb_edges",
 ]

@@ -167,8 +167,14 @@ class RaceDetector:
         self.vm = vm
         self.mode = mode
         self.enabled = True
+        #: Optional typed edge stream (see :mod:`repro.correctness.hb`).
+        #: None costs one attribute test per join; attach with
+        #: :meth:`record_edges`.
+        self.edge_log: Optional[Any] = None
         self._clocks: Dict[int, Dict[int, int]] = {}
         self._msg_clocks: Dict[int, Dict[int, int]] = {}
+        #: Sender pid per in-flight message seq (edge stream only).
+        self._msg_src: Dict[int, int] = {}
         #: (kind, location key) -> {(pid, write, lockset, bounds): _Access}
         self._history: Dict[tuple, Dict[tuple, _Access]] = {}
         self._held: Dict[int, set] = {}
@@ -210,6 +216,17 @@ class RaceDetector:
             d = self._ops[pid] = deque(maxlen=OP_STACK_DEPTH)
         d.append(op)
 
+    # -------------------------------------------------------- edge stream --
+
+    def record_edges(self, cap: int = 1_000_000):
+        """Attach (or return) the typed happens-before edge log: every
+        vector-clock join also appends one :class:`~repro.correctness.hb.HBEdge`.
+        Pure bookkeeping -- no virtual time, no scheduling effect."""
+        if self.edge_log is None:
+            from .hb import HBEdgeLog
+            self.edge_log = HBEdgeLog(cap=cap)
+        return self.edge_log
+
     # ------------------------------------------------- engine HB hooks --
 
     def on_spawn(self, parent, child) -> None:
@@ -217,12 +234,20 @@ class RaceDetector:
         child's first slice."""
         snap = self._snapshot_and_tick(parent.pid)
         self._join(self._clock(child.pid), snap)
+        log = self.edge_log
+        if log is not None:
+            log.append("spawn", parent.pid, child.pid,
+                       self.vm.engine.now(), child.name)
 
     def on_wake(self, waker, wakee) -> None:
         """A wake is a causal edge: the wakee resumes after the waker's
         action (force join, barrier release, lock grant, message)."""
         snap = self._snapshot_and_tick(waker.pid)
         self._join(self._clock(wakee.pid), snap)
+        log = self.edge_log
+        if log is not None:
+            log.append("wake", waker.pid, wakee.pid,
+                       self.vm.engine.now(), wakee.blocked_on)
 
     # ----------------------------------------------------- message edges --
 
@@ -233,6 +258,8 @@ class RaceDetector:
             return
         p = eng.current()
         self._msg_clocks[msg.seq] = self._snapshot_and_tick(p.pid)
+        if self.edge_log is not None:
+            self._msg_src[msg.seq] = p.pid
         self._push_op(p.pid, f"SEND {msg.mtype}")
 
     def on_accept(self, msg) -> None:
@@ -240,17 +267,22 @@ class RaceDetector:
         (a task's ACCEPT or a controller pop -- the latter carries the
         initiate -> start edge through the task controller)."""
         snap = self._msg_clocks.pop(msg.seq, None)
+        src = self._msg_src.pop(msg.seq, -1)
         eng = self.vm.engine
         if not eng.in_process():
             return
         p = eng.current()
         if snap is not None:
             self._join(self._clock(p.pid), snap)
+            log = self.edge_log
+            if log is not None:
+                log.append("send-accept", src, p.pid, eng.now(), msg.mtype)
         self._push_op(p.pid, f"ACCEPT {msg.mtype}")
 
     def forget_message(self, msg) -> None:
         """A message was dropped before any accept (corruption discard)."""
         self._msg_clocks.pop(msg.seq, None)
+        self._msg_src.pop(msg.seq, None)
 
     # ----------------------------------------------------- barrier edges --
 
@@ -261,6 +293,10 @@ class RaceDetector:
         if gc is None:
             gc = gen._hb_clock = {}
         self._join(gc, self._snapshot_and_tick(proc.pid))
+        log = self.edge_log
+        if log is not None:
+            log.append("barrier-arrive", proc.pid, -1,
+                       self.vm.engine.now(), f"gen={gen_no} member={member}")
         self._push_op(proc.pid, f"BARRIER gen={gen_no} member={member}")
 
     def on_barrier_body(self, gen, proc) -> None:
@@ -269,6 +305,10 @@ class RaceDetector:
         gc = getattr(gen, "_hb_clock", None)
         if gc is not None:
             self._join(self._clock(proc.pid), gc)
+            log = self.edge_log
+            if log is not None:
+                log.append("barrier-body", -1, proc.pid,
+                           self.vm.engine.now())
 
     # -------------------------------------------------------- lock edges --
 
@@ -276,6 +316,10 @@ class RaceDetector:
         lc = getattr(lock, "_hb_clock", None)
         if lc is not None:
             self._join(self._clock(proc.pid), lc)
+            log = self.edge_log
+            if log is not None:
+                log.append("lock", getattr(lock, "_hb_last_releaser", -1),
+                           proc.pid, self.vm.engine.now(), lock.name)
         self._held.setdefault(proc.pid, set()).add(lock.name)
         self._push_op(proc.pid, f"LOCK {lock.name}")
 
@@ -284,6 +328,8 @@ class RaceDetector:
         if lc is None:
             lc = lock._hb_clock = {}
         self._join(lc, self._snapshot_and_tick(proc.pid))
+        if self.edge_log is not None:
+            lock._hb_last_releaser = proc.pid
         self._held.get(proc.pid, set()).discard(lock.name)
         self._push_op(proc.pid, f"UNLOCK {lock.name}")
 
@@ -300,7 +346,14 @@ class RaceDetector:
         cc = getattr(counter, "_hb_clock", None)
         if cc is not None:
             self._join(self._clock(p.pid), cc)
+            log = self.edge_log
+            if log is not None:
+                log.append("selfsched",
+                           getattr(counter, "_hb_last_pid", -1),
+                           p.pid, eng.now(), f"i={index}")
         counter._hb_clock = self._snapshot_and_tick(p.pid)
+        if self.edge_log is not None:
+            counter._hb_last_pid = p.pid
         if index >= 0:
             self._push_op(p.pid, f"SELFSCHED i={index} member={member}")
 

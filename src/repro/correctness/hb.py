@@ -1,0 +1,93 @@
+"""The happens-before edge stream, reusable outside race detection.
+
+The :class:`~repro.correctness.detector.RaceDetector` derives a
+happens-before edge at every ordering primitive (spawn, wake,
+send->accept, barrier generations, lock hand-offs, SELFSCHED chains).
+Until this module those edges existed only implicitly, as vector-clock
+joins; profiling and analysis want the *stream* itself.  Attaching an
+:class:`HBEdgeLog` to a detector (``detector.record_edges()``) makes it
+emit one typed :class:`HBEdge` record per join, in derivation order --
+a deterministic sequence for a deterministic run, iterable any number
+of times.
+
+Consumers: the causal-profile report (edge counts per kind), tests
+asserting the edge stream is dispatcher-independent, and any future
+tool that wants the HB DAG without re-deriving it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Union
+
+#: Edge kinds, in the detector's derivation vocabulary.
+EDGE_KINDS = ("spawn", "wake", "send-accept", "barrier-arrive",
+              "barrier-body", "lock", "selfsched")
+
+
+@dataclass(frozen=True)
+class HBEdge:
+    """One happens-before edge: what ``src`` did before ``at`` is
+    ordered before everything ``dst`` does after.  Barrier arrivals
+    flow into the generation clock (``dst=-1``); the body edge flows
+    out of it (``src=-1``); an unknown endpoint is also ``-1``."""
+
+    kind: str
+    src: int            # kernel pid, or -1
+    dst: int            # kernel pid, or -1
+    at: int             # virtual tick of the join
+    detail: str = ""
+
+
+class HBEdgeLog:
+    """Append-only edge record with a bound.
+
+    The cap keeps a pathological run from holding every edge forever;
+    evictions never happen (append past the cap counts ``dropped``
+    instead), so the retained prefix is always exact.
+    """
+
+    def __init__(self, cap: int = 1_000_000):
+        self.cap = cap
+        self.edges: List[HBEdge] = []
+        self.dropped = 0
+
+    def append(self, kind: str, src: int, dst: int, at: int,
+               detail: str = "") -> None:
+        if len(self.edges) >= self.cap:
+            self.dropped += 1
+            return
+        self.edges.append(HBEdge(kind, src, dst, at, detail))
+
+    def __iter__(self) -> Iterator[HBEdge]:
+        return iter(self.edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.edges:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def describe(self) -> str:
+        parts = [f"{k}={v}" for k, v in sorted(self.counts_by_kind().items())]
+        tail = f" (+{self.dropped} dropped)" if self.dropped else ""
+        return f"hb edges: {len(self.edges)} [{', '.join(parts)}]{tail}"
+
+
+def iter_hb_edges(source: Union[HBEdgeLog, Iterable[HBEdge], object],
+                  ) -> Iterator[HBEdge]:
+    """Iterate the HB edge stream of an :class:`HBEdgeLog`, a detector
+    with one attached, or any iterable of edges."""
+    if hasattr(source, "edge_log"):
+        log = source.edge_log
+        if log is None:
+            raise ValueError(
+                "detector has no edge log: call record_edges() before "
+                "the run to capture the stream")
+        source = log
+    if source is None:
+        return iter(())
+    return iter(source)

@@ -139,6 +139,14 @@ class ExecutionCLI:
             mode = next((t for t in rest
                          if t in ("record", "warn", "raise")), None)
             self._say(m.detect_races(enable=enable, mode=mode))
+        elif op == "14":
+            # 14 [on|off] [export DIR] -- bare 14 is a status query.
+            enable = True if "on" in rest else False if "off" in rest else None
+            export_dir = None
+            if "export" in rest:
+                i = rest.index("export")
+                export_dir = rest[i + 1] if i + 1 < len(rest) else "."
+            self._say(m.profile(enable=enable, export_dir=export_dir))
         else:
             self._say(f"no such option {op!r}")
         return False

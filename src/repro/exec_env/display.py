@@ -125,6 +125,22 @@ def render_races(vm: PiscesVM) -> str:
     return f"race detection: {status} (mode {det.mode})\n" + det.report_text()
 
 
+def render_profile(vm: PiscesVM) -> str:
+    """PROFILE: causal profiler status plus the wait-state /
+    utilization / critical-path panel collected so far."""
+    prof = vm.profiler
+    if prof is None:
+        return ("profiling: off "
+                "(enable with monitor.profile(True) or option 14; "
+                "best done before initiating the tasks of interest)")
+    from ..obs.profile import profile_report
+    n = len(prof.slices())
+    head = f"profiling: on ({n} slices recorded)"
+    if not n:
+        return head + "\n(no slices yet -- run or pump the machine first)"
+    return head + "\n" + profile_report(prof)
+
+
 def render_vm_figure(vm: PiscesVM) -> str:
     """Figure 1: PISCES 2 VIRTUAL MACHINE ORGANIZATION.
 

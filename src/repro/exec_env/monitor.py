@@ -48,6 +48,7 @@ EXTENDED_MENU = (
     (11, "CHANGE METRIC OPTIONS"),
     (12, "EXPORT TRACE"),
     (13, "DETECT RACES"),
+    (14, "PROFILE"),
 )
 
 
@@ -189,23 +190,48 @@ class Monitor:
                      mode: Optional[str] = None) -> str:
         """Option 13: DETECT RACES (happens-before race detection).
 
-        With no argument (or ``enable=True``) turns the detector on --
-        best done before initiating the tasks under suspicion, since
-        already-running tasks keep their untracked SHARED COMMON
-        arrays -- and renders the current findings.  ``enable=False``
-        stops checking new accesses but keeps the evidence displayable.
-        ``mode=None`` keeps the current mode (``"record"`` on first
-        enable).
+        With no arguments this is a pure status query: it renders the
+        current findings without changing any collection state (the
+        extended-menu contract -- asking never mutates).
+        ``enable=True`` turns the detector on -- best done before
+        initiating the tasks under suspicion, since already-running
+        tasks keep their untracked SHARED COMMON arrays.
+        ``enable=False`` stops checking new accesses but keeps the
+        evidence displayable.  ``mode=None`` keeps the current mode
+        (``"record"`` on first enable).
         """
         vm = self.vm
-        if enable is None:
-            enable = True
         if enable:
             vm.enable_race_detection(mode=mode).enabled = True
-        elif vm.race_detector is not None:
+        elif enable is False and vm.race_detector is not None:
             # Stop checking new accesses; evidence stays displayable.
             vm.race_detector.enabled = False
+        elif enable is None and mode is not None \
+                and vm.race_detector is not None:
+            vm.race_detector.mode = mode
         return display.render_races(vm)
+
+    def profile(self, enable: Optional[bool] = None,
+                export_dir: Optional[str] = None) -> str:
+        """Option 14: PROFILE (causal wait-state/critical-path profile).
+
+        With no arguments this is a pure status query: it renders the
+        profile collected so far (or the off-state hint) without
+        changing any collection state.  ``enable=True`` turns the
+        profiler on -- best done before the run, so every wait can be
+        attributed.  ``export_dir`` also writes the flamegraph /
+        Chrome-trace / critical-path bundle there.
+        """
+        vm = self.vm
+        if enable:
+            vm.enable_profiling()
+        out = display.render_profile(vm)
+        if export_dir is not None and vm.profiler is not None:
+            from ..obs.profile import write_profile
+            paths = write_profile(vm.profiler, export_dir)
+            out += "\n" + "\n".join(f"wrote {kind}: {path}"
+                                    for kind, path in sorted(paths.items()))
+        return out
 
     def menu_text(self) -> str:
         return "\n".join(f"{n}   {label}"

@@ -135,6 +135,12 @@ class Engine:
         #: spawn and in-process wakes; observers only -- they never
         #: charge ticks or change scheduling state.
         self.hb_hook: Optional[Any] = None
+        #: Causal-profiler hook (see :mod:`repro.obs.profile`), or None.
+        #: Called on spawn, wake, kill and once per completed slice;
+        #: like the other hooks it is a pure observer -- it never
+        #: charges ticks, never changes scheduling state, and costs one
+        #: attribute test per site when off.
+        self.prof_hook: Optional[Any] = None
         #: Per-run spawn ordinals: kernel pids come from a process-global
         #: counter and are not stable across runs, so the schedule
         #: artifact identifies processes by spawn order instead.
@@ -188,6 +194,9 @@ class Engine:
         hb = self.hb_hook
         if hb is not None and self.in_process():
             hb.on_spawn(self._current, p)
+        pr = self.prof_hook
+        if pr is not None:
+            pr.on_spawn(self._current if self.in_process() else None, p)
         t = threading.Thread(target=self._thread_body, args=(p,),
                              name=f"pisces-{name}-{p.pid}", daemon=True)
         p.thread = t
@@ -324,6 +333,9 @@ class Engine:
             # waker's action); external wakes (the monitor) carry none.
             hb.on_wake(self._current, p)
         t = self.now() if at_time is None else at_time
+        pr = self.prof_hook
+        if pr is not None:
+            pr.on_wake(self._current if self.in_process() else None, p, t)
         p.ready_time = max(p.ready_time, t)
         p.deadline = None
         p.wake_info = info
@@ -342,6 +354,9 @@ class Engine:
             p.deadline = None
             p.blocked_on = "killed"
             p.ready_time = max(p.ready_time, self.now())
+            pr = self.prof_hook
+            if pr is not None:
+                pr.on_kill(p, p.ready_time)
             p.state = ProcState.READY
             self._requeue(p)
 
@@ -528,6 +543,8 @@ class Engine:
         if m is not None and m.enabled:
             m.counter("dispatches", pe=p.pe).inc()
         self.machine.clocks[p.pe].advance_to(start)
+        pr = self.prof_hook
+        t_wall = time.perf_counter() if pr is not None else 0.0
         with self._cv:
             p.slice_start = start
             p.state = ProcState.RUNNING
@@ -536,6 +553,12 @@ class Engine:
             while p.state is ProcState.RUNNING:
                 self._cv.wait()
         self._current = None
+        if pr is not None:
+            # The slice just completed: under the lock above _yield (or
+            # _thread_body) set p.ready_time to its end tick and left
+            # the new state/reason/deadline on the process.
+            pr.on_slice(p, start, p.ready_time, p.state, p.blocked_on,
+                        p.deadline, time.perf_counter() - t_wall)
         if p.exc is not None:
             exc, p.exc = p.exc, None
             self.shutdown()

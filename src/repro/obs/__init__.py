@@ -6,7 +6,9 @@ counters / gauges / tick-bucketed histograms while the machine runs
 (zero cost when disabled); :mod:`repro.obs.spans` derives task /
 message / critical-section intervals from trace events; and
 :mod:`repro.obs.export` writes JSONL event logs, Chrome trace files and
-monitor text snapshots.
+monitor text snapshots.  :mod:`repro.obs.profile` layers the causal
+profiler on top: wait-state accounting, critical-path extraction and
+flamegraph/Chrome-trace exporters.
 """
 
 from .metrics import (
@@ -19,6 +21,7 @@ from .metrics import (
 )
 from .spans import (
     CAT_CRITICAL,
+    CAT_FAULT,
     CAT_MESSAGE,
     CAT_TASK,
     Span,
@@ -35,12 +38,23 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
     write_metrics_snapshot,
+    write_run_manifest,
+)
+from .profile import (
+    CausalProfiler,
+    CriticalPath,
+    extract_critical_path,
+    profile_report,
+    write_profile,
 )
 
 __all__ = [
     "CAT_CRITICAL",
+    "CAT_FAULT",
     "CAT_MESSAGE",
     "CAT_TASK",
+    "CausalProfiler",
+    "CriticalPath",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
@@ -53,10 +67,14 @@ __all__ = [
     "event_from_dict",
     "event_to_dict",
     "export_run",
+    "extract_critical_path",
     "load_chrome_trace",
+    "profile_report",
     "read_jsonl",
     "span_summary",
     "write_chrome_trace",
     "write_jsonl",
     "write_metrics_snapshot",
+    "write_profile",
+    "write_run_manifest",
 ]

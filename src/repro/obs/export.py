@@ -133,6 +133,60 @@ def write_metrics_snapshot(registry: MetricsRegistry, f: IO[str],
         f.write(registry.snapshot_text() + "\n")
 
 
+# --------------------------------------------------------------- manifest --
+
+
+def run_manifest(vm, files: Optional[Dict[str, Path]] = None,
+                 ) -> Dict[str, Any]:
+    """Self-describing metadata for an exported bundle: enough to know
+    exactly which run produced the artifacts next to it."""
+    import hashlib
+
+    from .. import __version__ as repro_version
+    from ..faults import plan as fault_plan_mod
+
+    plan = vm.faults.plan if getattr(vm, "faults", None) is not None else None
+    plan_hash = None
+    seed = None
+    if plan is not None:
+        seed = plan.seed
+        plan_hash = hashlib.sha256(
+            fault_plan_mod.dumps(plan).encode("utf-8")).hexdigest()
+    det = getattr(vm, "race_detector", None)
+    manifest: Dict[str, Any] = {
+        "repro_version": repro_version,
+        "dispatcher": vm.engine.dispatcher,
+        "window_path": vm.window_path,
+        "seed": seed,
+        "fault_plan_hash": plan_hash,
+        "detect_races": det.mode if det is not None else None,
+        "profile": vm.profiler is not None,
+        "elapsed_ticks": int(vm.machine.clocks.elapsed()),
+        "config": {
+            "name": vm.config.name,
+            "summary": vm.config.describe(),
+            "clusters": vm.config.cluster_numbers(),
+            "time_limit": vm.config.time_limit,
+            "metrics_enabled": vm.config.metrics_enabled,
+        },
+    }
+    if files:
+        manifest["files"] = {k: p.name for k, p in sorted(files.items())}
+    return manifest
+
+
+def write_run_manifest(vm, directory: Union[str, Path],
+                       files: Optional[Dict[str, Path]] = None) -> Path:
+    """Write ``manifest.json`` next to an export bundle's artifacts."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "manifest.json"
+    with path.open("w") as f:
+        json.dump(run_manifest(vm, files), f, indent=1, sort_keys=True)
+        f.write("\n")
+    return path
+
+
 # ------------------------------------------------------------- one-stop ----
 
 
@@ -141,10 +195,13 @@ def export_run(vm, directory: Union[str, Path],
     """Export one VM's observability record into ``directory``.
 
     Writes ``<prefix>.events.jsonl``, ``<prefix>.chrome.json``,
-    ``<prefix>.metrics.json`` and ``<prefix>.metrics.txt``; returns the
+    ``<prefix>.metrics.json``, ``<prefix>.metrics.txt`` and a
+    ``manifest.json`` describing the run (dispatcher, window path,
+    fault seed/hash, config summary, repro version); returns the
     written paths keyed by kind.  Requires tracing to have kept events
     in memory for the event-derived files (they are skipped, not
-    invented, otherwise).
+    invented, otherwise).  A VM with profiling enabled also gets the
+    profile bundle (see :func:`repro.obs.profile.write_profile`).
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -176,4 +233,12 @@ def export_run(vm, directory: Union[str, Path],
         p = directory / f"{prefix}.races.jsonl"
         det.export_jsonl(p)
         out["races"] = p
+
+    prof = getattr(vm, "profiler", None)
+    if prof is not None:
+        from .profile import write_profile
+        bundle = write_profile(prof, directory, prefix=f"{prefix}.profile")
+        out.update({f"profile_{kind}": p for kind, p in bundle.items()})
+
+    out["manifest"] = write_run_manifest(vm, directory, files=out)
     return out

@@ -1,0 +1,56 @@
+"""Causal profiling: wait-state accounting, critical path, exporters.
+
+See :mod:`repro.obs.profile.profiler` for the model.  Typical use goes
+through :func:`repro.api.profile_run`; the pieces compose directly too:
+
+    vm = make_vm(...)
+    prof = vm.enable_profiling()
+    result = vm.run(MAIN)
+    print(profile_report(prof))
+    cp = extract_critical_path(prof)
+    write_profile(prof, "out/", critical_path=cp)
+"""
+
+from .critical_path import CriticalPath, PathSegment, extract_critical_path
+from .export import (
+    chrome_profile_trace,
+    folded_stacks,
+    write_profile,
+)
+from .profiler import (
+    CausalProfiler,
+    Slice,
+    WaitAccounting,
+    WaitInterval,
+    WAIT_ACCEPT,
+    WAIT_BARRIER,
+    WAIT_CATEGORIES,
+    WAIT_DISPATCH,
+    WAIT_FAULT,
+    WAIT_LOCK,
+    WAIT_WINDOW,
+    profile_report,
+    wait_category,
+)
+
+__all__ = [
+    "CausalProfiler",
+    "CriticalPath",
+    "PathSegment",
+    "Slice",
+    "WaitAccounting",
+    "WaitInterval",
+    "WAIT_ACCEPT",
+    "WAIT_BARRIER",
+    "WAIT_CATEGORIES",
+    "WAIT_DISPATCH",
+    "WAIT_FAULT",
+    "WAIT_LOCK",
+    "WAIT_WINDOW",
+    "chrome_profile_trace",
+    "extract_critical_path",
+    "folded_stacks",
+    "profile_report",
+    "wait_category",
+    "write_profile",
+]

@@ -26,6 +26,7 @@ from ..core.tracing import TraceEvent, TraceEventType
 CAT_TASK = "task"
 CAT_MESSAGE = "message"
 CAT_CRITICAL = "critical"
+CAT_FAULT = "fault"
 
 
 @dataclass(frozen=True)
@@ -78,10 +79,27 @@ def derive_spans(events: Iterable[TraceEvent],
         elif e.etype is TraceEventType.TASK_TERM:
             start = open_tasks.pop(tid, None)
             if start is not None:
+                # Crashed/killed tasks (fault injection, monitor KILL)
+                # close with status=aborted rather than leaking open.
+                args: Tuple[Tuple[str, str], ...] = ()
+                status = _info_field(e.info, "status")
+                if status:
+                    args = (("status", status),)
+                    reason = _info_field(e.info, "reason")
+                    if reason:
+                        args += (("reason", reason),)
                 spans.append(Span(
                     name=_info_field(start.info, "type") or tid,
                     cat=CAT_TASK, task=tid, pe=start.pe,
-                    start=start.ticks, end=e.ticks))
+                    start=start.ticks, end=e.ticks, args=args))
+        elif e.etype is TraceEventType.FAULT:
+            # Injected faults are zero-width marks: name is the fault
+            # kind (the info field reads "kind: detail").
+            spans.append(Span(
+                name=e.info.split(":", 1)[0].strip() or "fault",
+                cat=CAT_FAULT, task=tid, pe=e.pe,
+                start=e.ticks, end=e.ticks,
+                args=(("detail", e.info),)))
         elif e.etype is TraceEventType.MSG_SEND and e.other is not None:
             key = (tid, str(e.other), _info_field(e.info, "type"))
             open_msgs.setdefault(key, deque()).append(e)
@@ -128,10 +146,13 @@ def span_summary(spans: Iterable[Span]) -> Dict[str, Dict[str, int]]:
     """Per-category totals: count and summed duration of closed spans."""
     out: Dict[str, Dict[str, int]] = {}
     for s in spans:
-        d = out.setdefault(s.cat, {"count": 0, "total_ticks": 0, "open": 0})
+        d = out.setdefault(s.cat, {"count": 0, "total_ticks": 0, "open": 0,
+                                   "aborted": 0})
         if s.closed:
             d["count"] += 1
             d["total_ticks"] += s.duration
+            if ("status", "aborted") in s.args:
+                d["aborted"] += 1
         else:
             d["open"] += 1
     return out

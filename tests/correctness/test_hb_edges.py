@@ -1,0 +1,143 @@
+"""The reusable happens-before edge stream (repro.correctness.hb).
+
+The race detector's HB knowledge -- spawn, wake, send->accept,
+barrier generations, lock hand-offs, self-scheduling fetches -- can be
+recorded as an explicit edge stream (``detector.record_edges()``) for
+downstream consumers like the causal profiler's documentation and
+offline tooling.  These tests pin the stream's shape and the
+``iter_hb_edges`` adapter.
+"""
+
+import pytest
+
+from repro.api import make_vm
+from repro.correctness.hb import EDGE_KINDS, HBEdge, HBEdgeLog, iter_hb_edges
+
+from .programs import barrier_guarded_registry, critical_guarded_registry
+
+
+def _run_with_edges(build, ttype, cap=1_000_000, **kw):
+    vm = make_vm(registry=build(), detect_races="record",
+                 n_clusters=1, force_pes_per_cluster=3, **kw)
+    log = vm.race_detector.record_edges(cap)
+    r = vm.run(ttype)
+    return vm, log, r
+
+
+class TestEdgeLog:
+    def test_barrier_program_emits_expected_kinds(self):
+        vm, log, _ = _run_with_edges(barrier_guarded_registry, "GUARDED")
+        counts = log.counts_by_kind()
+        assert counts.get("spawn", 0) > 0
+        assert counts.get("barrier-arrive", 0) > 0
+        assert counts.get("barrier-body", 0) > 0
+        for e in log:
+            assert isinstance(e, HBEdge)
+            assert e.kind in EDGE_KINDS
+            assert e.at >= 0
+        vm.shutdown()
+
+    def test_lock_program_emits_lock_edges(self):
+        vm, log, _ = _run_with_edges(critical_guarded_registry, "LOCKED")
+        counts = log.counts_by_kind()
+        assert counts.get("lock", 0) > 0
+        # A lock edge is a hand-off: it always names the releaser (the
+        # first acquisition has no predecessor and emits no edge).
+        lock_edges = [e for e in log if e.kind == "lock"]
+        assert all(e.src >= 0 for e in lock_edges)
+        assert all(e.detail for e in lock_edges), "edge carries lock name"
+        vm.shutdown()
+
+    def test_selfsched_fetches_emit_counter_edges(self):
+        import numpy as np
+
+        from repro.core.task import TaskRegistry
+
+        reg = TaskRegistry()
+
+        def region(m):
+            blk = m.common("V")
+            for i in m.selfsched(8):
+                blk.x[i] = float(i)
+            m.barrier()
+            return float(np.asarray(blk.x[:]).sum())
+
+        @reg.tasktype("SS", shared={"V": {"x": ("f8", (8,))}})
+        def ss(ctx):
+            ctx.forcesplit(region)
+            return float(np.asarray(ctx.common("V").x[:]).sum())
+
+        vm, log, r = _run_with_edges(lambda: reg, "SS")
+        counts = log.counts_by_kind()
+        assert counts.get("selfsched", 0) > 0
+        # Fetch i>0 chains to the previous fetcher's pid.
+        ss_edges = [e for e in log if e.kind == "selfsched"]
+        assert any(e.src >= 0 for e in ss_edges[1:]) or len(ss_edges) == 1
+        vm.shutdown()
+
+    def test_barrier_edges_route_through_generation_clock(self):
+        vm, log, _ = _run_with_edges(barrier_guarded_registry, "GUARDED")
+        arrives = [e for e in log if e.kind == "barrier-arrive"]
+        bodies = [e for e in log if e.kind == "barrier-body"]
+        assert all(e.dst == -1 for e in arrives)
+        assert all(e.src == -1 for e in bodies)
+        vm.shutdown()
+
+    def test_cap_counts_dropped_edges(self):
+        vm, log, _ = _run_with_edges(barrier_guarded_registry, "GUARDED",
+                                     cap=5)
+        assert len(log) == 5
+        assert log.dropped > 0
+        assert "dropped" in log.describe()
+        vm.shutdown()
+
+    def test_record_edges_is_idempotent(self):
+        vm = make_vm(registry=barrier_guarded_registry(),
+                     detect_races="record", n_clusters=1,
+                     force_pes_per_cluster=3)
+        log1 = vm.race_detector.record_edges()
+        log2 = vm.race_detector.record_edges()
+        assert log1 is log2
+        vm.shutdown()
+
+
+class TestIterHbEdges:
+    def test_accepts_log_detector_and_iterable(self):
+        vm, log, _ = _run_with_edges(barrier_guarded_registry, "GUARDED")
+        from_log = list(iter_hb_edges(log))
+        from_det = list(iter_hb_edges(vm.race_detector))
+        from_iter = list(iter_hb_edges(list(log)))
+        assert from_log == from_det == from_iter
+        assert from_log, "expected a non-empty edge stream"
+        vm.shutdown()
+
+    def test_detector_without_recording_raises(self):
+        vm = make_vm(registry=barrier_guarded_registry(),
+                     detect_races="record", n_clusters=1,
+                     force_pes_per_cluster=3)
+        with pytest.raises(ValueError):
+            iter_hb_edges(vm.race_detector)
+        vm.shutdown()
+
+    def test_edge_stream_is_deterministic(self):
+        """Same program, same stream -- edge `at` ticks are per-PE
+        virtual clocks, so the stream's only global order is derivation
+        order, and that order must be reproducible."""
+        def normalize(edges):
+            # Kernel pids are process-global; rename by first appearance
+            # so two VMs in one test process compare equal.
+            names = {-1: -1}
+            out = []
+            for e in edges:
+                for pid in (e.src, e.dst):
+                    names.setdefault(pid, len(names))
+                out.append((e.kind, names[e.src], names[e.dst], e.at,
+                            e.detail))
+            return out
+
+        streams = []
+        for _ in range(2):
+            vm, log, _ = _run_with_edges(critical_guarded_registry, "LOCKED")
+            streams.append(normalize(log))
+            vm.shutdown()
+        assert streams[0] == streams[1]

@@ -84,6 +84,23 @@ class TestSessions:
         assert "error:" in text
         assert "no such option" in text
 
+    def test_profile_option_14(self, cli_vm, tmp_path):
+        text, cli = run_session(cli_vm, [
+            "14",                        # bare: status query, no enable
+            "14 on",
+            "1 SLEEPER",
+            "3 1.1.1 STOP",
+            "p",
+            "14",
+            f"14 export {tmp_path}",
+            "0",
+        ])
+        assert "profiling: off" in text          # the bare query
+        assert cli.monitor.vm.profiler is not None
+        assert "CAUSAL PROFILE" in text
+        assert "wrote folded:" in text
+        assert (tmp_path / "profile.chrome.json").exists()
+
     def test_comments_and_blanks_ignored(self, cli_vm):
         text, _ = run_session(cli_vm, [
             "# a comment",

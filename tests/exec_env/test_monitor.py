@@ -35,7 +35,7 @@ class TestMenu:
     def test_extended_menu_adds_observability_options(self):
         labels = [label for _, label in EXTENDED_MENU]
         assert labels == ["DISPLAY METRICS", "CHANGE METRIC OPTIONS",
-                          "EXPORT TRACE", "DETECT RACES"]
+                          "EXPORT TRACE", "DETECT RACES", "PROFILE"]
 
 
 class TestOperations:
@@ -191,3 +191,71 @@ class TestDetectRaces:
         assert det is not None and not det.enabled
         assert det.mode == "warn"
         assert "race" in out.lower()
+
+
+class TestStatusQueriesNeverMutate:
+    """Extended-menu contract: asking (options 10-14 with no arguments)
+    never changes collection state.  Regression guard for the bug where
+    a bare ``detect_races()`` silently ENABLED the detector."""
+
+    def test_detect_races_query_does_not_enable(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        out = m.detect_races()
+        assert vm_with_sleeper.race_detector is None
+        assert "race detection: off" in out
+
+    def test_detect_races_query_does_not_resume_paused(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        m.detect_races(True)
+        m.detect_races(False)
+        m.detect_races()
+        assert vm_with_sleeper.race_detector.enabled is False
+
+    def test_profile_query_does_not_enable(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        out = m.profile()
+        assert vm_with_sleeper.profiler is None
+        assert "profiling: off" in out
+
+    def test_display_metrics_does_not_enable(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        enabled_before = vm_with_sleeper.metrics.enabled
+        m.display_metrics()
+        assert vm_with_sleeper.metrics.enabled == enabled_before
+
+    def test_change_metric_options_bare_call_is_a_query(self,
+                                                        vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        enabled_before = vm_with_sleeper.metrics.enabled
+        m.change_metric_options()
+        assert vm_with_sleeper.metrics.enabled == enabled_before
+
+
+class TestProfileOption:
+    def test_option_14_enables_and_renders(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        out = m.profile(True)
+        assert vm_with_sleeper.profiler is not None
+        assert "profiling: on" in out
+
+    def test_profile_panel_after_work(self, vm_with_sleeper):
+        m = Monitor(vm_with_sleeper)
+        m.profile(True)
+        req = m.initiate_task("ECHO")
+        m.pump()
+        tid = vm_with_sleeper.initiations[req]
+        m.send_message(tid, "PING", "x")
+        m.pump()
+        out = m.profile()
+        assert "profiling: on" in out
+        assert "CAUSAL PROFILE" in out
+
+    def test_profile_export_dir_writes_bundle(self, vm_with_sleeper,
+                                              tmp_path):
+        m = Monitor(vm_with_sleeper)
+        m.profile(True)
+        m.initiate_task("ECHO")
+        m.pump()
+        out = m.profile(export_dir=str(tmp_path))
+        assert "wrote folded:" in out
+        assert (tmp_path / "profile.chrome.json").exists()

@@ -22,10 +22,10 @@ def test_example_runs_clean(path, capsys):
     assert out.strip(), f"{path.name} produced no output"
 
 
-def test_all_ten_examples_present():
+def test_all_shipped_examples_present():
     names = {p.stem for p in EXAMPLES}
     assert names == {
         "quickstart", "jacobi_heat", "fem_structural", "fortran_program",
         "monitor_session", "dynamic_pipeline", "tune_mapping",
-        "parallel_io", "chaos_jacobi", "race_debugging",
+        "parallel_io", "chaos_jacobi", "race_debugging", "profile_jacobi",
     }

@@ -1,0 +1,147 @@
+"""The benchmark regression gate (benchmarks/compare.py + _bench_schema).
+
+compare.py is a standalone stdlib script (CI runs it as a subprocess);
+these tests import it by path and drive ``main(argv)`` directly,
+asserting the exit codes the CI job gates on: 0 when records match,
+nonzero on any virtual-time change or a >15% wall regression.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _load(modname, filename):
+    spec = importlib.util.spec_from_file_location(
+        modname, BENCH_DIR / filename)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+compare = _load("bench_compare", "compare.py")
+schema = _load("bench_schema", "_bench_schema.py")
+
+
+def _record(**gate_kw):
+    return schema.make_record(
+        "demo", smoke=False,
+        virtual=gate_kw.get("virtual", {"w1": 1000, "w2": 2000}),
+        wall_ratios=gate_kw.get("wall_ratios", {"w1": 1.05}),
+        wall_seconds=gate_kw.get("wall_seconds", {"w1": 0.8}),
+        workloads=[])
+
+
+def _write_pair(tmp_path, base, fresh):
+    bdir = tmp_path / "base"
+    fdir = tmp_path / "fresh"
+    bdir.mkdir()
+    fdir.mkdir()
+    schema.write_bench(base, schema.bench_path("demo", bdir))
+    schema.write_bench(fresh, schema.bench_path("demo", fdir))
+    return ["--baseline-dir", str(bdir), "--fresh-dir", str(fdir)]
+
+
+class TestSchema:
+    def test_make_and_load_roundtrip(self, tmp_path):
+        rec = _record()
+        p = schema.write_bench(rec, tmp_path / "BENCH_demo.json")
+        assert schema.load_bench(p) == rec
+
+    def test_load_rejects_missing_gate(self, tmp_path):
+        p = tmp_path / "BENCH_bad.json"
+        p.write_text(json.dumps({"benchmark": "bad", "schema_version": 1}))
+        with pytest.raises(ValueError):
+            schema.load_bench(p)
+
+    def test_committed_baselines_conform(self):
+        root = BENCH_DIR.parent
+        found = sorted(root.glob("BENCH_*.json"))
+        assert found, "committed BENCH_*.json baselines must exist"
+        for p in found:
+            doc = schema.load_bench(p)
+            assert doc["gate"]["virtual"], f"{p.name}: empty virtual gate"
+
+    def test_profile_overhead_baseline_committed(self):
+        doc = schema.load_bench(BENCH_DIR.parent
+                                / "BENCH_profile_overhead.json")
+        assert doc["benchmark"] == "profile_overhead"
+        assert "large-grain" in doc["gate"]["virtual"]
+        assert doc["gate"]["wall_ratios"].get("large-grain", 99) <= \
+            doc["max_wall_overhead"]
+
+
+class TestCompareGate:
+    def test_identical_records_pass(self, tmp_path, capsys):
+        argv = _write_pair(tmp_path, _record(), _record())
+        assert compare.main(argv) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_any_virtual_change_fails(self, tmp_path, capsys):
+        fresh = _record(virtual={"w1": 1001, "w2": 2000})
+        argv = _write_pair(tmp_path, _record(), fresh)
+        assert compare.main(argv) != 0
+        out = capsys.readouterr().out
+        assert "virtual time changed" in out and "w1" in out
+
+    def test_20pct_wall_regression_fails(self, tmp_path):
+        """The acceptance criterion: an injected 20% synthetic wall
+        regression exits nonzero."""
+        fresh = _record(wall_ratios={"w1": 1.05 * 1.20})
+        argv = _write_pair(tmp_path, _record(), fresh)
+        assert compare.main(argv) != 0
+
+    def test_wall_within_15pct_passes(self, tmp_path):
+        fresh = _record(wall_ratios={"w1": 1.05 * 1.10})
+        argv = _write_pair(tmp_path, _record(), fresh)
+        assert compare.main(argv) == 0
+
+    def test_wall_seconds_regression_fails_above_noise_floor(self, tmp_path):
+        fresh = _record(wall_seconds={"w1": 0.8 * 1.3})
+        argv = _write_pair(tmp_path, _record(), fresh)
+        assert compare.main(argv) != 0
+
+    def test_tiny_wall_times_are_not_gated(self, tmp_path):
+        base = _record(wall_seconds={"w1": 0.01})
+        fresh = _record(wall_seconds={"w1": 0.04})   # 4x but within noise
+        argv = _write_pair(tmp_path, base, fresh)
+        assert compare.main(argv) == 0
+
+    def test_smoke_records_skip_wall_gates(self, tmp_path):
+        base = _record()
+        fresh = _record(wall_ratios={"w1": 9.9})
+        fresh["smoke"] = True
+        argv = _write_pair(tmp_path, base, fresh)
+        assert compare.main(argv) == 0
+
+    def test_new_virtual_key_is_note_not_failure(self, tmp_path, capsys):
+        fresh = _record(virtual={"w1": 1000, "w2": 2000, "w3": 5})
+        argv = _write_pair(tmp_path, _record(), fresh)
+        assert compare.main(argv) == 0
+        assert "only in fresh" in capsys.readouterr().out
+
+    def test_named_benchmark_missing_is_error(self, tmp_path):
+        argv = _write_pair(tmp_path, _record(), _record())
+        assert compare.main(argv + ["nonexistent"]) == 2
+
+    def test_empty_dirs_is_error(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        assert compare.main(["--baseline-dir", str(tmp_path / "a"),
+                             "--fresh-dir", str(tmp_path / "b")]) == 2
+
+    def test_gateless_record_fails_loudly(self, tmp_path):
+        argv = _write_pair(tmp_path, _record(), _record())
+        fresh_path = tmp_path / "fresh" / "BENCH_demo.json"
+        fresh_path.write_text(json.dumps({"benchmark": "demo"}))
+        assert compare.main(argv) == 1
+
+    def test_custom_regression_bound(self, tmp_path):
+        fresh = _record(wall_ratios={"w1": 1.05 * 1.4})
+        argv = _write_pair(tmp_path, _record(), fresh)
+        assert compare.main(argv + ["--max-wall-regression", "1.5"]) == 0
+        assert compare.main(argv) != 0

@@ -122,10 +122,10 @@ class TestExportRun:
         vm.run("MAIN")
         return vm
 
-    def test_writes_all_four_files(self, traced_vm, tmp_path):
+    def test_writes_the_bundle(self, traced_vm, tmp_path):
         paths = export_run(traced_vm, tmp_path, prefix="t")
-        assert sorted(paths) == ["chrome", "jsonl", "metrics_json",
-                                 "metrics_txt"]
+        assert sorted(paths) == ["chrome", "jsonl", "manifest",
+                                 "metrics_json", "metrics_txt"]
         for p in paths.values():
             assert p.exists() and p.stat().st_size > 0
 

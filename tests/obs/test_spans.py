@@ -106,7 +106,7 @@ class TestOrderingAndSummary:
         ], include_open=True)
         summary = span_summary(spans)
         assert summary[CAT_TASK] == {"count": 1, "total_ticks": 100,
-                                     "open": 0}
+                                     "open": 0, "aborted": 0}
         assert summary[CAT_MESSAGE]["open"] == 1
 
 
