@@ -73,6 +73,7 @@ def make_vm(n_clusters: int = 2, slots: int = 4, *,
             time_limit: Optional[int] = None,
             trace_events: Tuple[str, ...] = (),
             window_path: str = "",
+            exec_core: str = "",
             fault_plan: Optional[Any] = None,
             detect_races: Optional[Any] = None,
             recorder: Optional[ScheduleRecorder] = None,
@@ -84,8 +85,9 @@ def make_vm(n_clusters: int = 2, slots: int = 4, *,
     :func:`simple_configuration` of ``n_clusters`` x ``slots`` (plus
     ``force_pes_per_cluster`` secondary PEs each) is built and the
     keyword toggles (metrics, time limit, tracing, window data-plane
-    path) applied to it.  ``detect_races`` / ``recorder`` / ``replay``
-    reach the correctness subsystem (:mod:`repro.correctness`).
+    path, execution core) applied to it.  ``detect_races`` /
+    ``recorder`` / ``replay`` reach the correctness subsystem
+    (:mod:`repro.correctness`).
     """
     if config is None:
         config = replace(
@@ -93,7 +95,8 @@ def make_vm(n_clusters: int = 2, slots: int = 4, *,
                                  force_pes_per_cluster=force_pes_per_cluster,
                                  name=name),
             metrics_enabled=metrics, time_limit=time_limit,
-            trace_events=tuple(trace_events), window_path=window_path)
+            trace_events=tuple(trace_events), window_path=window_path,
+            exec_core=exec_core)
     return PiscesVM(config, registry=registry, machine=machine,
                     fault_plan=fault_plan, detect_races=detect_races,
                     recorder=recorder, replay=replay)

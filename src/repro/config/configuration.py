@@ -118,6 +118,13 @@ class Configuration:
     #: environment variable, then to "fast".  Every path is bit-identical
     #: in virtual time (see docs/architecture.md).
     window_path: str = ""
+    #: Execution-core selection: "threaded" (one OS thread per process,
+    #: the determinism oracle) or "coop" (single-threaded discrete-event
+    #: loop; coroutine bodies dispatch by function call).  "" defers to
+    #: the ``PISCES_EXEC_CORE`` environment variable, then to
+    #: "threaded".  Both cores are bit-identical in virtual time and
+    #: dispatch order (see docs/architecture.md, "Execution cores").
+    exec_core: str = ""
     #: Enable the happens-before race detector at boot (see
     #: :mod:`repro.correctness`); detection charges no virtual time.
     detect_races: bool = False
@@ -202,6 +209,9 @@ class Configuration:
             raise ConfigurationError(
                 f"window_path must be fast/batched/reference, "
                 f"got {self.window_path!r}")
+        if self.exec_core not in ("", "threaded", "coop"):
+            raise ConfigurationError(
+                f"exec_core must be threaded/coop, got {self.exec_core!r}")
         return self
 
     # ------------------------------------------------------------ editing --
@@ -231,6 +241,8 @@ class Configuration:
             lines.append("  metrics: enabled")
         if self.window_path:
             lines.append(f"  window data plane: {self.window_path}")
+        if self.exec_core:
+            lines.append(f"  execution core: {self.exec_core}")
         if self.profile:
             lines.append("  profiling: enabled")
         return "\n".join(lines)

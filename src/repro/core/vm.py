@@ -115,6 +115,19 @@ def resolve_window_path(config: Configuration) -> str:
             f"PISCES_WINDOW_PATH={path!r}: must be one of {WINDOW_PATHS}")
     return path
 
+
+def resolve_exec_core(config: Configuration) -> str:
+    """Execution-core selection: configuration wins, then the
+    ``PISCES_EXEC_CORE`` environment variable, then "threaded" (the
+    determinism oracle; see docs/architecture.md, "Execution cores")."""
+    from ..mmos.scheduler import EXEC_CORES
+    core = config.exec_core or \
+        os.environ.get("PISCES_EXEC_CORE", "").strip() or "threaded"
+    if core not in EXEC_CORES:
+        raise ConfigurationError(
+            f"PISCES_EXEC_CORE={core!r}: must be one of {EXEC_CORES}")
+    return core
+
 #: Controller slots per cluster counted in the static system table
 #: (task controller, user controller, file controller).
 N_CONTROLLER_SLOTS = 3
@@ -199,8 +212,11 @@ class PiscesVM:
             schedule = (Schedule.load(replay)
                         if isinstance(replay, (str, os.PathLike))
                         else replay)
+        #: Which execution core runs the processes ("threaded"/"coop");
+        #: stamped into the export_run manifest and state dumps.
+        self.exec_core = resolve_exec_core(config)
         self.kernel = MMOSKernel(self.machine, time_limit=config.time_limit,
-                                 schedule=schedule)
+                                 schedule=schedule, exec_core=self.exec_core)
         self.engine = self.kernel.engine
         if recorder is not None:
             # Explicit recorder wins over the PISCES_RECORD_SCHEDULE env

@@ -61,8 +61,10 @@ def render_pe_loading(vm: PiscesVM) -> str:
 
 def render_system_dump(vm: PiscesVM) -> str:
     """DUMP SYSTEM STATE: clusters, slots, queues, memory, engine."""
-    parts: List[str] = ["PISCES 2 SYSTEM STATE DUMP",
-                        f"virtual time: {vm.machine.elapsed()} ticks"]
+    parts: List[str] = [
+        "PISCES 2 SYSTEM STATE DUMP",
+        f"virtual time: {vm.machine.elapsed()} ticks "
+        f"({vm.engine.exec_core} core, {vm.engine.dispatcher} dispatcher)"]
     for num, cr in sorted(vm.clusters.items()):
         parts.append(cr.describe())
         for t in cr.running_tasks():

@@ -1,12 +1,29 @@
 """Kernel process objects for the MMOS simulation.
 
-Each PISCES task (and each force member) is one :class:`KernelProcess`:
-a Python thread that the engine admits one-at-a-time, switching only at
-kernel points.  The paper (section 11) says MMOS provides exactly this:
+Each PISCES task (and each force member) is one :class:`KernelProcess`.
+The paper (section 11) says MMOS provides exactly this:
 "multiprogramming, I/O to files and terminals, storage allocation, and a
 few other services"; PISCES calls the kernel "primarily for process
 creation and termination, input/output to the terminal, and swapping the
 CPU among ready processes".
+
+How a process *executes* is an engine strategy, not a property of the
+process (see ``docs/architecture.md``, "Execution cores"):
+
+* on the **threaded** core every process body runs in its own Python
+  thread that the engine admits one-at-a-time, switching only at kernel
+  points;
+* on the **coop** core a *coroutine* body (a generator function that
+  yields :class:`KernelOp` values from :func:`co_charge` /
+  :func:`co_preempt` / :func:`co_block`) is resumed by a plain function
+  call on the engine thread -- no OS thread at all -- while an ordinary
+  callable body falls back to a pinned worker thread with a raw-lock
+  handoff.
+
+Both cores accept both body forms: the threaded core drives a coroutine
+body through a trampoline that maps each yielded op onto the classic
+blocking calls, so the same program text is executable (and
+bit-identical) everywhere.
 """
 
 from __future__ import annotations
@@ -14,7 +31,11 @@ from __future__ import annotations
 import enum
 import itertools
 import threading
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Generator, Optional
+
+#: Default ticks charged by a kernel point when the caller gives none.
+#: (Re-exported by :mod:`repro.mmos.scheduler` for compatibility.)
+DEFAULT_KERNEL_COST = 5
 
 
 class ProcState(enum.Enum):
@@ -23,6 +44,54 @@ class ProcState(enum.Enum):
     RUNNING = "running"
     BLOCKED = "blocked"
     DONE = "done"
+
+
+class KernelOp:
+    """One kernel point yielded by a coroutine process body.
+
+    Build them with :func:`co_charge`, :func:`co_preempt` and
+    :func:`co_block`; the engine interprets the op and resumes the
+    generator with the op's result (the waker's ``info`` for a block,
+    ``None`` otherwise).  Ops are plain data so both execution cores
+    interpret the identical stream.
+    """
+
+    __slots__ = ("kind", "cost", "reason", "deadline")
+
+    def __init__(self, kind: str, cost: int, reason: str = "",
+                 deadline: Optional[int] = None):
+        self.kind = kind
+        self.cost = cost
+        self.reason = reason
+        self.deadline = deadline
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.kind == "block":
+            extra = f" reason={self.reason!r} deadline={self.deadline}"
+        return f"<KernelOp {self.kind} cost={self.cost}{extra}>"
+
+
+def co_charge(ticks: int) -> KernelOp:
+    """Charge compute ticks to the current slice without yielding the
+    PE (the coroutine form of ``engine.charge``)."""
+    if ticks < 0:
+        raise ValueError("cannot charge negative ticks")
+    return KernelOp("charge", ticks)
+
+
+def co_preempt(cost: int = DEFAULT_KERNEL_COST) -> KernelOp:
+    """A kernel point: charge ``cost`` and let the scheduler switch
+    (the coroutine form of ``engine.preempt``)."""
+    return KernelOp("preempt", cost)
+
+
+def co_block(reason: str, *, deadline: Optional[int] = None,
+             cost: int = DEFAULT_KERNEL_COST) -> KernelOp:
+    """Block until woken or until ``deadline`` (the coroutine form of
+    ``engine.block``); the ``yield`` expression evaluates to the
+    waker's ``info`` value."""
+    return KernelOp("block", cost, reason, deadline)
 
 
 _pid_counter = itertools.count(1)
@@ -76,6 +145,19 @@ class KernelProcess:
         #: wakes exactly one thread instead of broadcasting to all.
         self.grant = threading.Event()
         self.thread: Optional[threading.Thread] = None
+        #: True when ``target`` is a generator function (a coroutine
+        #: body yielding :class:`KernelOp` values).  The coop core runs
+        #: it by function call on the engine thread; the threaded core
+        #: drives it through a thread trampoline.
+        self.is_coroutine = False
+        #: The instantiated coroutine body (coop core, or the threaded
+        #: trampoline once started); None for plain callable bodies.
+        self.gen: Optional[Generator] = None
+        #: Raw handoff lock for the coop core's pinned-worker fallback
+        #: (callable bodies): always held; the engine passes control by
+        #: releasing it, the worker parks by re-acquiring.  None on the
+        #: threaded core and for coroutine processes.
+        self.handoff: Optional[Any] = None
         #: Dispatch sequence number of the last slice (for round-robin
         #: tie-breaking among processes sharing a PE).
         self.last_dispatched: int = 0

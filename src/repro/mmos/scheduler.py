@@ -38,11 +38,29 @@ contract"):
 
 The default can be forced with the ``PISCES_DISPATCHER`` environment
 variable (``indexed`` or ``scan``).
+
+Orthogonal to the dispatcher, two **execution cores** decide how a
+granted process actually runs its slice (``PISCES_EXEC_CORE``, or the
+:func:`create_engine` factory):
+
+* ``threaded`` (this module's :class:`Engine`, the determinism oracle)
+  -- every process body runs in its own OS thread; a dispatch is a
+  grant-event wake plus a thread park;
+* ``coop`` (:class:`repro.mmos.coop.CoopEngine`) -- a single-threaded
+  discrete-event loop: coroutine bodies are resumed by a plain
+  function call (no OS context switch on the hot path), callable
+  bodies fall back to a pinned worker thread with a raw-lock handoff.
+
+Both cores share this module's picker, hooks and slice bookkeeping, so
+virtual timestamps, dispatch order and trace streams are bit-identical
+across every core x dispatcher combination; the dispatcher-identity
+matrix and the dispatch-equivalence property suite assert it.
 """
 
 from __future__ import annotations
 
 import heapq
+import inspect
 import os
 import threading
 import time
@@ -57,14 +75,14 @@ from ..errors import (
     TimeLimitExceeded,
 )
 from ..flex.machine import FlexMachine
-from .process import KernelProcess, ProcState
-
-#: Default ticks charged by a kernel point when the caller gives none.
-DEFAULT_KERNEL_COST = 5
+from .process import DEFAULT_KERNEL_COST, KernelOp, KernelProcess, ProcState
 
 #: Recognized dispatcher implementations.  ``replay`` re-executes a
 #: recorded decision stream (see :mod:`repro.correctness.recorder`).
 DISPATCHERS = ("indexed", "scan", "replay")
+
+#: Recognized execution cores (see module docstring).
+EXEC_CORES = ("threaded", "coop")
 
 
 def default_dispatcher() -> str:
@@ -76,12 +94,55 @@ def default_dispatcher() -> str:
     return d
 
 
+def default_exec_core() -> str:
+    """Execution core used when the caller does not choose one."""
+    c = os.environ.get("PISCES_EXEC_CORE", "threaded")
+    if c not in EXEC_CORES:
+        raise ValueError(
+            f"PISCES_EXEC_CORE={c!r}: must be one of {EXEC_CORES}")
+    return c
+
+
+def create_engine(machine: FlexMachine, time_limit: Optional[int] = None,
+                  dispatcher: Optional[str] = None,
+                  schedule: Optional[Any] = None,
+                  exec_core: Optional[str] = None) -> "Engine":
+    """Build an engine for ``exec_core`` (default: ``PISCES_EXEC_CORE``,
+    then ``threaded``).  This is the one place that knows which class
+    implements which core; the VM and benchmarks go through it."""
+    if not exec_core:
+        exec_core = default_exec_core()
+    if exec_core not in EXEC_CORES:
+        raise ValueError(
+            f"exec_core {exec_core!r}: must be one of {EXEC_CORES}")
+    if exec_core == "coop":
+        from .coop import CoopEngine
+        return CoopEngine(machine, time_limit=time_limit,
+                          dispatcher=dispatcher, schedule=schedule)
+    return Engine(machine, time_limit=time_limit, dispatcher=dispatcher,
+                  schedule=schedule)
+
+
 class Engine:
-    """The MMOS scheduler/dispatcher for one machine."""
+    """The MMOS scheduler/dispatcher for one machine (threaded core).
+
+    Also the base class of the coop core: everything that decides *what
+    runs next and when* (picker, keys, hooks, slice accounting) lives
+    here and is shared; subclasses override only the handoff strategy
+    (:meth:`_launch`, :meth:`_run_slice`, :meth:`_yield`,
+    :meth:`_drain_process`).
+    """
+
+    #: Which execution core this class implements (manifest stamping).
+    exec_core = "threaded"
 
     def __init__(self, machine: FlexMachine, time_limit: Optional[int] = None,
                  dispatcher: Optional[str] = None, schedule: Optional[Any] = None):
         self.machine = machine
+        #: PE -> PEClock, cached off the ClockBank: the dispatch hot
+        #: path touches a clock several times per slice and the mapping
+        #: is immutable for the machine's lifetime.
+        self._clockmap = {pe: machine.clocks[pe] for pe in machine.pes}
         self.time_limit = time_limit
         if dispatcher is None:
             dispatcher = "replay" if schedule is not None \
@@ -96,12 +157,23 @@ class Engine:
         self._indexed = dispatcher == "indexed"
         self._cv = threading.Condition()
         self._procs: Dict[int, KernelProcess] = {}
-        #: Lazy-deletion heap of ``(key, pid, gen)`` over runnable
-        #: processes (indexed dispatcher only).  Invariant: every stored
-        #: key is <= the process's current key (clocks and ready times
-        #: only move forward), so popping the least stored key and
-        #: re-keying on staleness always yields the true minimum.
-        self._heap: List[Tuple[tuple, int, int]] = []
+        #: Indexed-dispatcher index (see "Dispatch algorithm" in
+        #: docs/architecture.md).  Two-level, with keys that *never go
+        #: stale*: per PE, a "ripe" heap of ``(last_dispatched, pid,
+        #: gen)`` over runnable processes whose start time is the PE
+        #: clock (``ready_time <= clock``; both components immutable
+        #: while queued), and a "future" heap of ``(ready_time|deadline,
+        #: last_dispatched, pid, gen)`` over processes that become
+        #: runnable at a fixed later tick.  Entries migrate future ->
+        #: ripe as the PE clock advances.  A single candidate heap of
+        #: ``((start, last_dispatched, pid), pe, pe_gen)`` tracks each
+        #: PE's best runnable process; per-PE generations lazily
+        #: invalidate superseded candidates, per-process generations
+        #: (``sched_gen``) lazily invalidate superseded heap entries.
+        self._ripe: Dict[int, list] = {pe: [] for pe in machine.pes}
+        self._future: Dict[int, list] = {pe: [] for pe in machine.pes}
+        self._pe_gen: Dict[int, int] = {pe: 0 for pe in machine.pes}
+        self._cand: List[tuple] = []
         self._current: Optional[KernelProcess] = None
         self._now: int = 0          # start time of the latest dispatch
         self._dispatch_seq: int = 0
@@ -197,20 +269,65 @@ class Engine:
         pr = self.prof_hook
         if pr is not None:
             pr.on_spawn(self._current if self.in_process() else None, p)
-        t = threading.Thread(target=self._thread_body, args=(p,),
-                             name=f"pisces-{name}-{p.pid}", daemon=True)
-        p.thread = t
+        p.is_coroutine = inspect.isgeneratorfunction(target)
         self._procs[p.pid] = p
         self._requeue(p)
-        t.start()
+        self._launch(p)
         return p
+
+    # ------------------------------------------------ execution strategy --
+
+    def _launch(self, p: KernelProcess) -> None:
+        """Start the execution vehicle for ``p`` (threaded core: one OS
+        thread per process, coroutine bodies included -- the thread
+        drives them through :meth:`_coroutine_trampoline`)."""
+        t = threading.Thread(target=self._thread_body, args=(p,),
+                             name=f"pisces-{p.name}-{p.pid}", daemon=True)
+        p.thread = t
+        t.start()
+
+    def _coroutine_trampoline(self, p: KernelProcess) -> Any:
+        """Drive a coroutine body from a process thread by mapping each
+        yielded :class:`KernelOp` onto the classic blocking calls.  This
+        is what makes coroutine bodies first-class citizens of the
+        threaded (oracle) core: the op stream executes with exactly the
+        virtual-time semantics the coop core gives it."""
+        gen = p.target()
+        p.gen = gen
+        try:
+            val: Any = None
+            while True:
+                try:
+                    op = gen.send(val)
+                except StopIteration as e:
+                    return e.value
+                if not isinstance(op, KernelOp):
+                    raise RuntimeError(
+                        f"coroutine process {p.name!r} yielded {op!r}; "
+                        "expected a KernelOp from co_charge/co_preempt/"
+                        "co_block")
+                kind = op.kind
+                if kind == "charge":
+                    self.charge(op.cost)
+                    val = None
+                elif kind == "preempt":
+                    self.preempt(op.cost)
+                    val = None
+                else:  # block
+                    val = self.block(op.reason, deadline=op.deadline,
+                                     cost=op.cost)
+        finally:
+            gen.close()
 
     def _thread_body(self, p: KernelProcess) -> None:
         self._wait_for_grant(p)
         try:
             if p.killed:
                 raise ProcessKilled(p.name)
-            p.result = p.target()
+            if p.is_coroutine:
+                p.result = self._coroutine_trampoline(p)
+            else:
+                p.result = p.target()
         except ProcessKilled:
             pass
         except BaseException as e:  # surface in the engine thread
@@ -222,16 +339,53 @@ class Engine:
                 except BaseException as e:
                     if p.exc is None:
                         p.exc = e
-            with self._cv:
-                cost = p.pending_cost
-                end = self.machine.clocks[p.pe].run(p.slice_start, cost)
-                if self.record_slices and cost > 0:
-                    self.slices.append((p.pe, end - cost, end, p.name))
-                p.pending_cost = 0
-                p.ready_time = end
-                p.state = ProcState.DONE
-                self._requeue(p)    # invalidate any queued heap entry
-                self._cv.notify_all()
+            self._finish_thread(p)
+
+    def _finish_thread(self, p: KernelProcess) -> None:
+        """Final DONE bookkeeping, from the process's own thread."""
+        with self._cv:
+            self._settle_done(p)
+            self._cv.notify_all()
+
+    # ----------------------------------------------- slice bookkeeping ----
+
+    def _settle_done(self, p: KernelProcess) -> None:
+        """Account the final slice and mark ``p`` DONE (shared by both
+        cores; the caller owns whatever synchronization its core needs)."""
+        cost = p.pending_cost
+        end = self._clockmap[p.pe].run(p.slice_start, cost)
+        if self.record_slices and cost > 0:
+            self.slices.append((p.pe, end - cost, end, p.name))
+        p.pending_cost = 0
+        p.ready_time = end
+        p.state = ProcState.DONE
+        self._requeue(p)    # invalidate any queued heap entry
+
+    def _settle_yield(self, p: KernelProcess, new_state: ProcState,
+                      reason: str, deadline: Optional[int]) -> None:
+        """Account a finished (non-final) slice and park/requeue ``p``.
+
+        The single source of truth for end-of-slice state: both cores
+        and every body form go through it, which is what keeps virtual
+        timestamps bit-identical across cores.
+        """
+        cost = p.pending_cost
+        end = self._clockmap[p.pe].run(p.slice_start, cost)
+        if self.record_slices and cost > 0:
+            self.slices.append((p.pe, end - cost, end, p.name))
+        m = self.metrics
+        if m is not None and m.enabled and cost > 0:
+            m.histogram("slice_ticks", pe=p.pe).observe(cost)
+        p.pending_cost = 0
+        p.ready_time = end
+        if p.killed and new_state is ProcState.BLOCKED:
+            # A killed process must not park where nothing will wake
+            # it: stay runnable so the next dispatch raises.
+            new_state, reason, deadline = ProcState.READY, "killed", None
+        p.state = new_state
+        p.blocked_on = reason
+        p.deadline = deadline
+        self._requeue(p)
 
     # ------------------------------------------------------ thread handoff --
 
@@ -364,23 +518,7 @@ class Engine:
                reason: str = "", deadline: Optional[int] = None) -> None:
         """Finish the current slice and hand control to the engine."""
         with self._cv:
-            cost = p.pending_cost
-            end = self.machine.clocks[p.pe].run(p.slice_start, cost)
-            if self.record_slices and cost > 0:
-                self.slices.append((p.pe, end - cost, end, p.name))
-            m = self.metrics
-            if m is not None and m.enabled and cost > 0:
-                m.histogram("slice_ticks", pe=p.pe).observe(cost)
-            p.pending_cost = 0
-            p.ready_time = end
-            if p.killed and new_state is ProcState.BLOCKED:
-                # A killed process must not park where nothing will wake
-                # it: stay runnable so the next dispatch raises.
-                new_state, reason, deadline = ProcState.READY, "killed", None
-            p.state = new_state
-            p.blocked_on = reason
-            p.deadline = deadline
-            self._requeue(p)
+            self._settle_yield(p, new_state, reason, deadline)
             self._current = None
             self._cv.notify_all()
             if not self._indexed:
@@ -392,18 +530,22 @@ class Engine:
             p.grant.clear()
             p.run_granted = False
         if p.killed:
-            if self._shutdown:
-                raise EngineShutdown(
-                    f"engine shut down while {p.name!r} was "
-                    f"{p.blocked_on or 'running'}")
-            raise ProcessKilled(p.name)
+            raise self._kill_exc(p)
+
+    def _kill_exc(self, p: KernelProcess) -> ProcessKilled:
+        """The exception a killed process unwinds with."""
+        if self._shutdown:
+            return EngineShutdown(
+                f"engine shut down while {p.name!r} was "
+                f"{p.blocked_on or 'running'}")
+        return ProcessKilled(p.name)
 
     # ----------------------------------------------------- engine-side ----
 
     def _runnable_key(self, p: KernelProcess):
         # Round-robin among equals: earliest start first, then the
         # process that has waited longest since its last slice, then pid.
-        pe_clock = self.machine.clocks[p.pe].ticks
+        pe_clock = self._clockmap[p.pe].ticks
         if p.state is ProcState.READY:
             return (max(p.ready_time, pe_clock), p.last_dispatched, p.pid)
         # blocked with a deadline: runnable at the deadline
@@ -417,38 +559,108 @@ class Engine:
     def _requeue(self, p: KernelProcess) -> None:
         """Re-index ``p`` after any scheduling-state change.
 
-        Bumps the process's generation (invalidating every entry already
-        in the heap) and, if the process is runnable, pushes one fresh
-        entry at its current key.  No-op in scan mode.
+        Bumps the process's generation (invalidating every entry it
+        already has in the per-PE heaps), inserts one fresh entry if the
+        process is runnable, and refreshes its PE's candidate.  No-op in
+        scan mode.
         """
         if not self._indexed:
             return
         p.sched_gen += 1
-        if self._is_runnable(p):
-            heapq.heappush(self._heap,
-                           (self._runnable_key(p), p.pid, p.sched_gen))
+        pe = p.pe
+        # Inlined _is_runnable/_runnable_key: this runs once per state
+        # change, which on the coop core is once per dispatch.
+        state = p.state
+        if state is ProcState.READY:
+            base = p.ready_time
+        elif state is ProcState.BLOCKED and p.deadline is not None:
+            base = p.deadline
+        else:
+            # Not runnable any more -- but its departure may still have
+            # changed which queued process is this PE's best candidate.
+            self._touch_pe(pe)
+            return
+        if base <= self._clockmap[pe].ticks:
+            heapq.heappush(self._ripe[pe],
+                           (p.last_dispatched, p.pid, p.sched_gen))
+        else:
+            heapq.heappush(self._future[pe],
+                           (base, p.last_dispatched, p.pid, p.sched_gen))
+        self._touch_pe(pe)
+
+    def _touch_pe(self, pe: int) -> None:
+        """Supersede PE ``pe``'s candidate entry with a fresh one."""
+        g = self._pe_gen[pe] + 1
+        self._pe_gen[pe] = g
+        cand = self._pe_candidate(pe)
+        if cand is not None:
+            heapq.heappush(self._cand, (cand, pe, g))
+
+    def _pe_candidate(self, pe: int) -> Optional[tuple]:
+        """The least current dispatch key among PE ``pe``'s queued
+        processes, or None.  Migrates newly-ripe future entries and
+        discards stale ones on the way (amortized O(1) per queue event).
+        """
+        procs = self._procs
+        clk = self._clockmap[pe].ticks
+        future = self._future[pe]
+        ripe = self._ripe[pe]
+        while future:
+            base, ld, pid, gen = future[0]
+            p = procs.get(pid)
+            if p is None or gen != p.sched_gen:
+                heapq.heappop(future)
+                continue
+            if base > clk:
+                break
+            # The PE clock caught up: the start time is now the clock,
+            # like every other ripe process.
+            heapq.heappop(future)
+            heapq.heappush(ripe, (ld, pid, gen))
+        while ripe:
+            ld, pid, gen = ripe[0]
+            p = procs.get(pid)
+            if p is None or gen != p.sched_gen:
+                heapq.heappop(ripe)
+                continue
+            return (clk, ld, pid)
+        if future:
+            base, ld, pid, gen = future[0]
+            return (base, ld, pid)
+        return None
 
     def _pop_runnable(self) -> Tuple[Optional[KernelProcess], Optional[tuple]]:
         """Pop the runnable process with the least current key.
 
-        Lazy deletion: entries whose generation is stale (the process
-        was re-queued or parked since the push) are discarded; entries
-        whose stored key lags the current key (its PE clock advanced
-        since the push) are re-pushed at the current key.  Because keys
-        only increase, an entry that pops with stored == current key is
-        the global minimum.
+        Pops PE candidates in key order; per-PE generations identify the
+        (at most one) live candidate per PE.  A live candidate is always
+        *fresh*: every event that can change a PE's best pick -- slice
+        settle, spawn, wake, kill, fault -- re-indexes through
+        :meth:`_requeue`, which refreshes the candidate, and a PE's
+        clock only advances during a dispatch on that PE, which settles
+        (and so touches) before the next pop.  Keys inside the per-PE
+        heaps never go stale at all, so -- unlike a single global heap
+        keyed by ``max(ready_time, pe_clock)`` -- a slice on one PE
+        never forces a re-key of the other processes queued there.
         """
-        heap = self._heap
-        while heap:
-            key, pid, gen = heapq.heappop(heap)
-            p = self._procs.get(pid)
-            if p is None or gen != p.sched_gen or not self._is_runnable(p):
+        cand = self._cand
+        pe_gen = self._pe_gen
+        while cand:
+            key, pe, g = heapq.heappop(cand)
+            if g != pe_gen[pe]:
                 continue
-            true_key = self._runnable_key(p)
-            if true_key != key:
-                heapq.heappush(heap, (true_key, pid, gen))
-                continue
-            return p, key
+            pid = key[2]
+            # Commit: remove the winner from its per-PE heap.  It is the
+            # validated head of ripe (start == clock) or future.  The
+            # next candidate for this PE is pushed by the settle/requeue
+            # that ends the dispatched slice (or by the horizon/fault
+            # requeue when the dispatch is abandoned).
+            ripe = self._ripe[pe]
+            if ripe and ripe[0][1] == pid:
+                heapq.heappop(ripe)
+            else:
+                heapq.heappop(self._future[pe])
+            return self._procs[pid], key
         return None, None
 
     def _pick(self) -> Optional[KernelProcess]:
@@ -509,16 +721,15 @@ class Engine:
                 return False
             if horizon is not None and key[0] > horizon:
                 if self._indexed:
-                    # The entry was valid; put it back for the next step.
-                    heapq.heappush(self._heap, (key, p.pid, p.sched_gen))
+                    # The pick was valid; re-index it for the next step.
+                    self._requeue(p)
                 return False
             if self._fault_pump is not None and self._fault_pump(key[0]):
                 # A timed fault fired at or before this slice's start;
-                # it may have killed/woken processes, so re-pick.  The
-                # popped entry goes back (if stale, lazy deletion drops
-                # it on the next pop).
+                # it may have killed/woken processes (including this
+                # one), so re-index the pick and re-pick.
                 if self._indexed:
-                    heapq.heappush(self._heap, (key, p.pid, p.sched_gen))
+                    self._requeue(p)
                 continue
             break
         if p.state is ProcState.BLOCKED:
@@ -528,7 +739,7 @@ class Engine:
             p.ready_time = max(p.ready_time, p.deadline)
             p.deadline = None
             p.state = ProcState.READY
-        start = max(p.ready_time, self.machine.clocks[p.pe].ticks)
+        start = max(p.ready_time, self._clockmap[p.pe].ticks)
         if self.time_limit is not None and start > self.time_limit:
             raise TimeLimitExceeded(self.time_limit)
         sh = self.sched_hook
@@ -542,16 +753,10 @@ class Engine:
         m = self.metrics
         if m is not None and m.enabled:
             m.counter("dispatches", pe=p.pe).inc()
-        self.machine.clocks[p.pe].advance_to(start)
+        self._clockmap[p.pe].advance_to(start)
         pr = self.prof_hook
         t_wall = time.perf_counter() if pr is not None else 0.0
-        with self._cv:
-            p.slice_start = start
-            p.state = ProcState.RUNNING
-            self._current = p
-            self._grant_locked(p)
-            while p.state is ProcState.RUNNING:
-                self._cv.wait()
+        self._run_slice(p, start)
         self._current = None
         if pr is not None:
             # The slice just completed: under the lock above _yield (or
@@ -566,6 +771,20 @@ class Engine:
         if self.on_idle_check is not None:
             self.on_idle_check()
         return True
+
+    def _run_slice(self, p: KernelProcess, start: int) -> None:
+        """Execute one slice of ``p`` starting at virtual tick ``start``
+        and return when the slice has ended (threaded core: grant the
+        process thread and park the engine on the condition variable --
+        the OS handoff the coop core's override replaces with a plain
+        function call)."""
+        with self._cv:
+            p.slice_start = start
+            p.state = ProcState.RUNNING
+            self._current = p
+            self._grant_locked(p)
+            while p.state is ProcState.RUNNING:
+                self._cv.wait()
 
     @property
     def dispatch_count(self) -> int:
@@ -636,7 +855,28 @@ class Engine:
         for p in list(self._procs.values()):
             if p.live:
                 p.killed = True
-        # Grant every live thread once so it can observe `killed` and exit.
+        stuck = self._drain_processes(join_timeout)
+        leaked: List[str] = []
+        for p in self._procs.values():
+            t = p.thread
+            if t is None:
+                continue
+            t.join(timeout=join_timeout if p.name not in stuck else 0.01)
+            if t.is_alive():
+                leaked.append(p.name)
+        self.leaked_threads = sorted(set(stuck) | set(leaked))
+        if self.leaked_threads:
+            warnings.warn(
+                f"engine shutdown leaked {len(self.leaked_threads)} "
+                f"thread(s) (stuck outside kernel points): "
+                f"{', '.join(self.leaked_threads)}",
+                RuntimeWarning, stacklevel=2)
+
+    def _drain_processes(self, join_timeout: float) -> List[str]:
+        """Give every live process one chance per slice to observe
+        ``killed`` and unwind; returns names of processes that stayed
+        stuck in user code past ``join_timeout``.  Threaded core: grant
+        each thread and wait on the condition variable."""
         stuck: List[str] = []
         for p in list(self._procs.values()):
             while p.live and p.thread is not None and p.thread.is_alive():
@@ -658,21 +898,7 @@ class Engine:
                 if timed_out:
                     stuck.append(p.name)
                     break
-        leaked: List[str] = []
-        for p in self._procs.values():
-            t = p.thread
-            if t is None:
-                continue
-            t.join(timeout=join_timeout if p.name not in stuck else 0.01)
-            if t.is_alive():
-                leaked.append(p.name)
-        self.leaked_threads = sorted(set(stuck) | set(leaked))
-        if self.leaked_threads:
-            warnings.warn(
-                f"engine shutdown leaked {len(self.leaked_threads)} "
-                f"thread(s) (stuck outside kernel points): "
-                f"{', '.join(self.leaked_threads)}",
-                RuntimeWarning, stacklevel=2)
+        return stuck
 
     # ------------------------------------------------------- inspection --
 
@@ -683,7 +909,8 @@ class Engine:
         return [p for p in self._procs.values() if p.live]
 
     def state_dump(self) -> str:
-        lines = [f"engine time {self.now()}, "
+        lines = [f"engine time {self.now()} ({self.exec_core} core, "
+                 f"{self.dispatcher} dispatcher), "
                  f"{len(self.live_processes())} live processes:"]
         failed = self.machine.failed_pes()
         if failed:

@@ -156,6 +156,7 @@ def run_manifest(vm, files: Optional[Dict[str, Path]] = None,
     manifest: Dict[str, Any] = {
         "repro_version": repro_version,
         "dispatcher": vm.engine.dispatcher,
+        "exec_core": vm.engine.exec_core,
         "window_path": vm.window_path,
         "seed": seed,
         "fault_plan_hash": plan_hash,

@@ -1,22 +1,37 @@
-"""The indexed dispatcher must replay the scan dispatcher bit-for-bit.
+"""Every (execution core x dispatcher) leg must replay bit-for-bit.
 
 The scheduler docstring's determinism contract is load-bearing for the
-whole suite: swapping the O(n) reference scan for the lazy-deletion
-heap (and broadcast wakeups for per-process grants) must not move a
-single virtual timestamp.  Each app here runs once per dispatcher and
-the full observable history -- elapsed virtual time, dispatch count,
-per-PE clock readings and run stats -- must match exactly.
+whole suite: swapping the O(n) reference scan for the two-level heap
+picker (and broadcast wakeups for per-process grants), or swapping the
+thread-per-process core for the coop discrete-event core, must not
+move a single virtual timestamp.  Each app here runs once per leg of
+the core x dispatcher matrix and the full observable history --
+elapsed virtual time, dispatch count, per-PE clock readings and run
+stats -- must match exactly; the replay tests additionally re-execute
+a threaded-core recording on the coop core, and the chaos test holds
+both cores to the same history under a seeded fault plan.
 """
 
 import os
 
 import pytest
 
+from repro.apps.chaos_jacobi import run_chaos_jacobi
 from repro.apps.fem import run_fem
 from repro.apps.integrate import run_integrate
-from repro.apps.jacobi import run_jacobi_windows
+from repro.apps.jacobi import build_windows_registry, run_jacobi_windows
 from repro.apps.matmul import run_matmul_tasks
 from repro.apps.pipeline import run_pipeline
+from repro.faults import RESTART, FaultPlan, PECrash
+
+#: The full matrix of satellite 4: both cores against both live
+#: dispatchers (replay legs are exercised separately below).
+LEGS = [
+    ("threaded", "indexed"),
+    ("threaded", "scan"),
+    ("coop", "indexed"),
+    ("coop", "scan"),
+]
 
 
 def _fingerprint(r):
@@ -35,15 +50,14 @@ def _fingerprint(r):
     return fp
 
 
-def _run_both(fn):
-    out = {}
-    for dispatcher in ("indexed", "scan"):
-        os.environ["PISCES_DISPATCHER"] = dispatcher
-        try:
-            out[dispatcher] = _fingerprint(fn())
-        finally:
-            os.environ.pop("PISCES_DISPATCHER", None)
-    return out
+def _run_leg(fn, core, dispatcher):
+    os.environ["PISCES_DISPATCHER"] = dispatcher
+    os.environ["PISCES_EXEC_CORE"] = core
+    try:
+        return _fingerprint(fn())
+    finally:
+        os.environ.pop("PISCES_DISPATCHER", None)
+        os.environ.pop("PISCES_EXEC_CORE", None)
 
 
 APPS = [
@@ -56,27 +70,79 @@ APPS = [
 
 
 @pytest.mark.parametrize("name,fn", APPS, ids=[a[0] for a in APPS])
-def test_app_virtual_history_is_dispatcher_independent(name, fn):
-    got = _run_both(fn)
-    assert got["indexed"] == got["scan"], (
-        f"{name}: virtual history diverged between dispatchers")
+def test_app_virtual_history_is_leg_independent(name, fn):
+    got = {leg: _run_leg(fn, *leg) for leg in LEGS}
+    ref = got[LEGS[0]]
+    for leg, fp in got.items():
+        assert fp == ref, (
+            f"{name}: virtual history diverged on {leg[0]}x{leg[1]} "
+            f"vs {LEGS[0][0]}x{LEGS[0][1]}")
 
 
 @pytest.mark.parametrize("name,fn", APPS, ids=[a[0] for a in APPS])
 def test_replay_dispatcher_retraces_recorded_history(name, fn, tmp_path,
                                                      monkeypatch):
-    """Third leg of the matrix: record each app under the indexed
-    dispatcher (PISCES_RECORD_SCHEDULE autosaves the .psched at
-    shutdown), then re-run under PISCES_DISPATCHER=replay and the full
-    observable history must again match bit for bit."""
+    """Replay legs of the matrix: record each app under the threaded
+    core + indexed dispatcher (PISCES_RECORD_SCHEDULE autosaves the
+    .psched at shutdown), then re-run under PISCES_DISPATCHER=replay on
+    *both* cores -- a threaded-core recording must drive the coop core
+    to the identical history."""
     psched = tmp_path / f"{name}.psched"
     monkeypatch.setenv("PISCES_DISPATCHER", "indexed")
+    monkeypatch.setenv("PISCES_EXEC_CORE", "threaded")
     monkeypatch.setenv("PISCES_RECORD_SCHEDULE", str(psched))
     recorded = _fingerprint(fn())
     monkeypatch.delenv("PISCES_RECORD_SCHEDULE")
     assert psched.exists(), "recorder did not autosave at shutdown"
     monkeypatch.setenv("PISCES_DISPATCHER", "replay")
     monkeypatch.setenv("PISCES_REPLAY_SCHEDULE", str(psched))
-    replayed = _fingerprint(fn())
-    assert replayed == recorded, (
-        f"{name}: replay diverged from its own recording")
+    for core in ("threaded", "coop"):
+        monkeypatch.setenv("PISCES_EXEC_CORE", core)
+        replayed = _fingerprint(fn())
+        assert replayed == recorded, (
+            f"{name}: replay on the {core} core diverged from the "
+            f"threaded-core recording")
+
+
+def test_trace_stream_identical_across_cores(monkeypatch):
+    """The full trace stream -- not just the summary fingerprint -- is
+    part of the determinism contract between cores."""
+    from repro.api import record_run
+
+    runs = {}
+    for core in ("threaded", "coop"):
+        monkeypatch.setenv("PISCES_EXEC_CORE", core)
+        rec = record_run("JMASTER", registry=build_windows_registry(12, 2, 3))
+        rec.result.vm.shutdown()
+        runs[core] = rec
+    assert runs["coop"].elapsed == runs["threaded"].elapsed
+    assert runs["coop"].trace_lines == runs["threaded"].trace_lines, \
+        "trace stream diverged between execution cores"
+
+
+CRASH_PLAN = FaultPlan(seed=11, crashes=(PECrash(at=4_000, pe=4),),
+                       name="identity-crash-pe4")
+
+
+def test_chaos_jacobi_fault_plan_identical_across_cores():
+    """Fault injection points are virtual-time events, so a seeded plan
+    must produce the same crash/restart/recovery history on both
+    cores."""
+    got = {}
+    for core in ("threaded", "coop"):
+        os.environ["PISCES_EXEC_CORE"] = core
+        try:
+            r = run_chaos_jacobi(n=12, sweeps=2, n_workers=3,
+                                 supervision=RESTART(3, backoff_ticks=500),
+                                 on_death="reassign",
+                                 fault_plan=CRASH_PLAN)
+        finally:
+            os.environ.pop("PISCES_EXEC_CORE", None)
+        fault_kinds = [e.kind for e in r.vm.faults.events]
+        restarted = r.vm.stats.tasks_restarted
+        got[core] = (_fingerprint(r), r.completed, r.rounds, fault_kinds,
+                     restarted)
+    assert got["coop"] == got["threaded"], (
+        "chaos_jacobi under the seeded fault plan diverged between cores")
+    assert got["threaded"][1], "crash plan should still converge"
+    assert "pe_crash" in got["threaded"][3]

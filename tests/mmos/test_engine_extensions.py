@@ -8,11 +8,11 @@ import pytest
 from repro.errors import ProcessKilled
 from repro.flex.presets import small_flex
 from repro.mmos.process import ProcState
-from repro.mmos.scheduler import Engine
+from repro.mmos.scheduler import Engine, create_engine
 
 
 def make_engine(**kw):
-    return Engine(small_flex(8), **kw)
+    return create_engine(small_flex(8), **kw)
 
 
 class TestOnExit:
@@ -156,16 +156,18 @@ class TestDispatcherSelection:
 
 
 class TestShutdownLeakReporting:
-    def test_clean_shutdown_reports_no_leaks(self):
-        eng = make_engine()
+    @pytest.mark.parametrize("core", ["threaded", "coop"])
+    def test_clean_shutdown_reports_no_leaks(self, core):
+        eng = make_engine(exec_core=core)
         eng.spawn("d", 3, lambda: eng.block("parked"), daemon=True)
         eng.spawn("t", 4, lambda: eng.charge(10))
         eng.run()
         eng.shutdown()
         assert eng.leaked_threads == []
 
-    def test_stuck_thread_is_counted_and_warned(self):
-        eng = make_engine()
+    @pytest.mark.parametrize("core", ["threaded", "coop"])
+    def test_stuck_thread_is_counted_and_warned(self, core):
+        eng = make_engine(exec_core=core)
         release = threading.Event()
 
         def stubborn():

@@ -1,20 +1,25 @@
-"""Property test: heap and scan dispatchers produce identical traces.
+"""Property test: every core x dispatcher leg produces identical traces.
 
 Hypothesis drives randomized spawn/wake/kill/deadline schedules through
-two engines that differ only in dispatcher implementation, and demands
-the complete slice trace -- (pe, start, end, name) for every slice, in
-dispatch order -- plus the final PE clock readings and the outcome
-(normal completion or deadlock) be identical.  This is the lazy-heap's
-staleness handling under adversarial interleavings: re-keys after PE
-clock advances, deadline wakeups, wakes that beat deadlines, kills of
-blocked and ready processes.
+engines that differ only in dispatcher implementation (two-level heap
+vs the O(n) reference scan) and execution core (thread-per-process vs
+the coop discrete-event loop), and demands the complete slice trace --
+(pe, start, end, name) for every slice, in dispatch order -- plus the
+final PE clock readings and the outcome (normal completion or
+deadlock) be identical.  This is the stale-free heap's bookkeeping
+under adversarial interleavings: re-keys after PE clock advances,
+deadline wakeups, wakes that beat deadlines, kills of blocked and
+ready processes -- and the coop core's handoff replacement under the
+same schedules, for both body forms (callable bodies on worker
+threads, coroutine bodies on the engine thread).
 """
 
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import DeadlockError
 from repro.flex.presets import small_flex
-from repro.mmos.scheduler import Engine
+from repro.mmos.process import co_block, co_charge, co_preempt
+from repro.mmos.scheduler import create_engine
 
 N_PES = 4
 PES = list(range(3, 3 + N_PES))   # small_flex MMOS PEs start at 3
@@ -25,7 +30,7 @@ op = st.one_of(
     # nap: block with a deadline -- always runnable again
     st.tuples(st.just("nap"), st.integers(0, 30)),
     # park: block with no deadline; relies on a wake (or deadlocks --
-    # both engines must agree on that too)
+    # every engine must agree on that too)
     st.tuples(st.just("park"), st.just(0)),
     st.tuples(st.just("wake"), st.integers(0, 7)),
     st.tuples(st.just("kill"), st.integers(0, 7)),
@@ -40,8 +45,10 @@ schedule = st.lists(
     min_size=1, max_size=6)
 
 
-def run_schedule(dispatcher, procs):
-    eng = Engine(small_flex(8), dispatcher=dispatcher)
+def run_schedule(dispatcher, procs, exec_core="threaded",
+                 coroutine=False):
+    eng = create_engine(small_flex(8), dispatcher=dispatcher,
+                        exec_core=exec_core)
     eng.record_slices = True
     handles = []
 
@@ -65,8 +72,32 @@ def run_schedule(dispatcher, procs):
                     eng.preempt(1)
         return body
 
+    def make_gen_body(ops):
+        # The coroutine form of the identical program: kernel points
+        # become yielded KernelOps (engine-side calls like wake/kill
+        # stay plain calls -- they never block).
+        def body():
+            for kind, arg in ops:
+                if kind == "charge":
+                    yield co_charge(arg)
+                elif kind == "preempt":
+                    yield co_preempt(arg)
+                elif kind == "nap":
+                    yield co_block("nap", deadline=eng.now() + arg, cost=1)
+                elif kind == "park":
+                    yield co_block("park", cost=1)
+                elif kind == "wake":
+                    eng.wake(handles[arg % len(handles)], info="hi")
+                    yield co_preempt(1)
+                elif kind == "kill":
+                    victim = handles[arg % len(handles)]
+                    eng.kill(victim)
+                    yield co_preempt(1)
+        return body
+
+    make = make_gen_body if coroutine else make_body
     for i, (pe_ix, start, ops) in enumerate(procs):
-        handles.append(eng.spawn(f"p{i}", PES[pe_ix], make_body(ops),
+        handles.append(eng.spawn(f"p{i}", PES[pe_ix], make(ops),
                                  start_time=start))
     outcome = "ok"
     try:
@@ -87,3 +118,32 @@ def test_dispatchers_produce_identical_slice_traces(procs):
     b = run_schedule("scan", procs)
     assert a == b, (
         f"dispatcher divergence:\n indexed={a}\n scan={b}")
+
+
+@given(schedule)
+@settings(max_examples=25, deadline=None)
+def test_coop_core_matches_threaded_on_both_dispatchers(procs):
+    """Core x dispatcher matrix on callable bodies: the coop core's
+    worker-thread handoff must retrace the threaded oracle under both
+    pickers."""
+    ref = run_schedule("indexed", procs, exec_core="threaded")
+    for dispatcher in ("indexed", "scan"):
+        got = run_schedule(dispatcher, procs, exec_core="coop")
+        assert got == ref, (
+            f"coop x {dispatcher} diverged from threaded x indexed:\n"
+            f" coop={got}\n threaded={ref}")
+
+
+@given(schedule)
+@settings(max_examples=25, deadline=None)
+def test_coroutine_bodies_match_callable_bodies_on_both_cores(procs):
+    """Body-form invariance: the generator form of the same program
+    (run natively by the coop loop, and via the kernel trampoline on
+    the threaded core) must retrace the callable form exactly."""
+    ref = run_schedule("indexed", procs, exec_core="threaded")
+    for exec_core in ("threaded", "coop"):
+        got = run_schedule("indexed", procs, exec_core=exec_core,
+                           coroutine=True)
+        assert got == ref, (
+            f"coroutine bodies on {exec_core} diverged from callable "
+            f"bodies:\n got={got}\n ref={ref}")
