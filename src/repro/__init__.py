@@ -62,12 +62,15 @@ from .obs import MetricsRegistry, derive_spans, export_run
 from . import api
 from .api import (
     check_races,
+    checkpoint_vm,
+    find_latest_checkpoint,
     make_vm,
     open_window,
     plan_scope,
     profile_run,
     record_run,
     replay_run,
+    restore_vm,
     run_app,
 )
 
@@ -108,12 +111,15 @@ __all__ = [
     "__version__",
     "api",
     "check_races",
+    "checkpoint_vm",
     "derive_spans",
     "export_run",
+    "find_latest_checkpoint",
     "make_vm",
     "profile_run",
     "record_run",
     "replay_run",
+    "restore_vm",
     "nasa_langley_flex32",
     "open_window",
     "plan_scope",

@@ -23,6 +23,12 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any, List, Optional, Tuple, Union
 
+from .checkpoint import (
+    RestoredRun,
+    checkpoint_vm,
+    find_latest_checkpoint,
+    restore_vm,
+)
 from .config.configuration import Configuration, simple_configuration
 from .core.task import TaskRegistry
 from .core.taskid import Placement
@@ -47,14 +53,18 @@ __all__ = [
     "ProfiledRun",
     "RaceCheck",
     "RecordedRun",
+    "RestoredRun",
     "check_races",
+    "checkpoint_vm",
     "export_run",
+    "find_latest_checkpoint",
     "make_vm",
     "open_window",
     "plan_scope",
     "profile_run",
     "record_run",
     "replay_run",
+    "restore_vm",
     "run_app",
 ]
 

@@ -132,6 +132,28 @@ class Configuration:
     #: :mod:`repro.obs.profile`); profiling charges no virtual time.
     #: The ``PISCES_PROFILE`` environment variable also turns it on.
     profile: bool = False
+    #: Periodic checkpointing: write a ``.pckpt`` bundle every this many
+    #: virtual ticks (0 disables; the ``PISCES_CHECKPOINT`` environment
+    #: variable also turns it on).  Checkpoints are pure observers: a
+    #: checkpointed run is bit-identical in virtual time to an
+    #: unchecked one (see :mod:`repro.checkpoint`).
+    checkpoint_every: int = 0
+    #: Directory receiving periodic ``.pckpt`` bundles ("" defers to the
+    #: ``PISCES_CHECKPOINT_DIR`` environment variable, then to the
+    #: current directory).
+    checkpoint_dir: str = ""
+    #: How many periodic checkpoints to retain (older bundles are
+    #: removed after each successful write; crash recovery only ever
+    #: needs the latest valid one).
+    checkpoint_keep: int = 2
+    #: Seed of the VM-level run RNG (``vm.run_rng``): the *only* source
+    #: of randomness consumed at virtual-time-ordered points (backoff
+    #: jitter), so seeded runs stay bit-reproducible.
+    run_seed: int = 0
+    #: Jitter fraction (0..1) applied to ACCEPT retry backoff waits:
+    #: each wait is perturbed by up to +/- this fraction, drawn from the
+    #: seeded run RNG so determinism holds.
+    accept_jitter: float = 0.0
     name: str = "unnamed"
 
     # ------------------------------------------------------------ access --
@@ -212,6 +234,13 @@ class Configuration:
         if self.exec_core not in ("", "threaded", "coop"):
             raise ConfigurationError(
                 f"exec_core must be threaded/coop, got {self.exec_core!r}")
+        if self.checkpoint_every < 0:
+            raise ConfigurationError("checkpoint_every must be >= 0")
+        if self.checkpoint_keep < 1:
+            raise ConfigurationError("checkpoint_keep must be >= 1")
+        if not 0.0 <= self.accept_jitter <= 1.0:
+            raise ConfigurationError(
+                f"accept_jitter must be in 0..1, got {self.accept_jitter}")
         return self
 
     # ------------------------------------------------------------ editing --
@@ -245,6 +274,12 @@ class Configuration:
             lines.append(f"  execution core: {self.exec_core}")
         if self.profile:
             lines.append("  profiling: enabled")
+        if self.checkpoint_every:
+            where = self.checkpoint_dir or "."
+            lines.append(f"  checkpoint: every {self.checkpoint_every} ticks "
+                         f"to {where} (keep {self.checkpoint_keep})")
+        if self.accept_jitter:
+            lines.append(f"  accept jitter: {self.accept_jitter}")
         return "\n".join(lines)
 
 

@@ -95,6 +95,18 @@ class Force:
             return {}
         return dict(self._ss_counters[-1].executed)
 
+    def snapshot(self) -> dict:
+        """Digestable force state for checkpoints: sizes, barrier
+        generation, the in-flight :class:`BarrierGeneration`, and the
+        SELFSCHED loop cursors (all run-stable at a given schedule
+        position)."""
+        return {"size": int(self.size),
+                "remaining": int(self.remaining),
+                "barrier_gen": int(self.barrier_gen),
+                "current": self.current_barrier.snapshot(),
+                "selfsched": [[int(c.total), int(c.next_index)]
+                              for c in self._ss_counters]}
+
 
 class ForceContext(TaskContext):
     """A force member's view: the full task API plus force operations."""

@@ -223,6 +223,15 @@ class SharedCommonBlock:
     def freed(self) -> bool:
         return self._alloc is None
 
+    def digest(self) -> Dict[str, int]:
+        """Per-variable adler32 content digests (checkpoint validation:
+        two VMs at the same schedule position must agree bit-for-bit on
+        every SHARED COMMON byte)."""
+        import zlib
+        # adler32 reads the array buffer directly; no tobytes() copy.
+        return {var: zlib.adler32(np.ascontiguousarray(arr).data)
+                for var, arr in sorted(self._vars.items())}
+
 
 @dataclass
 class LockState:
@@ -303,6 +312,26 @@ class SharedState:
             # Locks may be declared lazily on first use.
             return self.declare_lock(name)
         return self.locks[name]
+
+    def snapshot(self, owner_ordinal=None) -> dict:
+        """Digestable state of every block and lock this task owns.
+
+        ``owner_ordinal`` maps a lock's ``owner_pid`` (process-global,
+        unstable across hosts) to its run-stable spawn ordinal; waiters
+        are counted, not named -- their identities are pinned by the
+        process snapshots.
+        """
+        commons = {name: blk.digest()
+                   for name, blk in sorted(self.commons.items())}
+        locks = {}
+        for name, lk in sorted(self.locks.items()):
+            owner = lk.owner_pid
+            if owner is not None and owner_ordinal is not None:
+                owner = owner_ordinal(owner)
+            locks[name] = [bool(lk.locked), owner, len(lk.waiters),
+                           int(lk.acquisitions)]
+        return {"commons": commons, "locks": locks,
+                "freed": sorted(b.block_name for b in self.freed_commons)}
 
     def release_all(self) -> None:
         """Free the shared-memory storage at task termination.

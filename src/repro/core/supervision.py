@@ -38,6 +38,10 @@ class Supervision:
     #: Extra virtual-time latency added to the n-th re-initiation
     #: request (linear backoff: ``backoff_ticks * attempt``).
     backoff_ticks: int = 0
+    #: Jitter fraction (0..1): the backoff latency is perturbed by up
+    #: to +/- this fraction, drawn from the VM's seeded run RNG so a
+    #: jittered run is still bit-reproducible.
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.policy not in (POLICY_NONE, POLICY_NOTIFY, POLICY_RESTART):
@@ -46,6 +50,8 @@ class Supervision:
             raise ValueError("max_restarts must be >= 0")
         if self.backoff_ticks < 0:
             raise ValueError("backoff_ticks must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in 0..1")
 
     @property
     def restarts(self) -> bool:
@@ -59,11 +65,14 @@ NONE = Supervision()
 NOTIFY = Supervision(policy=POLICY_NOTIFY)
 
 
-def RESTART(max_restarts: int = 1, backoff_ticks: int = 0) -> Supervision:
+def RESTART(max_restarts: int = 1, backoff_ticks: int = 0,
+            jitter: float = 0.0) -> Supervision:
     """Re-initiate a dead task on a surviving cluster, up to
-    ``max_restarts`` times with linear ``backoff_ticks`` delay."""
+    ``max_restarts`` times with linear ``backoff_ticks`` delay
+    (optionally jittered by +/- ``jitter`` fraction from the seeded
+    run RNG)."""
     return Supervision(policy=POLICY_RESTART, max_restarts=max_restarts,
-                       backoff_ticks=backoff_ticks)
+                       backoff_ticks=backoff_ticks, jitter=jitter)
 
 
 __all__ = ["NONE", "NOTIFY", "RESTART", "Supervision",

@@ -46,6 +46,12 @@ class BarrierGeneration:
     def wait_stats(self) -> int:
         return len(self.waiting)
 
+    def snapshot(self) -> list:
+        """Digestable state for checkpoints: counters only -- waiter
+        identities are pinned by the process snapshots."""
+        return [int(self.size), int(self.arrived), len(self.waiting),
+                bool(self.complete)]
+
 
 def barrier(engine: Engine, force: "Force", member: "ForceContext",
             body: Optional[Callable[[], None]] = None) -> None:

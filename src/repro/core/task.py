@@ -367,7 +367,8 @@ class TaskContext:
                     # Escalate: wait again, backed off, before giving
                     # the caller the timeout.
                     attempt += 1
-                    deadline = now + policy.wait_ticks(base_delay, attempt)
+                    deadline = now + policy.wait_ticks(base_delay, attempt,
+                                                       rng=vm.run_rng)
                     vm.stats.accept_retries += 1
                     if vm.metrics.enabled:
                         vm.metrics.counter(

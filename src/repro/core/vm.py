@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -128,6 +129,28 @@ def resolve_exec_core(config: Configuration) -> str:
             f"PISCES_EXEC_CORE={core!r}: must be one of {EXEC_CORES}")
     return core
 
+def resolve_checkpoint(config: Configuration) -> Tuple[int, str, int]:
+    """Periodic-checkpoint selection ``(every, directory, keep)``:
+    configuration wins, then the ``PISCES_CHECKPOINT`` /
+    ``PISCES_CHECKPOINT_DIR`` environment variables; ``every == 0``
+    means checkpointing is off."""
+    every = config.checkpoint_every
+    if not every:
+        v = os.environ.get("PISCES_CHECKPOINT", "").strip()
+        if v:
+            try:
+                every = int(v)
+            except ValueError:
+                raise ConfigurationError(
+                    f"PISCES_CHECKPOINT={v!r} is not an integer tick count")
+            if every < 0:
+                raise ConfigurationError(
+                    f"PISCES_CHECKPOINT={v!r} must be >= 0")
+    directory = config.checkpoint_dir or \
+        os.environ.get("PISCES_CHECKPOINT_DIR", "").strip() or "."
+    return every, directory, config.checkpoint_keep
+
+
 #: Controller slots per cluster counted in the static system table
 #: (task controller, user controller, file controller).
 N_CONTROLLER_SLOTS = 3
@@ -177,6 +200,9 @@ class RunStats:
     accept_retries: int = 0
     # Concurrency-correctness subsystem (see :mod:`repro.correctness`).
     races_detected: int = 0
+    # Checkpoint/restore subsystem (see :mod:`repro.checkpoint`).
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
 
 
 @dataclass
@@ -268,8 +294,15 @@ class PiscesVM:
         #: System-wide ACCEPT timeout escalation (satellite 2); None
         #: keeps the paper's single-wait semantics with zero overhead.
         self.accept_retry: Optional[RetryPolicy] = (
-            RetryPolicy(config.accept_retries, config.accept_backoff)
+            RetryPolicy(config.accept_retries, config.accept_backoff,
+                        config.accept_jitter)
             if config.accept_retries else None)
+        #: The seeded run RNG: the only source of randomness consumed at
+        #: virtual-time-ordered points (backoff jitter).  Because every
+        #: consumption site executes in deterministic dispatch order, a
+        #: seeded run -- and a checkpoint-restored replay of its prefix
+        #: -- draws the same variates in the same order.
+        self.run_rng = random.Random(config.run_seed)
         #: Fault injector, or None for a fault-free run.  The explicit
         #: ``fault_plan`` argument wins; otherwise a plan installed by
         #: ``faults.plan_scope`` applies (entry points that build their
@@ -282,6 +315,24 @@ class PiscesVM:
             self.engine._fault_pump = self.faults.pump
         else:
             self.faults = None
+        #: The top-level run request ``(tasktype, args, placement)``
+        #: recorded by :meth:`run` -- what a checkpoint manifest needs
+        #: to rebuild this VM's workload in a fresh process.
+        self._run_request: Optional[Tuple[str, Tuple[Any, ...], Any]] = None
+        #: Periodic checkpointer (see :mod:`repro.checkpoint.policy`),
+        #: or None (off).  Checkpointing needs the full decision stream,
+        #: so a recorder is auto-installed when none is present.
+        self.checkpointer: Optional[Any] = None
+        ck_every, ck_dir, ck_keep = resolve_checkpoint(config)
+        if ck_every:
+            if self.engine.sched_hook is None:
+                from ..correctness.recorder import ScheduleRecorder
+                self.engine.sched_hook = ScheduleRecorder()
+                self.sched_hook = self.engine.sched_hook
+            from ..checkpoint.policy import PeriodicCheckpointer
+            self.checkpointer = PeriodicCheckpointer(
+                self, every=ck_every, directory=ck_dir, keep=ck_keep)
+            self.engine._ckpt_pump = self.checkpointer.pump
 
         self.clusters: Dict[int, ClusterRuntime] = {}
         self.tasks: Dict[TaskId, Task] = {}
@@ -680,10 +731,18 @@ class PiscesVM:
                 and task.restarts_used < sup.max_restarts:
             try:
                 incarnation = task.restarts_used + 1
+                extra = sup.backoff_ticks * incarnation
+                if sup.jitter and extra:
+                    # Jitter from the seeded run RNG: consumed at a
+                    # virtual-time-ordered point, so determinism holds.
+                    spread = int(extra * sup.jitter)
+                    if spread:
+                        extra = max(0, extra + self.run_rng.randrange(
+                            -spread, spread + 1))
                 self.request_initiate(
                     task.ttype.name, task.args, parent=task.parent,
                     placement=ANY, supervision=sup, restarts=incarnation,
-                    extra_latency=sup.backoff_ticks * incarnation)
+                    extra_latency=extra)
             except NoSuchCluster:
                 pass  # nowhere left to restart; fall through to notify
             else:
@@ -1233,6 +1292,7 @@ class PiscesVM:
         """
         self.boot()
         placement = on if on is not None else min(self.clusters)
+        self._run_request = (tasktype_name, tuple(args), placement)
         req = self.request_initiate(tasktype_name, args,
                                     parent=USER_TERMINAL_ID,
                                     placement=placement)

@@ -417,6 +417,23 @@ class ArrayStore:
         dq.append((g, bounds))
         return g
 
+    def snapshot(self) -> dict:
+        """Digestable data-plane state for checkpoint validation: array
+        content digests, per-array generations and the recent-write
+        history (generation, bounds) that reader caches validate
+        against.  All of it is bit-reproducible at a given schedule
+        position."""
+        import zlib
+        # adler32 reads the array buffer directly; no tobytes() copy.
+        arrays = {name: zlib.adler32(np.ascontiguousarray(a).data)
+                  for name, a in sorted(self._arrays.items())}
+        writes = {name: [[int(g), [[int(x) for x in b] for b in bounds]]
+                         for g, bounds in dq]
+                  for name, dq in sorted(self._writes.items())}
+        return {"arrays": arrays,
+                "generations": dict(sorted(self._generation.items())),
+                "writes": writes}
+
     def changed_since(self, name: str, bounds: Tuple[Bounds, ...],
                       generation: int) -> bool:
         """Has any write overlapping ``bounds`` landed after

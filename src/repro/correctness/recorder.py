@@ -114,6 +114,21 @@ class ScheduleRecorder:
                         lock_grants=list(self.lock_grants),
                         accepts=list(self.accepts), meta=dict(self.meta))
 
+    def position(self) -> Dict[str, int]:
+        """Per-stream record counts (the run's schedule position --
+        stamped into export/checkpoint manifests)."""
+        return {"P": len(self.spawns), "D": len(self.dispatches),
+                "S": len(self.selfsched), "L": len(self.lock_grants),
+                "A": len(self.accepts)}
+
+    def consumed_streams(self) -> Dict[str, list]:
+        """Everything recorded so far, keyed by stream tag (the uniform
+        prefix interface shared with :meth:`Schedule.consumed_streams`:
+        for a live recorder the whole recording *is* the prefix)."""
+        return {"P": list(self.spawns), "D": list(self.dispatches),
+                "S": list(self.selfsched), "L": list(self.lock_grants),
+                "A": list(self.accepts)}
+
 
 class Schedule:
     """A parsed ``.psched`` stream plus the replay verification cursors.
@@ -207,6 +222,26 @@ class Schedule:
     @property
     def exhausted(self) -> bool:
         return self._cursor["D"] >= len(self.dispatches)
+
+    def remaining(self, stream: str) -> int:
+        """Records of ``stream`` ("P"/"D"/"S"/"L"/"A") not yet consumed."""
+        records = {"P": self.spawns, "D": self.dispatches,
+                   "S": self.selfsched, "L": self.lock_grants,
+                   "A": self.accepts}[stream]
+        return len(records) - self._cursor[stream]
+
+    def position(self) -> Dict[str, int]:
+        """Per-stream *consumed* counts (replay cursor position)."""
+        return dict(self._cursor)
+
+    def consumed_streams(self) -> Dict[str, list]:
+        """The already-verified prefix of each stream (what a checkpoint
+        taken mid-replay must carry)."""
+        return {"P": self.spawns[:self._cursor["P"]],
+                "D": self.dispatches[:self._cursor["D"]],
+                "S": self.selfsched[:self._cursor["S"]],
+                "L": self.lock_grants[:self._cursor["L"]],
+                "A": self.accepts[:self._cursor["A"]]}
 
     def progress(self) -> str:
         c = self._cursor

@@ -216,6 +216,18 @@ class ScheduleFormatError(MMOSError):
     """A ``.psched`` artifact could not be parsed."""
 
 
+# ------------------------------------------------------------- checkpoint ----
+
+class CheckpointError(PiscesError):
+    """A checkpoint could not be taken, or a restore did not reach the
+    snapshotted state (the post-replay validation digests differ)."""
+
+
+class CheckpointFormatError(CheckpointError):
+    """A ``.pckpt`` bundle could not be parsed (bad magic, truncated
+    body, or checksum mismatch -- e.g. a file torn by a host crash)."""
+
+
 # ---------------------------------------------------------------- config ----
 
 class ConfigurationError(PiscesError):

@@ -41,6 +41,7 @@ from .injector import (
 from .plan import (
     ALWAYS_PROTECTED,
     FaultPlan,
+    HostKill,
     MessagePolicy,
     PECrash,
     TaskKill,
@@ -78,7 +79,7 @@ def ambient_plan() -> Optional[FaultPlan]:
 
 __all__ = [
     "ALWAYS_PROTECTED", "CORRUPT", "CORRUPTION_MARKER", "DELAY", "DROP",
-    "DUPLICATE", "FaultEvent", "FaultInjector", "FaultPlan",
+    "DUPLICATE", "FaultEvent", "FaultInjector", "FaultPlan", "HostKill",
     "MessagePolicy", "NONE", "NOTIFY", "PECrash", "RESTART", "Supervision",
     "TaskKill", "ambient_plan", "corrupt_args", "dumps", "load", "loads",
     "plan_scope", "save",

@@ -30,7 +30,8 @@ from typing import List, Optional, Tuple, TYPE_CHECKING, Union
 
 from ..core.taskid import TaskId, USER_TERMINAL_ID
 from ..core.tracing import TraceEvent, TraceEventType
-from .plan import ALWAYS_PROTECTED, FaultPlan, MessagePolicy, PECrash, TaskKill
+from .plan import (ALWAYS_PROTECTED, FaultPlan, HostKill, MessagePolicy,
+                   PECrash, TaskKill)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.vm import PiscesVM
@@ -81,10 +82,17 @@ class FaultInjector:
         self.rng = random.Random(plan.seed)
         self.events: List[FaultEvent] = []
         self._seq = 0
+        #: Fire :class:`HostKill` events?  ``restore_vm`` disarms them
+        #: so a recovered run does not re-die at the same tick.  A
+        #: disarmed host kill is a *total* no-op -- no variates, no
+        #: recorded events -- bit-identical to a plan without it.
+        self.arm_host_kills = True
         #: min-heap of (at, order, event) still to fire.
-        self._timed: List[Tuple[int, int, Union[PECrash, TaskKill]]] = []
+        self._timed: List[
+            Tuple[int, int, Union[PECrash, TaskKill, HostKill]]] = []
         for i, ev in enumerate(plan.timed_events()):
             heapq.heappush(self._timed, (ev.at, i, ev))
+        self._timed_total = len(self._timed)
         mp = plan.messages
         self._policy: Optional[MessagePolicy] = (
             mp if mp is not None and mp.any_faults else None)
@@ -157,8 +165,31 @@ class FaultInjector:
                 break
         return fired
 
-    def _fire(self, ev: Union[PECrash, TaskKill]) -> None:
+    def cursor_state(self) -> dict:
+        """Where this injector is in its plan (stamped into export and
+        checkpoint manifests so a bundle identifies the exact point of
+        the run it was taken at)."""
+        import zlib
+        return {
+            "timed_fired": self._timed_total - len(self._timed),
+            "timed_pending": len(self._timed),
+            "events_recorded": len(self.events),
+            "rng_digest": zlib.adler32(repr(self.rng.getstate())
+                                       .encode("utf-8")),
+        }
+
+    def _fire(self, ev: Union[PECrash, TaskKill, HostKill]) -> None:
         vm = self.vm
+        if isinstance(ev, HostKill):
+            if not self.arm_host_kills:
+                return
+            import os
+            import signal
+            # The chaos event checkpoint/restore exists for: die like a
+            # node reclaim would -- no cleanup, no flush, no atexit.
+            self.record("host_kill", f"at={ev.at} pid={os.getpid()}")
+            os.kill(os.getpid(), signal.SIGKILL)
+            return
         if isinstance(ev, PECrash):
             vm.on_pe_failure(ev.pe, reason=f"pe{ev.pe}-crash")
             return

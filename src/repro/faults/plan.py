@@ -61,6 +61,24 @@ class TaskKill:
 
 
 @dataclass(frozen=True)
+class HostKill:
+    """The *host* Python process is SIGKILLed at virtual time ``at``.
+
+    The chaos event checkpoint/restore exists for: unlike
+    :class:`PECrash`/:class:`TaskKill` (simulated failures inside the
+    virtual machine), this one kills the real interpreter mid-run --
+    no cleanup, no atexit, exactly what a node reclaim or OOM kill
+    does.  A restored VM disarms host kills
+    (``FaultInjector.arm_host_kills``) so the recovered run does not
+    re-die at the same tick; disarmed host kills are total no-ops
+    (no RNG variates, no recorded events), keeping the recovered run
+    bit-identical to one executed under a plan without the kill.
+    """
+
+    at: int
+
+
+@dataclass(frozen=True)
 class MessagePolicy:
     """Per-delivery fault probabilities for eligible user messages.
 
@@ -107,15 +125,20 @@ class FaultPlan:
     #: Sends from *tasks* to dead taskids raise ``SendFailed`` instead
     #: of being silently dropped (controllers keep the lenient default).
     strict_sends: bool = False
+    #: Host-process SIGKILLs (crash-recovery chaos; see
+    #: :class:`HostKill`).
+    host_kills: Tuple[HostKill, ...] = ()
     name: str = "unnamed"
 
-    def timed_events(self) -> List[Union[PECrash, TaskKill]]:
+    def timed_events(self) -> List[Union[PECrash, TaskKill, HostKill]]:
         """All timed faults ordered by (time, declaration order)."""
-        evs: List[Tuple[int, int, Union[PECrash, TaskKill]]] = []
+        evs: List[Tuple[int, int, Union[PECrash, TaskKill, HostKill]]] = []
         for i, c in enumerate(self.crashes):
             evs.append((c.at, i, c))
         for i, k in enumerate(self.kills):
             evs.append((k.at, len(self.crashes) + i, k))
+        for i, h in enumerate(self.host_kills):
+            evs.append((h.at, len(self.crashes) + len(self.kills) + i, h))
         evs.sort(key=lambda e: (e[0], e[1]))
         return [e[2] for e in evs]
 
@@ -124,6 +147,7 @@ class FaultPlan:
         """True when the plan changes nothing about a run (a VM given an
         empty plan installs no injector at all)."""
         return (not self.crashes and not self.kills
+                and not self.host_kills
                 and not self.strict_sends
                 and (self.messages is None or not self.messages.any_faults))
 
@@ -140,6 +164,8 @@ def dumps(plan: FaultPlan) -> str:
         out.append(f"crash pe {c.pe} at {c.at}")
     for k in plan.kills:
         out.append(f"kill {k.tasktype} nth {k.nth} at {k.at}")
+    for h in plan.host_kills:
+        out.append(f"hostkill at {h.at}")
     mp = plan.messages
     if mp is not None:
         out.append(f"messages drop {mp.drop} duplicate {mp.duplicate} "
@@ -157,6 +183,7 @@ def loads(text: str) -> FaultPlan:
     kw: dict = {}
     crashes: List[PECrash] = []
     kills: List[TaskKill] = []
+    host_kills: List[HostKill] = []
     msg_kw: Optional[dict] = None
     protected: Tuple[str, ...] = ()
     for lineno, raw in enumerate(text.splitlines(), start=1):
@@ -176,6 +203,9 @@ def loads(text: str) -> FaultPlan:
                 f = dict(zip(toks[2::2], toks[3::2]))
                 kills.append(TaskKill(at=int(f["at"]), tasktype=toks[1],
                                       nth=int(f.get("nth", 1))))
+            elif toks[0] == "hostkill":
+                f = dict(zip(toks[1::2], toks[2::2]))
+                host_kills.append(HostKill(at=int(f["at"])))
             elif toks[0] == "messages":
                 f = dict(zip(toks[1::2], toks[2::2]))
                 msg_kw = {k: (int(v) if k == "delay_ticks" else float(v))
@@ -192,7 +222,8 @@ def loads(text: str) -> FaultPlan:
                 f"fault plan line {lineno}: {raw!r}: {e}") from e
     if msg_kw is not None or protected:
         kw["messages"] = MessagePolicy(protected=protected, **(msg_kw or {}))
-    return FaultPlan(crashes=tuple(crashes), kills=tuple(kills), **kw)
+    return FaultPlan(crashes=tuple(crashes), kills=tuple(kills),
+                     host_kills=tuple(host_kills), **kw)
 
 
 def save(plan: FaultPlan, path: Union[str, Path]) -> Path:

@@ -178,6 +178,19 @@ class KernelProcess:
     def live(self) -> bool:
         return self.state not in (ProcState.DONE,)
 
+    def sched_snapshot(self) -> list:
+        """Run-stable scheduling state for checkpoint digests.
+
+        Identified by spawn ordinal, never pid (pids come from a
+        process-global counter and differ across host processes); every
+        field listed is bit-reproducible between a restored run and the
+        uninterrupted original at the same schedule position.
+        """
+        return [self.spawn_ordinal, self.name, self.state.value,
+                int(self.ready_time),
+                None if self.deadline is None else int(self.deadline),
+                self.blocked_on, bool(self.killed)]
+
     def describe(self) -> str:
         extra = ""
         if self.state is ProcState.BLOCKED:

@@ -94,6 +94,14 @@ def default_dispatcher() -> str:
     return d
 
 
+def _live_dispatcher_for(schedule: Any) -> str:
+    """The live dispatcher a replay of ``schedule`` continues with once
+    the recorded stream runs dry (prefix schedules name one; anything
+    else falls back to the environment default, never ``replay``)."""
+    d = getattr(schedule, "live_dispatcher", "") or default_dispatcher()
+    return d if d in ("indexed", "scan") else "indexed"
+
+
 def default_exec_core() -> str:
     """Execution core used when the caller does not choose one."""
     c = os.environ.get("PISCES_EXEC_CORE", "threaded")
@@ -192,6 +200,13 @@ class Engine:
         #: fault plan is installed -- the zero-fault cost is one
         #: attribute test per dispatch.
         self._fault_pump: Optional[Callable[[Optional[int]], bool]] = None
+        #: Periodic-checkpoint hook (see :mod:`repro.checkpoint`):
+        #: called with this engine at the top of every dispatch step,
+        #: before the pick and before any fault can fire for the step --
+        #: the engine is between slices there, which is exactly the
+        #: state a restore reconstructs.  A checkpointer is a pure
+        #: observer (zero virtual time); None costs one attribute test.
+        self._ckpt_pump: Optional[Callable[["Engine"], None]] = None
         #: When True, every executed slice is appended to ``slices`` as
         #: (pe, start, end, process name) -- the raw material for the
         #: per-PE timeline in :mod:`repro.analysis`.
@@ -223,6 +238,11 @@ class Engine:
         #: otherwise.  One attribute test per dispatch when unused.
         self.sched_hook: Optional[Any] = None
         self._schedule: Optional[Any] = None
+        #: The dispatcher a *live* continuation of this run uses --
+        #: equal to ``dispatcher`` except under replay, where it is
+        #: what the engine switches to after a prefix schedule runs dry
+        #: (checkpoint-manifest stamping).
+        self._live_dispatcher = dispatcher
         if self._replay:
             if schedule is None:
                 path = os.environ.get("PISCES_REPLAY_SCHEDULE", "").strip()
@@ -236,6 +256,7 @@ class Engine:
             schedule.reset()
             self._schedule = schedule
             self.sched_hook = schedule
+            self._live_dispatcher = _live_dispatcher_for(schedule)
         else:
             rec_path = os.environ.get("PISCES_RECORD_SCHEDULE", "").strip()
             if rec_path:
@@ -409,12 +430,18 @@ class Engine:
                 p.run_granted = False
 
     def _grant_locked(self, p: KernelProcess) -> None:
-        """Admit ``p`` (caller holds ``_cv``)."""
+        """Admit ``p`` (caller holds ``_cv``).
+
+        Both wake paths are signalled: a process that parked while the
+        engine was in one dispatch mode may be granted after a
+        replay-to-live switch flipped ``_indexed`` (restored runs), so
+        it may be waiting on either the condition variable or its
+        personal grant event.
+        """
         p.run_granted = True
         if self._indexed:
             p.grant.set()
-        else:
-            self._cv.notify_all()
+        self._cv.notify_all()
 
     # ---------------------------------------------------- process-side ----
 
@@ -702,6 +729,31 @@ class Engine:
                 + f" ({self._schedule.progress()})")
         return p, self._runnable_key(p)
 
+    def _switch_to_live(self) -> None:
+        """A *prefix* schedule (a restored checkpoint) ran dry: hand
+        selection back to a live dispatcher and keep going.
+
+        Only selection changes -- ``sched_hook`` stays the prefix
+        wrapper, which keeps recording the live tail.  During replay the
+        indexed heaps were never fed (``_requeue`` no-ops off-index), so
+        requeueing every process in pid order rebuilds them exactly as a
+        fresh engine would have.
+        """
+        sched = self._schedule
+        dispatcher = _live_dispatcher_for(sched)
+        self.dispatcher = dispatcher
+        self._live_dispatcher = dispatcher
+        self._replay = False
+        self._indexed = dispatcher == "indexed"
+        self._schedule = None
+        for p in sorted(self._procs.values(), key=lambda q: q.pid):
+            self._requeue(p)
+        cb = getattr(sched, "on_prefix_complete", None)
+        if cb is not None:
+            # Restore validation: the replayed state must match the
+            # snapshot digests before the run continues live.
+            cb(self)
+
     def step(self, horizon: Optional[int] = None) -> bool:
         """Dispatch one slice.  Returns False when nothing is runnable.
 
@@ -709,9 +761,19 @@ class Engine:
         after that virtual time -- the monitor uses this so that pumping
         the machine "now" does not fast-forward through long DELAYs.
         """
+        ck = self._ckpt_pump
+        if ck is not None:
+            # Between slices, before this step's pick and fault pump:
+            # the exact state a restore reconstructs (see
+            # docs/architecture.md, "Checkpoint/restore").
+            ck(self)
         while True:
             if self._replay:
                 p, key = self._peek_replay()
+                if p is None and getattr(self._schedule,
+                                         "live_after_prefix", False):
+                    self._switch_to_live()
+                    continue
             elif self._indexed:
                 p, key = self._pop_runnable()
             else:

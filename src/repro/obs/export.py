@@ -163,6 +163,17 @@ def run_manifest(vm, files: Optional[Dict[str, Path]] = None,
         "detect_races": det.mode if det is not None else None,
         "profile": vm.profiler is not None,
         "elapsed_ticks": int(vm.machine.clocks.elapsed()),
+        # Where the run *stopped*, not just what it started from: the
+        # fault plan's cursor (events fired/pending) and the schedule
+        # decision counts at export time.  Lets a bundle be matched
+        # against the checkpoint that resumed it.
+        "fault_plan_cursor": (vm.faults.cursor_state()
+                              if getattr(vm, "faults", None) is not None
+                              else None),
+        "schedule_position": (sh.position()
+                              if (sh := getattr(vm, "sched_hook", None))
+                              is not None and hasattr(sh, "position")
+                              else None),
         "config": {
             "name": vm.config.name,
             "summary": vm.config.describe(),

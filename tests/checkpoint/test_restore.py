@@ -1,0 +1,220 @@
+"""Checkpoint capture, periodic policy, and bit-identical restore."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro import PARENT, TaskRegistry, simple_configuration
+from repro.api import make_vm, restore_vm
+from repro.checkpoint import checkpoint_vm, find_latest_checkpoint, load_bundle
+from repro.core.tracing import TraceEventType
+from repro.errors import CheckpointError
+
+ALL_TRACE = tuple(t.value for t in TraceEventType)
+BOTH_CORES = pytest.mark.parametrize("core", ["threaded", "coop"])
+
+
+def build_registry():
+    reg = TaskRegistry()
+
+    @reg.tasktype("WORKER")
+    def worker(ctx, n):
+        total = 0
+        for i in range(n):
+            total += i * i
+        ctx.send(PARENT, "DONE", total)
+
+    @reg.tasktype("MAIN")
+    def main(ctx):
+        for i in range(6):
+            ctx.initiate("WORKER", 50 + i)
+        acc = 0
+        for _ in range(6):
+            m = ctx.accept("DONE")
+            acc += m.args[0]
+        return acc
+
+    return reg
+
+
+def config(core, ckpt_dir=None, every=500, keep=3):
+    return replace(
+        simple_configuration(n_clusters=2, slots=4, name="ckpt-test"),
+        exec_core=core, trace_events=ALL_TRACE,
+        checkpoint_every=(every if ckpt_dir else 0),
+        checkpoint_dir=str(ckpt_dir) if ckpt_dir else "",
+        checkpoint_keep=keep)
+
+
+def run(core, ckpt_dir=None, **cfg_kwargs):
+    reg = build_registry()
+    vm = make_vm(config=config(core, ckpt_dir, **cfg_kwargs), registry=reg)
+    r = vm.run("MAIN")
+    return r, [e.line() for e in vm.tracer.events]
+
+
+@BOTH_CORES
+class TestRestoreIdentity:
+    def test_restore_resumes_bit_identically(self, core, tmp_path):
+        base, base_trace = run(core)
+        _, _ = run(core, ckpt_dir=tmp_path)
+        latest = find_latest_checkpoint(tmp_path)
+        assert latest is not None
+        rr = restore_vm(latest, registry=build_registry())
+        res = rr.resume()
+        assert res.value == base.value
+        assert res.elapsed == base.elapsed
+        assert [e.line() for e in rr.vm.tracer.events] == base_trace
+
+    def test_checkpointing_is_a_pure_observer(self, core, tmp_path):
+        """Virtual time and the trace stream are bit-identical with
+        checkpointing on and off."""
+        base, base_trace = run(core)
+        ck, ck_trace = run(core, ckpt_dir=tmp_path)
+        assert ck.value == base.value
+        assert ck.elapsed == base.elapsed
+        assert ck_trace == base_trace
+        assert ck.stats.checkpoints_written > 0
+        assert ck.stats.checkpoint_bytes > 0
+
+    def test_restored_run_rewrites_identical_bundles(self, core, tmp_path):
+        """A restored run re-crosses the same checkpoint marks during
+        replay and writes byte-identical bundles -- recovery composes
+        across repeated crashes."""
+        run(core, ckpt_dir=tmp_path)
+        bundles = {p.name: p.read_bytes()
+                   for p in tmp_path.glob("*.pckpt")}
+        latest = find_latest_checkpoint(tmp_path)
+        rr = restore_vm(latest, registry=build_registry())
+        rr.resume()
+        for name, original in bundles.items():
+            rewritten = (tmp_path / name)
+            assert rewritten.exists(), f"restored run did not re-mark {name}"
+            assert rewritten.read_bytes() == original
+
+    def test_restore_detects_wrong_task_code(self, core, tmp_path):
+        """A registry whose kernel-visible behaviour diverges from the
+        original run fails replay verification (ReplayDivergence is a
+        PiscesError) instead of silently computing garbage."""
+        from repro.errors import PiscesError
+        run(core, ckpt_dir=tmp_path)
+        wrong = TaskRegistry()
+
+        @wrong.tasktype("WORKER")
+        def worker(ctx, n):
+            # Diverges structurally: two sends instead of one.
+            ctx.send(PARENT, "DONE", n)
+            ctx.send(PARENT, "DONE", n)
+
+        @wrong.tasktype("MAIN")
+        def main(ctx):
+            for i in range(6):
+                ctx.initiate("WORKER", 50 + i)
+            acc = 0
+            for _ in range(6):
+                acc += ctx.accept("DONE").args[0]
+            return acc
+
+        rr = restore_vm(find_latest_checkpoint(tmp_path), registry=wrong)
+        with pytest.raises(PiscesError):
+            rr.resume()
+
+
+class TestCaptureGuards:
+    def test_checkpoint_before_run_raises(self, tmp_path):
+        vm = make_vm(config=config("coop"), registry=build_registry())
+        with pytest.raises(CheckpointError, match="vm.run"):
+            checkpoint_vm(vm, tmp_path / "x.pckpt")
+        vm.shutdown()
+
+    def test_checkpoint_from_task_code_raises(self, tmp_path):
+        reg = TaskRegistry()
+        seen = {}
+
+        @reg.tasktype("MAIN")
+        def main(ctx):
+            try:
+                checkpoint_vm(ctx.vm, tmp_path / "x.pckpt")
+            except CheckpointError as e:
+                seen["err"] = str(e)
+
+        vm = make_vm(config=config("threaded"), registry=reg)
+        vm.run("MAIN")
+        assert "between dispatches" in seen["err"]
+
+    def test_checkpoint_without_recorder_raises(self, tmp_path):
+        reg = build_registry()
+        vm = make_vm(config=config("coop"), registry=reg)
+        vm._run_request = ("MAIN", (), 1)
+        if vm.engine.sched_hook is None:
+            with pytest.raises(CheckpointError, match="decision stream"):
+                checkpoint_vm(vm, tmp_path / "x.pckpt")
+        vm.shutdown()
+
+
+class TestPeriodicPolicy:
+    def test_keep_prunes_old_bundles(self, tmp_path):
+        r, _ = run("coop", ckpt_dir=tmp_path, every=300, keep=2)
+        assert r.stats.checkpoints_written > 2
+        assert len(list(tmp_path.glob("*.pckpt"))) == 2
+
+    def test_env_var_enables_checkpointing(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("PISCES_CHECKPOINT", "500")
+        monkeypatch.setenv("PISCES_CHECKPOINT_DIR", str(tmp_path))
+        reg = build_registry()
+        cfg = replace(simple_configuration(n_clusters=2, slots=4),
+                      exec_core="coop")
+        vm = make_vm(config=cfg, registry=reg)
+        vm.run("MAIN")
+        assert find_latest_checkpoint(tmp_path) is not None
+
+    def test_marks_derive_from_virtual_time(self, tmp_path):
+        """Each bundle lands in a distinct interval bucket of the
+        virtual clock (the mark sequence is a pure function of the
+        clock, never of pump count)."""
+        run("coop", ckpt_dir=tmp_path, every=400, keep=50)
+        ticks = sorted(int(p.name.split("-")[1])
+                       for p in tmp_path.glob("*.pckpt"))
+        assert len(ticks) >= 2
+        buckets = [t // 400 for t in ticks]
+        assert len(set(buckets)) == len(buckets)
+
+
+class TestBundleContents:
+    def test_manifest_and_state(self, tmp_path):
+        run("coop", ckpt_dir=tmp_path)
+        manifest, state, psched = load_bundle(
+            find_latest_checkpoint(tmp_path))
+        assert manifest["format"] == 1
+        assert manifest["app"]["tasktype"] == "MAIN"
+        assert manifest["exec_core"] == "coop"
+        assert manifest["dispatcher"] in ("indexed", "scan")
+        assert manifest["schedule_position"]["D"] > 0
+        assert psched.startswith("#psched 1")
+        assert state["now"] == manifest["now"]
+        assert state["procs"], "no process snapshots"
+        assert state["tasks"], "no task snapshots"
+        # The whole bundle is JSON-stable.
+        json.dumps(manifest)
+        json.dumps(state)
+
+    def test_export_manifest_records_cursor_positions(self, tmp_path):
+        """export_run manifests carry the fault-plan cursor and the
+        schedule position at export time."""
+        from repro.faults import FaultPlan, MessagePolicy
+        from repro.obs.export import run_manifest
+
+        reg = build_registry()
+        plan = FaultPlan(seed=5, name="cursor",
+                         messages=MessagePolicy(delay=0.2, delay_ticks=300))
+        vm = make_vm(config=config("coop", tmp_path), registry=reg,
+                     fault_plan=plan)
+        vm.run("MAIN")
+        m = run_manifest(vm)
+        assert m["fault_plan_cursor"]["events_recorded"] == len(
+            vm.faults.events)
+        assert set(m["fault_plan_cursor"]) >= {"timed_fired",
+                                               "timed_pending",
+                                               "rng_digest"}
+        assert m["schedule_position"]["D"] > 0

@@ -113,24 +113,33 @@ class TestFiveAppSoak:
         assert r.value == pytest.approx(r.exact, rel=0.02)
 
 
-def chaos_config(trace=()):
+def chaos_config(trace=(), exec_core=""):
     return Configuration(clusters=(ClusterSpec(1, 3, 4),
                                    ClusterSpec(2, 4, 4)),
-                         name="chaos-jacobi", trace_events=tuple(trace))
+                         name="chaos-jacobi", trace_events=tuple(trace),
+                         exec_core=exec_core)
 
 
 CRASH_PLAN = FaultPlan(seed=1, crashes=(PECrash(at=4_000, pe=4),),
                        name="crash-pe4")
 
+#: Supervision recovery is core-independent: both execution cores must
+#: produce the same restart behaviour (and, in TestDeterminism, the
+#: same bits).
+BOTH_CORES = pytest.mark.parametrize("core", ["threaded", "coop"])
 
+
+@BOTH_CORES
 class TestRecovery:
-    """PE crash mid-run against the fault-tolerant Jacobi solver."""
+    """PE crash mid-run against the fault-tolerant Jacobi solver, on
+    both execution cores."""
 
-    def test_crash_under_restart_converges_to_exact_answer(self):
+    def test_crash_under_restart_converges_to_exact_answer(self, core):
         r = run_chaos_jacobi(n=N_JACOBI, sweeps=2, n_workers=3,
                              supervision=RESTART(3, backoff_ticks=500),
                              on_death="reassign",
-                             fault_plan=CRASH_PLAN)
+                             fault_plan=CRASH_PLAN,
+                             config=chaos_config(exec_core=core))
         r.vm.shutdown()
         assert r.completed
         assert np.array_equal(r.grid, reference_solution(N_JACOBI, 2))
@@ -140,10 +149,11 @@ class TestRecovery:
         kinds = [e.kind for e in r.vm.faults.events]
         assert "pe_crash" in kinds and "restart" in kinds
 
-    def test_crash_without_supervision_aborts_cleanly(self):
+    def test_crash_without_supervision_aborts_cleanly(self, core):
         r = run_chaos_jacobi(n=N_JACOBI, sweeps=2, n_workers=3,
                              supervision=None, on_death="abort",
-                             fault_plan=CRASH_PLAN)
+                             fault_plan=CRASH_PLAN,
+                             config=chaos_config(exec_core=core))
         r.vm.shutdown()
         # The parent observed TASK_DIED, terminated cleanly, and left
         # no threads behind.
@@ -153,18 +163,20 @@ class TestRecovery:
         assert all(p.thread is None or not p.thread.is_alive()
                    for p in r.vm.engine.processes())
 
-    def test_crash_with_reassignment_still_exact(self):
+    def test_crash_with_reassignment_still_exact(self, core):
         r = run_chaos_jacobi(n=N_JACOBI, sweeps=2, n_workers=3,
                              supervision=None, on_death="reassign",
-                             fault_plan=CRASH_PLAN)
+                             fault_plan=CRASH_PLAN,
+                             config=chaos_config(exec_core=core))
         r.vm.shutdown()
         assert r.completed
         assert np.array_equal(r.grid, reference_solution(N_JACOBI, 2))
 
-    def test_lossy_transport_heals_to_exact_answer(self):
+    def test_lossy_transport_heals_to_exact_answer(self, core):
         plan = FaultPlan(seed=7, messages=LOSSY, name="lossy")
         r = run_chaos_jacobi(n=N_JACOBI, sweeps=2, n_workers=3,
-                             fault_plan=plan)
+                             fault_plan=plan,
+                             config=chaos_config(exec_core=core))
         r.vm.shutdown()
         assert r.completed
         assert np.array_equal(r.grid, reference_solution(N_JACOBI, 2))
@@ -173,11 +185,38 @@ class TestRecovery:
         assert (s.messages_dropped + s.messages_duplicated
                 + s.messages_delayed + s.messages_corrupted) > 0
 
+    def test_restart_backoff_jitter_is_seeded_deterministic(self, core):
+        """RESTART backoff jitter draws from the seeded run RNG: two
+        runs with the same run_seed restart at identical ticks (the
+        whole fault stream is bit-identical), and jitter != 0 changes
+        nothing else about convergence."""
+        from dataclasses import replace as _rep
 
+        def once():
+            cfg = _rep(chaos_config(exec_core=core), run_seed=11)
+            r = run_chaos_jacobi(
+                n=N_JACOBI, sweeps=2, n_workers=3,
+                supervision=RESTART(3, backoff_ticks=500, jitter=0.5),
+                on_death="reassign", fault_plan=CRASH_PLAN, config=cfg)
+            faults = r.vm.faults.export_jsonl()
+            out = (r.completed, np.asarray(r.grid).copy(), r.elapsed, faults)
+            r.vm.shutdown()
+            return out
+
+        c1, g1, e1, f1 = once()
+        c2, g2, e2, f2 = once()
+        assert c1 and c2
+        assert np.array_equal(g1, reference_solution(N_JACOBI, 2))
+        assert e1 == e2
+        assert f1 == f2
+
+
+@BOTH_CORES
 class TestDeterminism:
-    """Same seed + same plan => bit-identical fault and trace streams."""
+    """Same seed + same plan => bit-identical fault and trace streams,
+    on both execution cores."""
 
-    def run_once(self):
+    def run_once(self, core):
         plan = FaultPlan(seed=3, crashes=(PECrash(at=4_000, pe=4),),
                          messages=MessagePolicy(drop=0.05, delay=0.1,
                                                 delay_ticks=700),
@@ -186,16 +225,17 @@ class TestDeterminism:
             n=N_JACOBI, sweeps=2, n_workers=3,
             supervision=RESTART(3, backoff_ticks=500),
             on_death="reassign", fault_plan=plan,
-            config=chaos_config(trace=("FAULT", "MSG_SEND", "MSG_ACCEPT")))
+            config=chaos_config(trace=("FAULT", "MSG_SEND", "MSG_ACCEPT"),
+                                exec_core=core))
         faults = r.vm.faults.export_jsonl()
         traces = [e.line() for e in r.vm.tracer.events]
         grid, elapsed = r.grid, r.elapsed
         r.vm.shutdown()
         return faults, traces, grid, elapsed
 
-    def test_two_runs_bit_identical(self):
-        f1, t1, g1, e1 = self.run_once()
-        f2, t2, g2, e2 = self.run_once()
+    def test_two_runs_bit_identical(self, core):
+        f1, t1, g1, e1 = self.run_once(core)
+        f2, t2, g2, e2 = self.run_once(core)
         assert f1 == f2
         assert t1 == t2
         assert e1 == e2
