@@ -38,7 +38,11 @@ Gates on a full-size run:
   timer noise on a dispatch-starved messaging-bound shape (36
   dispatches in ~14 ms); the reworked shape fans 16 flooders into one
   receiver so the scan dispatcher's broadcast wakeups actually cost
-  something and the comparison measures scheduling, not jitter.
+  something and the comparison measures scheduling, not jitter;
+* ``task_runtime/stress`` (the coroutine-task-runtime acceptance): a
+  whole application -- coroutine task bodies through initiate/accept/
+  send and the controllers, no per-task worker threads -- must show
+  >= 5x live coop-vs-threaded dispatch throughput (best-of-3 walls).
 """
 
 from __future__ import annotations
@@ -81,6 +85,13 @@ MIN_COOP_VS_BASELINE = 10.0
 #: same PR's picker rewrite also sped the threaded core up ~3x, so the
 #: live ratio is far smaller than the vs-baseline ratio.)
 MIN_COOP_LIVE_SPEEDUP = 2.5
+
+#: App-level acceptance (the coroutine-task-runtime PR): a whole PISCES
+#: application -- coroutine task bodies end-to-end through initiate /
+#: accept / send / the task controllers -- must dispatch >= 5x faster
+#: on the coop core than on this run's own threaded-indexed leg
+#: (task_runtime/stress, best-of-3 walls per leg).
+MIN_APP_COOP_SPEEDUP = 5.0
 
 
 # ------------------------------------------------------------- workloads --
@@ -168,6 +179,58 @@ def inqueue_backlog(flooders: int, rounds: int, backlog: int,
         os.environ.pop("PISCES_EXEC_CORE", None)
 
 
+def build_task_runtime_registry(n_workers: int, rounds: int) -> TaskRegistry:
+    """Whole-application dispatch stress: ``n_workers`` coroutine tasks
+    each cycle ``rounds`` unit computes (one engine dispatch per round,
+    through ``TaskContext`` and the KernelOp seam), then report DONE to
+    a master blocked in a counted ACCEPT.  The compute loop dominates,
+    so dispatches/second here measures the *task runtime's* per-slice
+    cost -- the app-level counterpart of ``sched_stress``."""
+    reg = TaskRegistry()
+
+    @reg.tasktype("TRWORKER")
+    def trworker(ctx, k):
+        for _ in range(rounds):
+            yield from ctx.compute(1)
+        ctx.send(PARENT, "DONE", k)
+
+    @reg.tasktype("TRMASTER")
+    def trmaster(ctx):
+        for k in range(n_workers):
+            ctx.initiate("TRWORKER", k, on=ANY)
+        res = yield from ctx.accept("DONE", count=n_workers)
+        return res.count
+
+    return reg
+
+
+def task_runtime(n_workers: int, rounds: int, dispatcher: str,
+                 exec_core: str = "threaded", trials: int = 1):
+    """Best-of-``trials`` wall time for the task-runtime stress app."""
+    os.environ["PISCES_DISPATCHER"] = dispatcher
+    os.environ["PISCES_EXEC_CORE"] = exec_core
+    try:
+        best = None
+        for _ in range(trials):
+            reg = build_task_runtime_registry(n_workers, rounds)
+            config = Configuration(
+                clusters=(ClusterSpec(1, 3, 16), ClusterSpec(2, 4, 16)),
+                name="task-runtime")
+            vm = PiscesVM(config, registry=reg)
+            t0 = time.perf_counter()
+            r = vm.run("TRMASTER")
+            wall = time.perf_counter() - t0
+            assert r.value == n_workers, "task_runtime lost workers"
+            dispatches, elapsed = vm.engine.dispatch_count, r.elapsed
+            vm.shutdown()
+            if best is None or wall < best[0]:
+                best = (wall, dispatches, elapsed)
+        return best
+    finally:
+        os.environ.pop("PISCES_DISPATCHER", None)
+        os.environ.pop("PISCES_EXEC_CORE", None)
+
+
 def app_workload(fn, dispatcher: str, exec_core: str = "threaded"):
     """Run one app under a (dispatcher, core) leg; (wall, dispatches, vt)."""
     os.environ["PISCES_DISPATCHER"] = dispatcher
@@ -203,6 +266,7 @@ def _matrix(smoke: bool):
         mm_small, mm_large = (8, 3), (12, 6)
         pipe_small, pipe_large = (3, 8), (5, 20)
         back_small, back_large = (3, 3, 10), (4, 4, 25)
+        tr_small, tr_stress = (4, 20), (6, 40)
         trials = 1
     else:
         stress_small, stress_large = (24, 15), (120, 30)
@@ -211,6 +275,7 @@ def _matrix(smoke: bool):
         mm_small, mm_large = (10, 4), (24, 10)
         pipe_small, pipe_large = (3, 12), (8, 48)
         back_small, back_large = (6, 4, 12), (16, 8, 30)
+        tr_small, tr_stress = (12, 200), (24, 1000)
         trials = 3
     ab = ("scan", "indexed", "coop")
     return [
@@ -253,6 +318,14 @@ def _matrix(smoke: bool):
              n_stages=pipe_large[0], items=list(range(pipe_large[1])),
              slots=8), d, c),
          {"stages": pipe_large[0], "items": pipe_large[1]}, ab, 1),
+        ("task_runtime", "small",
+         lambda d, c: task_runtime(*tr_small, d, c),
+         {"workers": tr_small[0], "rounds": tr_small[1]},
+         ("indexed", "coop"), 1),
+        ("task_runtime", "stress",
+         lambda d, c, t=trials: task_runtime(*tr_stress, d, c, trials=t),
+         {"workers": tr_stress[0], "rounds": tr_stress[1]},
+         ("indexed", "coop"), trials),
         ("inqueue_backlog", "small",
          lambda d, c, t=1: inqueue_backlog(*back_small, d, c, trials=t),
          {"flooders": back_small[0], "rounds": back_small[1],
@@ -335,6 +408,7 @@ def test_engine_throughput(report):
         baseline_threaded_dps=BASELINE_THREADED_DPS,
         min_coop_vs_baseline=MIN_COOP_VS_BASELINE,
         min_coop_live_speedup=MIN_COOP_LIVE_SPEEDUP,
+        min_app_coop_speedup=MIN_APP_COOP_SPEEDUP,
         workloads=rows), BENCH_PATH)
 
     header = (f"{'workload':<16} {'size':<12} {'disp':>6} {'vtime':>8} "
@@ -379,6 +453,14 @@ def test_engine_throughput(report):
                 f"{workload}/{size}: live coop speedup {r['coop_speedup']}x "
                 f"below {MIN_COOP_LIVE_SPEEDUP}x (indexed {r['indexed']}, "
                 f"coop {r['coop']})")
+        # App-level acceptance: a full application on coroutine task
+        # bodies must dispatch >= 5x faster on the coop core than on
+        # this run's threaded-indexed leg.
+        tr = row_for("task_runtime", "stress")
+        assert tr["coop_speedup"] >= MIN_APP_COOP_SPEEDUP, (
+            f"task_runtime/stress: app-level coop speedup "
+            f"{tr['coop_speedup']}x below {MIN_APP_COOP_SPEEDUP}x "
+            f"(indexed {tr['indexed']}, coop {tr['coop']})")
         # The reworked fan-in shape must not leave indexed slower than
         # scan (the old 36-dispatch shape gated timer noise instead).
         back = row_for("inqueue_backlog", "large")

@@ -48,12 +48,15 @@ from .obs.profile import (
     profile_report,
     write_profile,
 )
+from .results import RunRecord
 
 __all__ = [
     "ProfiledRun",
     "RaceCheck",
     "RecordedRun",
     "RestoredRun",
+    "RunRecord",
+    "RunResult",
     "check_races",
     "checkpoint_vm",
     "export_run",
@@ -132,7 +135,7 @@ def run_app(tasktype: str, *args: Any,
 
 
 @dataclass
-class RecordedRun:
+class RecordedRun(RunRecord):
     """A run plus everything needed to replay and compare it."""
 
     result: RunResult
@@ -143,13 +146,9 @@ class RecordedRun:
     #: The textual trace stream (bit-identity evidence for replays).
     trace_lines: List[str]
 
-    @property
-    def elapsed(self) -> int:
-        return self.result.elapsed
-
 
 @dataclass
-class RaceCheck:
+class RaceCheck(RunRecord):
     """Outcome of :func:`check_races`."""
 
     result: RunResult
@@ -245,7 +244,7 @@ def check_races(tasktype: str, *args: Any,
 
 
 @dataclass
-class ProfiledRun:
+class ProfiledRun(RunRecord):
     """Outcome of :func:`profile_run`: the run, its causal profile and
     the extracted critical path."""
 
@@ -253,24 +252,22 @@ class ProfiledRun:
     profiler: CausalProfiler
     critical_path: CriticalPath
 
-    @property
-    def elapsed(self) -> int:
-        return self.result.elapsed
-
-    @property
-    def vm(self) -> PiscesVM:
-        return self.result.vm
-
     def report(self) -> str:
         """The full text panel (wait states, utilization, path)."""
         return profile_report(self.profiler, elapsed=self.elapsed)
 
     def export(self, directory: Union[str, Path],
                prefix: str = "profile") -> dict:
-        """Write the flamegraph/Chrome/critical-path bundle."""
-        return write_profile(self.profiler, directory, prefix=prefix,
-                             elapsed=self.elapsed,
-                             critical_path=self.critical_path)
+        """Write the run record plus the flamegraph/Chrome/critical-path
+        bundle (the bundle re-uses this run's extracted path rather than
+        re-deriving it without the elapsed total)."""
+        paths = super().export(directory, prefix=prefix)
+        bundle = write_profile(self.profiler, directory,
+                               prefix=f"{prefix}.profile",
+                               elapsed=self.elapsed,
+                               critical_path=self.critical_path)
+        paths.update({f"profile_{k}": p for k, p in bundle.items()})
+        return paths
 
 
 def profile_run(tasktype: str, *args: Any,

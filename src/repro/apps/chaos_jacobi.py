@@ -68,8 +68,8 @@ def build_chaos_registry(n: int, sweeps: int, n_workers: int,
         ctx.send(PARENT, "READY", k)
         idle = 0
         while True:
-            res = ctx.accept("ROWS", "STOP", count=1, delay=idle_timeout,
-                             timeout_ok=True)
+            res = yield from ctx.accept("ROWS", "STOP", count=1,
+                                        delay=idle_timeout, timeout_ok=True)
             if res.timed_out:
                 idle += 1
                 if idle >= MAX_IDLE_TIMEOUTS:
@@ -84,7 +84,7 @@ def build_chaos_registry(n: int, sweeps: int, n_workers: int,
             rows, cols = block.shape
             new = block.copy()
             sweep_rows(block, new, range(1, rows - 1))
-            ctx.compute((rows - 2) * (cols - 2) * TICKS_PER_CELL)
+            yield from ctx.compute((rows - 2) * (cols - 2) * TICKS_PER_CELL)
             ctx.send(PARENT, "SWEPT", s, chunk, new[1:-1, :])
 
     @reg.tasktype("CMASTER")
@@ -128,9 +128,10 @@ def build_chaos_registry(n: int, sweeps: int, n_workers: int,
                     lo, hi = rows[0] - 1, rows[-1] + 2
                     ctx.send(tgt, "ROWS", s, c, g[lo:hi, :].copy())
                 need_send.clear()
-                res = ctx.accept(("SWEPT", 1), ("READY", ALL_RECEIVED),
-                                 ("TASK_DIED", ALL_RECEIVED),
-                                 delay=resend_delay, timeout_ok=True)
+                res = yield from ctx.accept(
+                    ("SWEPT", 1), ("READY", ALL_RECEIVED),
+                    ("TASK_DIED", ALL_RECEIVED),
+                    delay=resend_delay, timeout_ok=True)
                 for m in res.messages:
                     if m.mtype == "SWEPT":
                         ms, mc, data = m.args

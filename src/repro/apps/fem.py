@@ -90,14 +90,14 @@ def build_fem_registry(problem: FEMProblem, tol: float = 1e-10,
         u, r, p, Ap = blk.u, blk.r, blk.p, blk.Ap
         rows = list(m.presched(range(n)))
 
-        def matvec() -> None:
+        def matvec():
             for i in rows:
                 Ap[i] = K[i] @ p
-            m.compute(len(rows) * TICKS_PER_ROW)
+            yield from m.compute(len(rows) * TICKS_PER_ROW)
 
-        def partial_dot(a, b) -> None:
+        def partial_dot(a, b):
             local = float(a[rows] @ b[rows]) if rows else 0.0
-            with m.critical("RED"):
+            with (yield from m.critical("RED")):
                 blk.acc[()] += local
 
         # r = f - K u (u starts at 0), p = r.
@@ -109,34 +109,34 @@ def build_fem_registry(problem: FEMProblem, tol: float = 1e-10,
             blk.done[()] = 0
             blk.iters[()] = 0
 
-        m.barrier(init_block)
+        yield from m.barrier(init_block)
         while True:
             if blk.done[()]:
                 break
-            matvec()
+            yield from matvec()
 
             def zero_acc():
                 blk.acc[()] = 0.0
 
-            m.barrier(zero_acc)
-            partial_dot(p, Ap)
+            yield from m.barrier(zero_acc)
+            yield from partial_dot(p, Ap)
 
             def alpha_step():
                 pAp = float(blk.acc[()])
                 blk.alpha[()] = blk.rr[()] / pAp if pAp else 0.0
 
-            m.barrier(alpha_step)
+            yield from m.barrier(alpha_step)
             alpha = float(blk.alpha[()])
             for i in rows:
                 u[i] += alpha * p[i]
                 r[i] -= alpha * Ap[i]
-            m.compute(len(rows))
+            yield from m.compute(len(rows))
 
             def zero_acc2():
                 blk.acc[()] = 0.0
 
-            m.barrier(zero_acc2)
-            partial_dot(r, r)
+            yield from m.barrier(zero_acc2)
+            yield from partial_dot(r, r)
 
             def beta_step():
                 rr_new = float(blk.acc[()])
@@ -146,12 +146,12 @@ def build_fem_registry(problem: FEMProblem, tol: float = 1e-10,
                 if rr_new < tol * tol or blk.iters[()] >= iters_cap:
                     blk.done[()] = 1
 
-            m.barrier(beta_step)
+            yield from m.barrier(beta_step)
             beta = float(blk.beta[()])
             for i in rows:
                 p[i] = r[i] + beta * p[i]
-            m.compute(len(rows))
-            m.barrier()
+            yield from m.compute(len(rows))
+            yield from m.barrier()
         return None
 
     spec = {
@@ -165,7 +165,7 @@ def build_fem_registry(problem: FEMProblem, tol: float = 1e-10,
     def fem(ctx):
         K = problem.stiffness()
         f = problem.load_vector()
-        ctx.forcesplit(cg_region, K, f)
+        yield from ctx.forcesplit(cg_region, K, f)
         blk = ctx.common("CG")
         u = np.array(blk.u, copy=True)
         resid = float(np.linalg.norm(K @ u - f))

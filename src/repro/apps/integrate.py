@@ -48,7 +48,7 @@ def build_integrate_registry(f: Callable[[float], float], a: float, b: float,
         ctx.send(PARENT, "IDLE", k, False, 0.0)
         done = 0
         while True:
-            res = ctx.accept("PIECE", "STOP", count=1)
+            res = yield from ctx.accept("PIECE", "STOP", count=1)
             m = res.messages[0]
             if m.mtype == "STOP":
                 return done
@@ -58,7 +58,7 @@ def build_integrate_registry(f: Callable[[float], float], a: float, b: float,
             npts = points_per_piece * (1 + i % 3)   # skewed work
             xs = [lo + h * j / npts for j in range(npts + 1)]
             s = 0.5 * (f(xs[0]) + f(xs[-1])) + sum(f(x) for x in xs[1:-1])
-            ctx.compute(npts * TICKS_PER_EVAL)
+            yield from ctx.compute(npts * TICKS_PER_EVAL)
             done += 1
             ctx.send(PARENT, "IDLE", k, True, s * h / npts)
 
@@ -75,7 +75,7 @@ def build_integrate_registry(f: Callable[[float], float], a: float, b: float,
         # Every worker sends one initial IDLE plus one per completed
         # piece, so the master accepts exactly n_workers + pieces IDLEs.
         while completed < pieces or idle_seen < n_workers + pieces:
-            res = ctx.accept("IDLE")
+            res = yield from ctx.accept("IDLE")
             idle_seen += 1
             k, has_result, partial = res.args
             workers[k] = res.sender

@@ -78,15 +78,15 @@ def build_windows_registry(n: int, sweeps: int, n_workers: int) -> TaskRegistry:
     def jworker(ctx, k):
         ctx.send(PARENT, "READY", k)
         for _ in range(sweeps):
-            res = ctx.accept("WIN")
+            res = yield from ctx.accept("WIN")
             w = res.args[0]
-            block = ctx.window_read(w)          # rows with halo
+            block = yield from ctx.window_read(w)   # rows with halo
             rows = block.shape[0]
             new = block.copy()
             sweep_rows(block, new, range(1, rows - 1))
-            ctx.compute((rows - 2) * (n - 2) * TICKS_PER_CELL)
+            yield from ctx.compute((rows - 2) * (n - 2) * TICKS_PER_CELL)
             interior = w.shrink(rows=(1, rows - 1))
-            ctx.window_write(interior, new[1:-1, :])
+            yield from ctx.window_write(interior, new[1:-1, :])
             ctx.send(PARENT, "SWEPT", k)
         return None
 
@@ -96,7 +96,7 @@ def build_windows_registry(n: int, sweeps: int, n_workers: int) -> TaskRegistry:
         full = ctx.export_array("G", grid)
         for k in range(n_workers):
             ctx.initiate("JWORKER", k, on=1 + (k % max(1, len(ctx.vm.clusters))))
-        res = ctx.accept("READY", count=n_workers)
+        res = yield from ctx.accept("READY", count=n_workers)
         workers = {}
         for m in res.messages:
             workers[m.args[0]] = m.sender
@@ -107,7 +107,7 @@ def build_windows_registry(n: int, sweeps: int, n_workers: int) -> TaskRegistry:
                 lo, hi = rows[0] - 1, rows[-1] + 2
                 w = full.shrink(rows=(lo, hi))
                 ctx.send(workers[k], "WIN", w)
-            ctx.accept("SWEPT", count=n_workers)
+            yield from ctx.accept("SWEPT", count=n_workers)
         resid = float(np.abs(np.diff(grid, axis=0)).mean())
         return grid, resid
 
@@ -146,12 +146,12 @@ def build_force_registry(n: int, sweeps: int) -> TaskRegistry:
             for i in m.presched(range(1, _n - 1)):
                 new[i, 1:-1] = 0.25 * (g[i - 1, 1:-1] + g[i + 1, 1:-1]
                                        + g[i, :-2] + g[i, 2:])
-                m.compute((_n - 2) * TICKS_PER_CELL)
+                yield from m.compute((_n - 2) * TICKS_PER_CELL)
 
             def copy_back():
                 g[1:-1, 1:-1] = new[1:-1, 1:-1]
 
-            m.barrier(copy_back)
+            yield from m.barrier(copy_back)
         return None
 
     @reg.tasktype("JFORCE", shared={"GRID": {}})
@@ -164,7 +164,7 @@ def build_force_registry(n: int, sweeps: int) -> TaskRegistry:
             "GRID", {"g": ("f8", (_n, _n)), "new": ("f8", (_n, _n))})
         blk.g[...] = make_problem(_n)
         blk.new[...] = blk.g
-        ctx.forcesplit(region, _n, _sweeps)
+        yield from ctx.forcesplit(region, _n, _sweeps)
         resid = float(np.abs(np.diff(blk.g, axis=0)).mean())
         return np.array(blk.g, copy=True), resid
 

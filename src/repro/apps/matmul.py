@@ -58,11 +58,11 @@ def build_tasks_registry(n: int, n_workers: int) -> TaskRegistry:
     @reg.tasktype("MWORKER")
     def mworker(ctx, k):
         ctx.send(PARENT, "HELLO", k)
-        res = ctx.accept("JOB")
+        res = yield from ctx.accept("JOB")
         wa, wb = res.args              # windows on A rows and all of B
-        a = ctx.window_read(wa)
-        b = ctx.window_read(wb)
-        ctx.compute(a.shape[0] * n * cell_cost(n))
+        a = yield from ctx.window_read(wa)
+        b = yield from ctx.window_read(wb)
+        yield from ctx.compute(a.shape[0] * n * cell_cost(n))
         ctx.send(PARENT, "ROWS", k, a @ b)
 
     @reg.tasktype("MMASTER")
@@ -76,14 +76,14 @@ def build_tasks_registry(n: int, n_workers: int) -> TaskRegistry:
             ctx.initiate("MWORKER", k, on=1 + (k % n_clusters))
         who = {}
         for _ in range(n_workers):
-            r = ctx.accept("HELLO")
+            r = yield from ctx.accept("HELLO")
             who[r.args[0]] = r.sender
         parts = wa_full.split(n_workers, axis=0)
         for k in range(n_workers):
             ctx.send(who[k], "JOB", parts[k], wb_full)
         bounds = [p.bounds[0] for p in parts]
         for _ in range(n_workers):
-            r = ctx.accept("ROWS")
+            r = yield from ctx.accept("ROWS")
             k, rows = r.args
             lo, hi = bounds[k]
             C[lo:hi, :] = rows
@@ -114,7 +114,7 @@ def build_force_registry(n: int) -> TaskRegistry:
         A, B, C = blk.A, blk.B, blk.C
         for i in m.presched(range(n)):
             C[i, :] = A[i, :] @ B
-            m.compute(n * cell_cost(n))
+            yield from m.compute(n * cell_cost(n))
 
     spec = {"A": ("f8", (n, n)), "B": ("f8", (n, n)), "C": ("f8", (n, n))}
 
@@ -124,7 +124,7 @@ def build_force_registry(n: int) -> TaskRegistry:
         blk = ctx.common("MM")
         blk.A[...] = A
         blk.B[...] = B
-        ctx.forcesplit(region)
+        yield from ctx.forcesplit(region)
         return np.array(blk.C, copy=True)
 
     return reg
@@ -150,17 +150,17 @@ def build_hybrid_registry(n: int, n_clusters: int) -> TaskRegistry:
         rows = a.shape[0]
         for i in m.presched(range(rows)):
             out[i, :] = a[i, :] @ b
-            m.compute(n * cell_cost(n))
+            yield from m.compute(n * cell_cost(n))
 
     @reg.tasktype("HWORKER")
     def hworker(ctx, k):
         ctx.send(PARENT, "HELLO", k)
-        res = ctx.accept("JOB")
+        res = yield from ctx.accept("JOB")
         wa, wb = res.args
-        a = ctx.window_read(wa)
-        b = ctx.window_read(wb)
+        a = yield from ctx.window_read(wa)
+        b = yield from ctx.window_read(wb)
         out = np.zeros((a.shape[0], n))
-        ctx.forcesplit(region, a, b, out)
+        yield from ctx.forcesplit(region, a, b, out)
         ctx.send(PARENT, "ROWS", k, out)
 
     @reg.tasktype("HMASTER")
@@ -173,14 +173,14 @@ def build_hybrid_registry(n: int, n_clusters: int) -> TaskRegistry:
             ctx.initiate("HWORKER", k, on=Cluster(k + 1))
         who = {}
         for _ in range(n_clusters):
-            r = ctx.accept("HELLO")
+            r = yield from ctx.accept("HELLO")
             who[r.args[0]] = r.sender
         parts = wa_full.split(n_clusters, axis=0)
         for k in range(n_clusters):
             ctx.send(who[k], "JOB", parts[k], wb_full)
         bounds = [p.bounds[0] for p in parts]
         for _ in range(n_clusters):
-            r = ctx.accept("ROWS")
+            r = yield from ctx.accept("ROWS")
             k, rows = r.args
             lo, hi = bounds[k]
             C[lo:hi, :] = rows

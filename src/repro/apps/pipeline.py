@@ -39,14 +39,14 @@ def build_pipeline_registry(n_stages: int, items: Sequence[int]) -> TaskRegistry
     @reg.tasktype("STAGE")
     def stage(ctx, index):
         ctx.send(PARENT, "HELLO", "STAGE", index)
-        nxt = ctx.accept("NEXT").args[0]
+        nxt = (yield from ctx.accept("NEXT")).args[0]
         while True:
-            res = ctx.accept("ITEM", "EOS", count=1)
+            res = yield from ctx.accept("ITEM", "EOS", count=1)
             m = res.messages[0]
             if m.mtype == "EOS":
                 ctx.send(nxt, "EOS")
                 return index
-            ctx.compute(STAGE_COST)
+            yield from ctx.compute(STAGE_COST)
             ctx.send(nxt, "ITEM", m.args[0] + 1)  # each stage increments
 
     @reg.tasktype("SINK")
@@ -54,7 +54,7 @@ def build_pipeline_registry(n_stages: int, items: Sequence[int]) -> TaskRegistry
         ctx.send(PARENT, "HELLO", "SINK", -1)
         got: List[int] = []
         while True:
-            res = ctx.accept("ITEM", "EOS", count=1)
+            res = yield from ctx.accept("ITEM", "EOS", count=1)
             m = res.messages[0]
             if m.mtype == "EOS":
                 ctx.send(PARENT, "RESULT", tuple(got))
@@ -67,7 +67,7 @@ def build_pipeline_registry(n_stages: int, items: Sequence[int]) -> TaskRegistry
         for i in range(n_stages):
             ctx.initiate("STAGE", i, on=ANY)
         ctx.initiate("SINK", on=ANY)
-        res = ctx.accept("HELLO", count=n_stages + 1)
+        res = yield from ctx.accept("HELLO", count=n_stages + 1)
         stages = {}
         sink_tid = None
         for m in res.messages:
@@ -84,7 +84,7 @@ def build_pipeline_registry(n_stages: int, items: Sequence[int]) -> TaskRegistry
         for x in items:
             ctx.send(chain[0], "ITEM", x)
         ctx.send(chain[0], "EOS")
-        out = ctx.accept("RESULT").args[0]
+        out = (yield from ctx.accept("RESULT")).args[0]
         return list(out)
 
     return reg

@@ -151,18 +151,18 @@ def build_truss_registry(problem: TrussProblem, tol: float = 1e-9,
             blk.done[()] = 0
             blk.iters[()] = 0
 
-        m.barrier(init_block)
+        yield from m.barrier(init_block)
         while not blk.done[()]:
             for i in rows:
                 Ap[i] = Kff[i] @ p
-            m.compute(len(rows) * TICKS_PER_ROW)
+            yield from m.compute(len(rows) * TICKS_PER_ROW)
 
             def zero_acc():
                 blk.acc[()] = 0.0
 
-            m.barrier(zero_acc)
+            yield from m.barrier(zero_acc)
             local = float(p[rows] @ Ap[rows]) if rows else 0.0
-            with m.critical("RED"):
+            with (yield from m.critical("RED")):
                 blk.acc[()] += local
 
             def alpha_step():
@@ -170,15 +170,15 @@ def build_truss_registry(problem: TrussProblem, tol: float = 1e-9,
                 blk.alpha[()] = blk.rr[()] / pAp if pAp else 0.0
                 blk.acc[()] = 0.0
 
-            m.barrier(alpha_step)
+            yield from m.barrier(alpha_step)
             alpha = float(blk.alpha[()])
             for i in rows:
                 u[i] += alpha * p[i]
                 r[i] -= alpha * Ap[i]
-            m.compute(len(rows))
-            m.barrier()
+            yield from m.compute(len(rows))
+            yield from m.barrier()
             local = float(r[rows] @ r[rows]) if rows else 0.0
-            with m.critical("RED"):
+            with (yield from m.critical("RED")):
                 blk.acc[()] += local
 
             def beta_step():
@@ -189,12 +189,12 @@ def build_truss_registry(problem: TrussProblem, tol: float = 1e-9,
                 if rr_new < tol * tol or blk.iters[()] >= iters_cap:
                     blk.done[()] = 1
 
-            m.barrier(beta_step)
+            yield from m.barrier(beta_step)
             beta = float(blk.beta[()])
             for i in rows:
                 p[i] = r[i] + beta * p[i]
-            m.compute(len(rows))
-            m.barrier()
+            yield from m.compute(len(rows))
+            yield from m.barrier()
         return None
 
     spec = {
@@ -206,7 +206,7 @@ def build_truss_registry(problem: TrussProblem, tol: float = 1e-9,
 
     @reg.tasktype("TRUSS", shared={"CG": spec}, locks=("RED",))
     def truss(ctx):
-        ctx.forcesplit(cg_region)
+        yield from ctx.forcesplit(cg_region)
         blk = ctx.common("CG")
         uf = np.array(blk.u, copy=True)
         resid = float(np.linalg.norm(Kff @ uf - ff))

@@ -31,6 +31,7 @@ from ..correctness.recorder import Schedule, ScheduleRecorder
 from ..core.taskid import Designator
 from ..core.tracing import TraceEventType
 from ..errors import CheckpointError, CheckpointFormatError
+from ..results import RunRecord
 from .format import dumps_bundle, load_bundle, write_bundle_atomic
 from .snapshot import snapshot_state, verify_snapshot
 
@@ -267,7 +268,7 @@ def checkpoint_vm(vm, path: Union[str, Path]) -> Path:
 
 
 @_dataclass
-class RestoredRun:
+class RestoredRun(RunRecord):
     """A VM rebuilt from a checkpoint, booted, ready to resume.
 
     :meth:`resume` re-issues the original top-level run request; the
@@ -280,6 +281,12 @@ class RestoredRun:
     manifest: Dict[str, Any]
     state: Dict[str, Any]
     path: Path
+
+    @property
+    def elapsed(self) -> int:
+        """Virtual ticks at the snapshot point (the :class:`RunResult`
+        from :meth:`resume` carries the full run's elapsed)."""
+        return int(self.manifest["now"])
 
     def resume(self, shutdown: bool = True):
         """Run to completion; returns the :class:`RunResult` an

@@ -27,6 +27,81 @@ MAX_SLOTS = 16
 #: and the environment does not override it.
 DEFAULT_ACCEPT_DELAY = 1_000_000
 
+#: Every environment variable the runtime recognizes, with the one-line
+#: meaning documented in the users_manual section 10 table.  This is the
+#: single source of truth for the surface: :func:`env_value` refuses
+#: names missing from it (so a new reader cannot slip in undocumented),
+#: and the test suite asserts each entry appears in the manual's table.
+ENV_VARS: Dict[str, str] = {
+    "PISCES_EXEC_CORE": "execution core: threaded (oracle) or coop",
+    "PISCES_DISPATCHER": "dispatch picker: indexed, scan or replay",
+    "PISCES_TASK_BODIES": "task-body vehicle: auto or callable",
+    "PISCES_WINDOW_PATH": "window data plane: fast, batched or reference",
+    "PISCES_ACCEPT_TIMEOUT": "system ACCEPT timeout in ticks",
+    "PISCES_CHECKPOINT": "periodic checkpoint interval in ticks (0 = off)",
+    "PISCES_CHECKPOINT_DIR": "directory receiving periodic .pckpt bundles",
+    "PISCES_DETECT_RACES": "race detector: 1, record, warn or raise",
+    "PISCES_PROFILE": "enable the causal profiler at boot",
+    "PISCES_RECORD_SCHEDULE": "autosave the dispatch schedule to this path",
+    "PISCES_REPLAY_SCHEDULE": "replay the .psched recording at this path",
+}
+
+
+def env_value(name: str, default: str = "") -> str:
+    """Read one recognized ``PISCES_*`` variable.
+
+    Every environment reader in the tree resolves through here, so the
+    recognized surface is exactly :data:`ENV_VARS` -- reading a name
+    missing from the registry is a programming error, not a silent
+    misconfiguration.  The value is stripped; unset or empty yields
+    ``default``.
+    """
+    if name not in ENV_VARS:
+        raise ConfigurationError(
+            f"unregistered environment variable {name!r}; add it to "
+            "configuration.ENV_VARS and the users_manual table")
+    v = os.environ.get(name, "").strip()
+    return v if v else default
+
+
+def env_choice(name: str, choices: Tuple[str, ...],
+               default: str = "") -> str:
+    """:func:`env_value` restricted to an allowed set."""
+    v = env_value(name, default)
+    if v not in choices:
+        raise ConfigurationError(
+            f"{name}={v!r} is not one of {'/'.join(choices)}")
+    return v
+
+
+def env_int(name: str, default: int, minimum: int = 0) -> int:
+    """:func:`env_value` parsed as a tick count with a floor."""
+    v = env_value(name)
+    if not v:
+        return default
+    try:
+        n = int(v)
+    except ValueError:
+        raise ConfigurationError(
+            f"{name}={v!r} is not an integer tick count")
+    if n < minimum:
+        raise ConfigurationError(
+            f"{name}={v!r} must be positive" if minimum > 0
+            else f"{name}={v!r} must be >= {minimum}")
+    return n
+
+
+def env_flag(name: str) -> str:
+    """:func:`env_value` as an on/off switch with an optional mode.
+
+    Returns "" when the variable is unset, empty, or one of the
+    conventional off spellings (``0``/``false``/``off``); any other
+    value -- ``1``, or a mode word like ``record`` -- comes back
+    verbatim for the caller to interpret.
+    """
+    v = env_value(name)
+    return "" if v in ("0", "false", "off") else v
+
 
 def default_accept_delay() -> int:
     """The system-provided ACCEPT timeout.
@@ -35,18 +110,7 @@ def default_accept_delay() -> int:
     without DELAY; ``PISCES_ACCEPT_TIMEOUT`` (ticks) makes it
     configurable per run without editing configurations.
     """
-    v = os.environ.get("PISCES_ACCEPT_TIMEOUT", "").strip()
-    if v:
-        try:
-            delay = int(v)
-        except ValueError:
-            raise ConfigurationError(
-                f"PISCES_ACCEPT_TIMEOUT={v!r} is not an integer tick count")
-        if delay <= 0:
-            raise ConfigurationError(
-                f"PISCES_ACCEPT_TIMEOUT={v!r} must be positive")
-        return delay
-    return DEFAULT_ACCEPT_DELAY
+    return env_int("PISCES_ACCEPT_TIMEOUT", DEFAULT_ACCEPT_DELAY, minimum=1)
 
 
 @dataclass(frozen=True)
@@ -125,6 +189,15 @@ class Configuration:
     #: "threaded".  Both cores are bit-identical in virtual time and
     #: dispatch order (see docs/architecture.md, "Execution cores").
     exec_core: str = ""
+    #: Task-body vehicle: "auto" lets coroutine-style bodies (generator
+    #: functions) suspend as coroutines at the KernelOp seam -- on the
+    #: coop core they then run with no worker thread at all -- while
+    #: "callable" forces every body onto the classic blocking-call
+    #: driver (worker threads on both cores).  "" defers to the
+    #: ``PISCES_TASK_BODIES`` environment variable, then to "auto".
+    #: Both vehicles are bit-identical in virtual time (the body-form
+    #: equivalence suite asserts this across the app zoo).
+    task_bodies: str = ""
     #: Enable the happens-before race detector at boot (see
     #: :mod:`repro.correctness`); detection charges no virtual time.
     detect_races: bool = False
@@ -234,6 +307,10 @@ class Configuration:
         if self.exec_core not in ("", "threaded", "coop"):
             raise ConfigurationError(
                 f"exec_core must be threaded/coop, got {self.exec_core!r}")
+        if self.task_bodies not in ("", "auto", "callable"):
+            raise ConfigurationError(
+                f"task_bodies must be auto/callable, "
+                f"got {self.task_bodies!r}")
         if self.checkpoint_every < 0:
             raise ConfigurationError("checkpoint_every must be >= 0")
         if self.checkpoint_keep < 1:
@@ -272,6 +349,8 @@ class Configuration:
             lines.append(f"  window data plane: {self.window_path}")
         if self.exec_core:
             lines.append(f"  execution core: {self.exec_core}")
+        if self.task_bodies:
+            lines.append(f"  task bodies: {self.task_bodies}")
         if self.profile:
             lines.append("  profiling: enabled")
         if self.checkpoint_every:

@@ -18,13 +18,12 @@ message mechanism as user-to-user traffic.
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
 from ..errors import UnknownTask, WindowError
-from ..mmos.process import KernelProcess
+from ..mmos.process import KernelProcess, co_block, co_preempt
 from .cluster import ClusterRuntime, PendingInitiate
 from .messages import InQueue, Message, release_message
 from .sizes import COST_CONTROLLER_INITIATE
@@ -75,19 +74,21 @@ class Controller:
 
     # ---------------------------------------------------------- main loop --
 
-    def _serve_forever(self) -> None:
-        eng = self.vm.engine
+    def _serve_forever(self):
+        # A coroutine body: controllers suspend at the KernelOp seam on
+        # every core, so a booted VM runs its whole operating system
+        # with zero controller threads on the coop core.
         while True:
-            msg = self._next_message()
+            msg = yield from self._next_message()
             try:
                 self.handle(msg)
             finally:
                 release_message(self.vm.machine.shared, msg)
 
-    def _next_message(self) -> Message:
+    def _next_message(self):
         eng = self.vm.engine
         while True:
-            eng.preempt(0)
+            yield co_preempt(0)
             now = eng.now()
             # The queue is in (arrival_time, seq) order, so the head is
             # both the first deliverable message and the earliest
@@ -103,8 +104,8 @@ class Controller:
                     # controller's subsequent spawn.
                     det.on_accept(m)
                 return m
-            eng.block(f"{self.kind}-wait",
-                      deadline=None if m is None else m.arrival_time)
+            yield co_block(f"{self.kind}-wait",
+                           deadline=None if m is None else m.arrival_time)
 
     def handle(self, msg: Message) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -234,20 +235,12 @@ class FileController(Controller):
                     cacheable: bool = True) -> None:
         self.arrays.export(name, array, cacheable=cacheable)
 
-    def window_for(self, name: str, *args, region=None,
+    def window_for(self, name: str, *, region=None,
                    rows=None, cols=None) -> Window:
         """A window on (a region of) a file-store array.
 
         The region is the keyword ``region=`` or the ``rows=``/``cols=``
-        selectors; the positional region form is deprecated."""
-        if args:
-            if len(args) > 1 or region is not None:
-                raise WindowError("window_for takes one region")
-            warnings.warn(
-                "positional region in window_for() is deprecated; "
-                "pass region=... or rows=/cols= selectors",
-                DeprecationWarning, stacklevel=2)
-            region = args[0]
+        selectors."""
         base = self.arrays.get(name)
         return make_window(self.tid, name, base, region,
                            rows=rows, cols=cols)

@@ -14,20 +14,26 @@ a force of any number of members".
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+import inspect
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import RuntimeLibraryError
-from ..mmos.process import KernelProcess
-from .loops import SelfSchedCounter, parseg as _parseg, presched as _presched, selfsched as _selfsched
+from ..mmos.process import KernelProcess, co_block, drive_kernel_ops
+from .loops import (
+    SelfSchedCounter,
+    parseg as _parseg,
+    presched as _presched,
+    selfsched as _selfsched,
+    selfsched_do as _selfsched_do,
+)
 from .shared import LockState
 from .sizes import COST_FORCESPLIT_BASE, COST_FORCESPLIT_PER_MEMBER
 from .sync import (
     BarrierGeneration,
     _RUN_BODY,
-    acquire_lock,
     barrier as _barrier,
-    release_lock,
+    critical as _critical,
+    critical_gen as _critical_gen,
 )
 from .task import Task, TaskContext
 from .tracing import TraceEventType
@@ -112,8 +118,8 @@ class ForceContext(TaskContext):
     """A force member's view: the full task API plus force operations."""
 
     def __init__(self, task: Task, process: KernelProcess, force: Force,
-                 member: int):
-        super().__init__(task, process)
+                 member: int, coroutine: bool = False):
+        super().__init__(task, process, coroutine=coroutine)
         self._force = force
         self.member = member
 
@@ -132,20 +138,27 @@ class ForceContext(TaskContext):
 
     # ------------------------------------------------------------- sync --
 
-    def barrier(self, body: Optional[Callable[[], None]] = None) -> None:
+    def barrier(self, body: Optional[Callable[[], None]] = None):
         """``BARRIER ... END BARRIER``: all members pause; when all have
-        arrived the *primary* runs ``body``; then all continue."""
-        _barrier(self.vm.engine, self._force, self, body)
+        arrived the *primary* runs ``body``; then all continue.  In
+        coroutine mode: ``yield from m.barrier(...)`` (``body`` may be
+        a generator function)."""
+        return self._run(_barrier(self.vm.engine, self._force, self, body))
 
-    @contextmanager
     def critical(self, lock: Union[LockState, str]):
-        """``CRITICAL <lock> ... END CRITICAL`` context manager."""
+        """``CRITICAL <lock> ... END CRITICAL``.
+
+        Callable mode: an ordinary context manager (``with
+        m.critical("RED"): ...``).  Coroutine mode: the acquire wait
+        suspends at the KernelOp seam, so the member writes ``with
+        (yield from m.critical("RED")): ...`` -- the yielded-from
+        generator resolves to a held-lock context manager whose exit
+        releases synchronously.
+        """
         lk = self.lock(lock) if isinstance(lock, str) else lock
-        acquire_lock(self.vm.engine, self._force, self, lk)
-        try:
-            yield
-        finally:
-            release_lock(self.vm.engine, self._force, self, lk)
+        if self.coroutine:
+            return _critical_gen(self.vm.engine, self._force, self, lk)
+        return _critical(self.vm.engine, self._force, self, lk)
 
     # ------------------------------------------------------------ loops --
 
@@ -154,17 +167,45 @@ class ForceContext(TaskContext):
         return _presched(self, iterations)
 
     def selfsched(self, iterations: Union[int, range, Sequence]) -> Iterator:
-        """``SELFSCHED DO``: members grab the next iteration dynamically."""
+        """``SELFSCHED DO``: members grab the next iteration dynamically.
+
+        Callable mode only: the iterator form cannot carry each fetch's
+        suspension out of a ``for`` body.  Coroutine members use
+        :meth:`selfsched_do`.
+        """
+        if self.coroutine:
+            raise RuntimeLibraryError(
+                "SELFSCHED's iterator form cannot suspend from inside a "
+                "for loop; coroutine members use "
+                "yield from m.selfsched_do(iterations, body)")
         return _selfsched(self.vm.engine, self, iterations)
 
-    def parseg(self, *segments: Callable[[], Any]) -> List[Any]:
-        """``PARSEG / NEXTSEG / ENDSEG``: parallel statement sequences."""
-        return _parseg(self, segments)
+    def selfsched_do(self, iterations: Union[int, range, Sequence],
+                     body: Callable[[Any], Any]):
+        """``SELFSCHED DO`` driving ``body(item)`` per claimed
+        iteration; returns this member's results.  Works in both modes
+        (coroutine members: ``yield from m.selfsched_do(n, body)``)."""
+        return self._run(
+            _selfsched_do(self.vm.engine, self, iterations, body))
+
+    def parseg(self, *segments: Callable[[], Any]):
+        """``PARSEG / NEXTSEG / ENDSEG``: parallel statement sequences.
+        In coroutine mode: ``yield from m.parseg(...)`` (segments may
+        be generator functions)."""
+        return self._run(_parseg(self, segments))
 
 
 def do_forcesplit(ctx: TaskContext, region: Callable[..., Any],
-                  args: Tuple[Any, ...]) -> List[Any]:
-    """Implementation of ``TaskContext.forcesplit``."""
+                  args: Tuple[Any, ...]):
+    """Implementation of ``TaskContext.forcesplit``.
+
+    A KernelOp generator (the primary's join wait is a suspension
+    point).  A generator-function ``region`` runs in coroutine mode:
+    the primary ``yield from``s it in place, and every secondary member
+    spawns as a coroutine process -- unless the task-body vehicle is
+    forced to "callable", in which case members drive the identical op
+    stream through blocking calls on worker threads.
+    """
     if isinstance(ctx, ForceContext):
         raise RuntimeLibraryError("nested FORCESPLIT is not supported")
     task = ctx.task
@@ -182,6 +223,7 @@ def do_forcesplit(ctx: TaskContext, region: Callable[..., Any],
         metrics.counter("forcesplits", cluster=cluster.number).inc()
         metrics.histogram("force_size", cluster=cluster.number).observe(size)
 
+    creg = inspect.isgeneratorfunction(region)
     force = Force(task, size)
     task.force = force
     force.primary_proc = ctx.process
@@ -194,12 +236,15 @@ def do_forcesplit(ctx: TaskContext, region: Callable[..., Any],
                 p.on_exit = _member_exit(vm, force)
                 force.member_procs[i] = p
         # The primary is member 0 and executes the region itself.
-        mctx = ForceContext(task, ctx.process, force, 0)
-        force.results[0] = region(mctx, *args)
+        mctx = ForceContext(task, ctx.process, force, 0, coroutine=creg)
+        if creg:
+            force.results[0] = yield from region(mctx, *args)
+        else:
+            force.results[0] = region(mctx, *args)
         force.remaining -= 1
         while force.remaining > 0:
             force.primary_waiting = True
-            eng.block("force-join")
+            yield co_block("force-join")
             force.primary_waiting = False
         # A member killed mid-region leaves no result: its slot is None.
         return [force.results.get(i) for i in range(size)]
@@ -209,6 +254,25 @@ def do_forcesplit(ctx: TaskContext, region: Callable[..., Any],
 
 def _member_body(vm, task: Task, force: Force, member: int,
                  region: Callable[..., Any], args: Tuple[Any, ...]):
+    if inspect.isgeneratorfunction(region):
+        if vm.task_bodies == "callable":
+            # Forced vehicle: drive the region's op stream through the
+            # classic blocking calls on this member's worker thread.
+            def body() -> None:
+                eng = vm.engine
+                mctx = ForceContext(task, eng.current(), force, member,
+                                    coroutine=True)
+                force.results[member] = drive_kernel_ops(
+                    eng, region(mctx, *args))
+            return body
+
+        def genbody():
+            eng = vm.engine
+            mctx = ForceContext(task, eng.current(), force, member,
+                                coroutine=True)
+            force.results[member] = yield from region(mctx, *args)
+        return genbody
+
     def body() -> None:
         eng = vm.engine
         mctx = ForceContext(task, eng.current(), force, member)

@@ -15,8 +15,10 @@ N+I, 2*N+I, etc. statement sequences, just as for a PRESCHED DO loop."
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, Iterator, List, Sequence, TYPE_CHECKING, Union
 
+from ..mmos.process import co_preempt
 from ..mmos.scheduler import Engine
 from .sizes import COST_SELFSCHED_FETCH
 
@@ -100,12 +102,58 @@ def selfsched(engine: Engine, member: "ForceContext",
         yield seq[i]
 
 
+def selfsched_do(engine: Engine, member: "ForceContext",
+                 iterations: Union[int, range, Sequence],
+                 body: Callable[[Any], Any]):
+    """SELFSCHED as a KernelOp generator: run ``body(item)`` for each
+    dynamically claimed iteration; returns this member's results in
+    claim order.
+
+    This is the form coroutine members use (``yield from
+    m.selfsched_do(n, body)``) -- a Python ``for`` over the
+    :func:`selfsched` iterator cannot carry the fetch's KernelOps out
+    of the body.  ``body`` may be a generator function when an
+    iteration needs to suspend.  Per fetch the op stream is identical
+    to :func:`selfsched`: one counter charge and one preemption point.
+    """
+    seq = _materialize(iterations)
+    counter = member.force.selfsched_counter(member, len(seq))
+    vm = member.force.task.vm
+    body_is_gen = inspect.isgeneratorfunction(body)
+    out: List[Any] = []
+    while True:
+        engine.charge(COST_SELFSCHED_FETCH)
+        yield co_preempt(0)
+        i = counter.fetch(member.member)
+        det = vm.race_detector
+        if det is not None:
+            det.on_selfsched_fetch(counter, i, member.member)
+        if i < 0:
+            return out
+        sh = vm.sched_hook
+        if sh is not None:
+            sh.on_selfsched(member.member, i)
+        if body_is_gen:
+            out.append((yield from body(seq[i])))
+        else:
+            out.append(body(seq[i]))
+
+
 def parseg(member: "ForceContext",
-           segments: Sequence[Callable[[], Any]]) -> List[Any]:
+           segments: Sequence[Callable[[], Any]]):
     """PARSEG: run this member's share of the segments; returns their
-    results in segment order (for this member's segments only)."""
+    results in segment order (for this member's segments only).
+
+    A KernelOp generator so that segments written as generator
+    functions can suspend; plain segments run synchronously, making
+    the classic all-plain case yield no ops at all.
+    """
     n = member.force.size
     out: List[Any] = []
     for i in range(member.member, len(segments), n):
-        out.append(segments[i]())
+        seg = segments[i]
+        if inspect.isgeneratorfunction(seg):
+            out.append((yield from seg()))
+        else:
+            out.append(seg())
     return out

@@ -10,11 +10,12 @@ otherwise wait until it becomes unlocked.  Waiters are granted FIFO.
 
 from __future__ import annotations
 
+import inspect
 from contextlib import contextmanager
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 from ..errors import ProcessKilled, RuntimeLibraryError
-from ..mmos.process import KernelProcess
+from ..mmos.process import KernelProcess, co_block, drive_kernel_ops
 from ..mmos.scheduler import Engine
 from .shared import LockState
 from .sizes import COST_BARRIER, COST_LOCK, COST_UNLOCK
@@ -54,8 +55,14 @@ class BarrierGeneration:
 
 
 def barrier(engine: Engine, force: "Force", member: "ForceContext",
-            body: Optional[Callable[[], None]] = None) -> None:
-    """Execute one BARRIER from ``member``'s thread."""
+            body: Optional[Callable[[], None]] = None):
+    """Execute one BARRIER from ``member``'s execution stream.
+
+    A KernelOp generator: coroutine members ``yield from`` it, callable
+    members drive it through the classic blocking calls (see
+    :func:`~repro.mmos.process.drive_kernel_ops`).  ``body`` may itself
+    be a generator function when it needs to suspend.
+    """
     engine.charge(COST_BARRIER)
     force.task.trace(TraceEventType.BARRIER_ENTER,
                      info=f"member={member.member} gen={force.barrier_gen}")
@@ -81,14 +88,17 @@ def barrier(engine: Engine, force: "Force", member: "ForceContext",
     gen.arrived += 1
     if gen.arrived < gen.size:
         gen.waiting.append(proc)
-        info = engine.block(f"barrier(gen {force.barrier_gen})")
+        info = yield co_block(f"barrier(gen {force.barrier_gen})")
         if info == _RUN_BODY:
             # Last arrival was not the primary; we are, so run the body
             # and release everyone else.
             if det is not None:
                 det.on_barrier_body(gen, proc)
             if body is not None:
-                body()
+                if inspect.isgeneratorfunction(body):
+                    yield from body()
+                else:
+                    body()
             _release_others(engine, gen, proc)
         # info == _RELEASE: nothing more to do.
         observe_wait()
@@ -99,7 +109,10 @@ def barrier(engine: Engine, force: "Force", member: "ForceContext",
         if det is not None:
             det.on_barrier_body(gen, proc)
         if body is not None:
-            body()
+            if inspect.isgeneratorfunction(body):
+                yield from body()
+            else:
+                body()
         _release_others(engine, gen, proc)
     else:
         if gen.primary_proc is None:
@@ -107,7 +120,7 @@ def barrier(engine: Engine, force: "Force", member: "ForceContext",
         gen.waiting.remove(gen.primary_proc)
         gen.waiting.append(proc)
         engine.wake(gen.primary_proc, info=_RUN_BODY)
-        engine.block(f"barrier-post(gen {force.barrier_gen - 1})")
+        yield co_block(f"barrier-post(gen {force.barrier_gen - 1})")
     observe_wait()
 
 
@@ -123,16 +136,51 @@ def _release_others(engine: Engine, gen: BarrierGeneration,
 @contextmanager
 def critical(engine: Engine, force: "Force", member: "ForceContext",
              lock: LockState):
-    """``CRITICAL <lock> ... END CRITICAL`` as a context manager."""
-    acquire_lock(engine, force, member, lock)
+    """``CRITICAL <lock> ... END CRITICAL`` as a context manager
+    (callable mode: the acquire wait blocks in place)."""
+    drive_kernel_ops(engine, acquire_lock(engine, force, member, lock))
     try:
         yield
     finally:
         release_lock(engine, force, member, lock)
 
 
+class HeldLock:
+    """A held CRITICAL region, as a plain (non-suspending) context
+    manager: coroutine members write ``with (yield from
+    m.critical(lk)): ...``.  Release is synchronous -- charge plus a
+    FIFO ownership hand-off, never a wait -- so ``__exit__`` is legal
+    even while the body unwinds from a kill (``GeneratorExit`` forbids
+    further yields)."""
+
+    __slots__ = ("engine", "force", "member", "lock")
+
+    def __init__(self, engine: Engine, force: "Force",
+                 member: "ForceContext", lock: LockState):
+        self.engine = engine
+        self.force = force
+        self.member = member
+        self.lock = lock
+
+    def __enter__(self) -> LockState:
+        return self.lock
+
+    def __exit__(self, *exc) -> bool:
+        release_lock(self.engine, self.force, self.member, self.lock)
+        return False
+
+
+def critical_gen(engine: Engine, force: "Force", member: "ForceContext",
+                 lock: LockState):
+    """Coroutine form of :func:`critical`: a KernelOp generator whose
+    value is the :class:`HeldLock` to enter."""
+    yield from acquire_lock(engine, force, member, lock)
+    return HeldLock(engine, force, member, lock)
+
+
 def acquire_lock(engine: Engine, force: "Force", member: "ForceContext",
-                 lock: LockState) -> None:
+                 lock: LockState):
+    """Acquire a CRITICAL lock (a KernelOp generator)."""
     engine.charge(COST_LOCK)
     proc = engine.current()
     metrics = force.task.vm.metrics
@@ -142,12 +190,14 @@ def acquire_lock(engine: Engine, force: "Force", member: "ForceContext",
         lock.contended_acquisitions += 1
         lock.waiters.append(proc)
         try:
-            engine.block(f"critical({lock.name})")
-        except ProcessKilled:
+            yield co_block(f"critical({lock.name})")
+        except (GeneratorExit, ProcessKilled):
             # Killed while queued for the lock: we never entered the
-            # region.  Leave the wait queue, and if a release already
-            # transferred ownership to us, hand it straight on so the
-            # siblings are not stranded behind a dead owner.
+            # region.  (A killed generator sees GeneratorExit at its
+            # suspension point on every vehicle.)  Leave the wait
+            # queue, and if a release already transferred ownership to
+            # us, hand it straight on so the siblings are not stranded
+            # behind a dead owner.
             if proc in lock.waiters:
                 lock.waiters.remove(proc)
             if lock.owner_pid == proc.pid:

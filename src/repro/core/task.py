@@ -21,7 +21,6 @@ terminal output.
 from __future__ import annotations
 
 import inspect
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING, Union
 
@@ -33,9 +32,13 @@ from ..errors import (
     NotInForce,
     RuntimeLibraryError,
     UnknownTaskType,
-    WindowError,
 )
-from ..mmos.process import KernelProcess
+from ..mmos.process import (
+    KernelProcess,
+    co_block,
+    co_preempt,
+    drive_kernel_ops,
+)
 from .accept import (
     ALL_RECEIVED,
     AcceptResult,
@@ -211,16 +214,47 @@ class TaskContext:
 
     One context exists per *execution stream*: the task itself, and one
     per force member after a FORCESPLIT (see :class:`ForceContext`).
+
+    A context runs in one of two **modes** over the same runtime code
+    (every suspending operation is written once, as a generator of
+    :class:`~repro.mmos.process.KernelOp` values):
+
+    * **callable mode** (``coroutine=False``, the classic form): each
+      suspending method drives its generator to completion on the spot
+      through the engine's blocking calls, so the body is ordinary
+      sequential code on a worker thread.
+    * **coroutine mode** (``coroutine=True``): each suspending method
+      *returns* its generator for the body to ``yield from``, so the
+      whole task suspends at the KernelOp seam -- on the coop core it
+      then runs with no worker thread at all.
+
+    Both modes interpret the identical op stream and are bit-identical
+    in virtual time (see docs/architecture.md, "Task runtime on the
+    coop core").
     """
 
-    def __init__(self, task: Task, process: KernelProcess):
+    def __init__(self, task: Task, process: KernelProcess,
+                 coroutine: bool = False):
         self.task = task
         self.process = process
+        #: True when this context belongs to a coroutine-style body:
+        #: suspending methods return KernelOp generators to ``yield
+        #: from`` instead of blocking in place.
+        self.coroutine = coroutine
         #: Taskid of the sender of the last message received (SENDER).
         self.sender: Optional[TaskId] = None
         #: Run-time handler table: tasktype handlers plus any registered
         #: dynamically with :meth:`handler`.
         self._handlers: Dict[str, Handler] = dict(task.ttype.handlers)
+
+    def _run(self, gen):
+        """Execute one suspending runtime operation written as a
+        KernelOp generator: a coroutine-mode context hands the
+        generator back for the body to ``yield from``; a callable-mode
+        context drives it to completion here."""
+        if self.coroutine:
+            return gen
+        return drive_kernel_ops(self.vm.engine, gen)
 
     # -------------------------------------------------------- identity ----
 
@@ -312,7 +346,15 @@ class TaskContext:
         ``retry`` escalates the timeout through extra backed-off waits
         before it is surfaced (default: the configuration's
         ``accept_retries``/``accept_backoff`` policy).
+
+        In coroutine mode this returns a generator; the body writes
+        ``res = yield from ctx.accept(...)``.
         """
+        return self._run(self._accept_gen(
+            specs, count, delay, on_timeout, timeout_ok, retry))
+
+    def _accept_gen(self, specs, count, delay, on_timeout, timeout_ok,
+                    retry):
         vm = self.vm
         eng = vm.engine
         spec = normalize_specs(specs, count)
@@ -338,7 +380,7 @@ class TaskContext:
                 if m.checksum is not None and not m.verify():
                     self._discard_corrupt(m)
                     continue
-                self._process_message(m, state)
+                yield from self._process_message(m, state)
             if state.satisfied():
                 # Final drain of ALL-count types that have already
                 # arrived (per-type mode only: in total-count mode the
@@ -354,11 +396,11 @@ class TaskContext:
                         if m.checksum is not None and not m.verify():
                             self._discard_corrupt(m)
                             continue
-                        self._process_message(m, state)
+                        yield from self._process_message(m, state)
                 if vm.metrics.enabled:
                     record_accept_metrics(vm.metrics, state,
                                           self.task.ttype.name)
-                eng.preempt(0)
+                yield co_preempt(0)
                 return state.result
             # Unsatisfied: wait for in-flight matches or new sends.
             now = eng.now()
@@ -384,7 +426,8 @@ class TaskContext:
             # match on, while the profiler charges retry waits to
             # fault-recovery rather than ordinary message latency.
             retry = f"retry{attempt}:" if attempt else ""
-            eng.block(f"accept({retry}{','.join(open_types)})", deadline=eff)
+            yield co_block(f"accept({retry}{','.join(open_types)})",
+                           deadline=eff)
             # Woken by a send, or the deadline fired; loop re-scans.
 
     def _discard_corrupt(self, m: Message) -> None:
@@ -405,7 +448,10 @@ class TaskContext:
             vm.metrics.counter("messages_corrupt_detected",
                                tasktype=self.task.ttype.name).inc()
 
-    def _process_message(self, m: Message, state: AcceptState) -> None:
+    def _process_message(self, m: Message, state: AcceptState):
+        # A KernelOp generator (driven via ``yield from`` inside
+        # _accept_gen): HANDLER subroutines may themselves suspend when
+        # written as generator functions.
         vm = self.vm
         det = vm.race_detector
         if det is not None:
@@ -425,7 +471,10 @@ class TaskContext:
         h = self._handlers.get(m.mtype)
         if h is not None:
             vm.engine.charge(COST_HANDLER_DISPATCH)
-            h(self, *m.args)
+            if inspect.isgeneratorfunction(h):
+                yield from h(self, *m.args)
+            else:
+                h(self, *m.args)
 
     def _timeout(self, state: AcceptState, on_timeout, timeout_ok) -> AcceptResult:
         self.vm.stats.accept_timeouts += 1
@@ -445,9 +494,19 @@ class TaskContext:
 
     # ------------------------------------------------------------ compute --
 
-    def compute(self, ticks: int) -> None:
-        """Charge pure computation time (a preemption point)."""
-        self.vm.kernel.compute(ticks)
+    def compute(self, ticks: int):
+        """Charge pure computation time (a preemption point).  In
+        coroutine mode: ``yield from ctx.compute(...)``.
+
+        The most frequent suspension point, so it skips the generator
+        seam: coroutine mode hands back the kernel's (interned) op
+        tuple to ``yield from``; callable mode issues the blocking
+        kernel call directly."""
+        kernel = self.vm.kernel
+        if self.coroutine:
+            return kernel.compute_ops(ticks)
+        kernel.compute(ticks)
+        return None
 
     def print(self, text: str) -> None:
         """Terminal output via the user controller / MMOS terminal I/O."""
@@ -464,9 +523,12 @@ class TaskContext:
         PEs); the same program text runs unchanged for any force size.
         Returns the list of member results (index = member number;
         member 0 is the primary).
+
+        In coroutine mode: ``results = yield from ctx.forcesplit(...)``;
+        a generator-function region runs as a coroutine member body.
         """
         from .forces import do_forcesplit
-        return do_forcesplit(self, region, args)
+        return self._run(do_forcesplit(self, region, args))
 
     @property
     def force(self) -> "Force":
@@ -485,44 +547,40 @@ class TaskContext:
         self.task.arrays.export(name, array, cacheable=cacheable)
         return make_window(self.self_id, name, array)
 
-    def window(self, name: str, *args, region=None,
+    def window(self, name: str, *, region=None,
                rows=None, cols=None) -> Window:
         """Create a window on (a region of) one of this task's arrays.
 
         The region is the keyword ``region=`` or the ``rows=``/``cols=``
         selectors (slice, (start, stop) pair, or int along axis 0 /
-        axis 1); the positional region form is deprecated."""
-        if args:
-            if len(args) > 1 or region is not None:
-                raise WindowError("window() takes one region")
-            warnings.warn(
-                "positional region in ctx.window() is deprecated; "
-                "pass region=... or rows=/cols= selectors",
-                DeprecationWarning, stacklevel=2)
-            region = args[0]
+        axis 1)."""
         base = self.task.arrays.get(name)
         return make_window(self.self_id, name, base, region,
                            rows=rows, cols=cols)
 
-    def window_read(self, w: Window, *, rows=None, cols=None) -> np.ndarray:
+    def window_read(self, w: Window, *, rows=None, cols=None):
         """Read a copy of the data visible in a window (remote access);
-        ``rows=``/``cols=`` shrink the window for this one access."""
-        return self.vm.window_read(self, w, rows=rows, cols=cols)
+        ``rows=``/``cols=`` shrink the window for this one access.  In
+        coroutine mode: ``data = yield from ctx.window_read(w)``."""
+        return self._run(self.vm.window_read_gen(self, w, rows=rows,
+                                                 cols=cols))
 
     def window_write(self, w: Window, data: np.ndarray, *,
-                     rows=None, cols=None, if_unchanged: bool = False) -> None:
+                     rows=None, cols=None, if_unchanged: bool = False):
         """Write data through a window into the owner's array;
         ``rows=``/``cols=`` shrink the window for this one access.
         ``if_unchanged=True`` refuses with :class:`WindowConflict` if the
-        region changed since this task last read it."""
-        self.vm.window_write(self, w, data, rows=rows, cols=cols,
-                             if_unchanged=if_unchanged)
+        region changed since this task last read it.  In coroutine
+        mode: ``yield from ctx.window_write(w, data)``."""
+        return self._run(self.vm.window_write_gen(
+            self, w, data, rows=rows, cols=cols, if_unchanged=if_unchanged))
 
     def file_window(self, name: str, *, region=None,
-                    rows=None, cols=None) -> Window:
-        """Request a window on a file-system array (via file controller)."""
-        return self.vm.file_window(self, name, region=region,
-                                   rows=rows, cols=cols)
+                    rows=None, cols=None):
+        """Request a window on a file-system array (via file controller).
+        In coroutine mode: ``w = yield from ctx.file_window(name)``."""
+        return self._run(self.vm.file_window_gen(self, name, region=region,
+                                                 rows=rows, cols=cols))
 
     def touch_array(self, name: str) -> None:
         """Declare a direct (non-window) mutation of an exported array,

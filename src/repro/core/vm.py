@@ -13,11 +13,12 @@ in shared memory, ready to initiate user tasks.  The VM owns:
 
 from __future__ import annotations
 
+import inspect
 import itertools
 import os
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -35,7 +36,9 @@ from ..faults.injector import corrupt_args
 from ..flex.machine import FlexMachine
 from ..flex.presets import nasa_langley_flex32
 from ..mmos.kernel import MMOSKernel
+from ..mmos.process import co_block, co_preempt, drive_kernel_ops
 from ..obs.metrics import MetricsRegistry
+from ..results import RunRecord
 from ..mmos.loader import (
     CAT_MMOS_KERNEL,
     CAT_PISCES_CODE,
@@ -43,7 +46,13 @@ from ..mmos.loader import (
     CAT_USER_CODE,
     Loadfile,
 )
-from ..config.configuration import ClusterSpec, Configuration
+from ..config.configuration import (
+    ClusterSpec,
+    Configuration,
+    env_flag,
+    env_int,
+    env_value,
+)
 from .accept import RetryPolicy
 from .cluster import ClusterRuntime, PendingInitiate, Slot
 from .controllers import (
@@ -109,8 +118,7 @@ WINDOW_PATHS = ("fast", "batched", "reference")
 def resolve_window_path(config: Configuration) -> str:
     """Data-plane selection: configuration wins, then the
     ``PISCES_WINDOW_PATH`` environment variable, then "fast"."""
-    path = config.window_path or \
-        os.environ.get("PISCES_WINDOW_PATH", "").strip() or "fast"
+    path = config.window_path or env_value("PISCES_WINDOW_PATH") or "fast"
     if path not in WINDOW_PATHS:
         raise ConfigurationError(
             f"PISCES_WINDOW_PATH={path!r}: must be one of {WINDOW_PATHS}")
@@ -122,12 +130,28 @@ def resolve_exec_core(config: Configuration) -> str:
     ``PISCES_EXEC_CORE`` environment variable, then "threaded" (the
     determinism oracle; see docs/architecture.md, "Execution cores")."""
     from ..mmos.scheduler import EXEC_CORES
-    core = config.exec_core or \
-        os.environ.get("PISCES_EXEC_CORE", "").strip() or "threaded"
+    core = config.exec_core or env_value("PISCES_EXEC_CORE") or "threaded"
     if core not in EXEC_CORES:
         raise ConfigurationError(
             f"PISCES_EXEC_CORE={core!r}: must be one of {EXEC_CORES}")
     return core
+
+
+#: Valid task-body vehicles (see Configuration.task_bodies).
+TASK_BODY_MODES = ("auto", "callable")
+
+
+def resolve_task_bodies(config: Configuration) -> str:
+    """Task-body vehicle selection: configuration wins, then the
+    ``PISCES_TASK_BODIES`` environment variable, then "auto" (coroutine
+    bodies suspend as coroutines; "callable" forces the classic
+    blocking-call driver on worker threads)."""
+    mode = config.task_bodies or env_value("PISCES_TASK_BODIES") or "auto"
+    if mode not in TASK_BODY_MODES:
+        raise ConfigurationError(
+            f"PISCES_TASK_BODIES={mode!r}: must be one of {TASK_BODY_MODES}")
+    return mode
+
 
 def resolve_checkpoint(config: Configuration) -> Tuple[int, str, int]:
     """Periodic-checkpoint selection ``(every, directory, keep)``:
@@ -136,18 +160,9 @@ def resolve_checkpoint(config: Configuration) -> Tuple[int, str, int]:
     means checkpointing is off."""
     every = config.checkpoint_every
     if not every:
-        v = os.environ.get("PISCES_CHECKPOINT", "").strip()
-        if v:
-            try:
-                every = int(v)
-            except ValueError:
-                raise ConfigurationError(
-                    f"PISCES_CHECKPOINT={v!r} is not an integer tick count")
-            if every < 0:
-                raise ConfigurationError(
-                    f"PISCES_CHECKPOINT={v!r} must be >= 0")
+        every = env_int("PISCES_CHECKPOINT", 0)
     directory = config.checkpoint_dir or \
-        os.environ.get("PISCES_CHECKPOINT_DIR", "").strip() or "."
+        env_value("PISCES_CHECKPOINT_DIR") or "."
     return every, directory, config.checkpoint_keep
 
 
@@ -206,7 +221,7 @@ class RunStats:
 
 
 @dataclass
-class RunResult:
+class RunResult(RunRecord):
     """Outcome of ``PiscesVM.run``."""
 
     value: Any
@@ -266,8 +281,8 @@ class PiscesVM:
             if config.detect_races:
                 detect_races = True
             else:
-                env = os.environ.get("PISCES_DETECT_RACES", "").strip()
-                if env and env not in ("0", "false", "off"):
+                env = env_flag("PISCES_DETECT_RACES")
+                if env:
                     detect_races = env if env in ("record", "warn", "raise") \
                         else True
         if detect_races:
@@ -276,13 +291,17 @@ class PiscesVM:
                 else "record")
         #: Window data-plane selection, fixed for the life of the VM.
         self.window_path = resolve_window_path(config)
+        #: Task-body vehicle (see :func:`resolve_task_bodies`): "auto"
+        #: lets generator-function bodies suspend as coroutines at the
+        #: KernelOp seam; "callable" forces the classic blocking-call
+        #: driver (worker threads) for the identical op stream.
+        self.task_bodies = resolve_task_bodies(config)
         #: Causal profiler (see :mod:`repro.obs.profile`), or None
         #: (off).  Resolution: the configuration flag, then the
         #: PISCES_PROFILE environment variable; ``enable_profiling()``
         #: turns it on explicitly (api.profile_run does).
         self.profiler: Optional[Any] = None
-        if config.profile or os.environ.get(
-                "PISCES_PROFILE", "").strip() not in ("", "0", "false", "off"):
+        if config.profile or env_flag("PISCES_PROFILE"):
             self.enable_profiling()
         #: Observability registry (see :mod:`repro.obs`).  Disabled by
         #: default; every instrumentation site guards on ``.enabled`` so
@@ -559,7 +578,7 @@ class PiscesVM:
         task.alive = True
         task.process = self.kernel.create_process(
             f"{ttype.name}@{tid}", cluster.primary_pe,
-            lambda: self._task_body(task))
+            self._make_task_target(task))
         # Cleanup runs via on_exit so it happens even when the task is
         # killed before its first slice ever runs.
         task.process.on_exit = lambda proc: self._task_cleanup(task)
@@ -569,9 +588,40 @@ class PiscesVM:
                    info=f"type={ttype.name}", other=parent)
         return task
 
+    def _make_task_target(self, task: Task) -> Callable[[], Any]:
+        """Choose the process target for a task body.
+
+        A generator-function body is a *coroutine body*: it ``yield
+        from``s the ctx operations, so the whole task suspends at the
+        KernelOp seam (no worker thread on the coop core).  Under the
+        "callable" vehicle the identical op stream is instead driven
+        through the engine's blocking calls on a worker thread -- the
+        oracle leg of the body-form equivalence suite.  A plain
+        callable body keeps the classic path unchanged.
+        """
+        if inspect.isgeneratorfunction(task.ttype.fn):
+            if self.task_bodies == "callable":
+                return lambda: drive_kernel_ops(
+                    self.engine, self._task_body_gen(task))
+
+            def target():
+                # Inlined _task_body_gen: one less delegation frame on
+                # every resume of the per-dispatch hot path.
+                ctx = TaskContext(task, self.engine.current(),
+                                  coroutine=True)
+                task.result = yield from task.ttype.fn(ctx, *task.args)
+                return task.result
+            return target
+        return lambda: self._task_body(task)
+
     def _task_body(self, task: Task) -> Any:
         ctx = TaskContext(task, self.engine.current())
         task.result = task.ttype.fn(ctx, *task.args)
+        return task.result
+
+    def _task_body_gen(self, task: Task):
+        ctx = TaskContext(task, self.engine.current(), coroutine=True)
+        task.result = yield from task.ttype.fn(ctx, *task.args)
         return task.result
 
     def _task_cleanup(self, task: Task) -> None:
@@ -1010,15 +1060,17 @@ class PiscesVM:
             raise WindowError(f"window owner {tid} has terminated")
         return task.arrays
 
-    def _file_io_wait(self, w: Window, write: bool) -> None:
+    def _file_io_wait(self, w: Window, write: bool):
         """For windows owned by the file controller: occupy the disks
         and block the requester until the (striped) transfer lands.
 
-        Section 8's overlapping-access contract is enforced here: a
-        transfer that conflicts with one still in flight (any overlap
-        where either side writes) waits for it to land first; disjoint
-        transfers -- and overlapping reads -- proceed in parallel
-        across the disk stripes.
+        A KernelOp generator (the disk waits are suspension points;
+        see :class:`~repro.core.task.TaskContext`).  Section 8's
+        overlapping-access contract is enforced here: a transfer that
+        conflicts with one still in flight (any overlap where either
+        side writes) waits for it to land first; disjoint transfers --
+        and overlapping reads -- proceed in parallel across the disk
+        stripes.
         """
         fc = self.file_controller
         if fc is None or w.owner != fc.tid:
@@ -1031,7 +1083,7 @@ class PiscesVM:
             self.stats.window_overlap_waits += 1
             if self.metrics.enabled:
                 self.metrics.counter("window_overlap_waits").inc()
-            self.engine.block("window-overlap-wait", deadline=until, cost=0)
+            yield co_block("window-overlap-wait", deadline=until, cost=0)
         base = fc.arrays.get(w.array)
         itemsize = base.dtype.itemsize
         # File offset of the window's first element in the byte stream.
@@ -1044,7 +1096,7 @@ class PiscesVM:
         done = fc.disks.transfer(now, offset, w.nbytes, write)
         fc.note_transfer(w, write, done)
         if done > now:
-            self.engine.block("disk-io", deadline=done, cost=0)
+            yield co_block("disk-io", deadline=done, cost=0)
 
     # Every data-plane path below charges the identical virtual-time
     # cost (one window_transfer_cost, the same disk wait, one preempt),
@@ -1122,7 +1174,15 @@ class PiscesVM:
 
     def window_read(self, ctx: TaskContext, w: Window, *,
                     rows=None, cols=None) -> np.ndarray:
-        """Remote read of the data visible in a window.
+        """Synchronous form of :meth:`window_read_gen` (drives the op
+        stream through the engine's blocking calls in place)."""
+        return drive_kernel_ops(
+            self.engine, self.window_read_gen(ctx, w, rows=rows, cols=cols))
+
+    def window_read_gen(self, ctx: TaskContext, w: Window, *,
+                        rows=None, cols=None):
+        """Remote read of the data visible in a window (a KernelOp
+        generator; value: the data).
 
         ``rows=`` / ``cols=`` shrink the window for this one access.
         Charges the requester the transfer cost and moves the block
@@ -1141,7 +1201,7 @@ class PiscesVM:
             det.on_window_access(w, False)
         nbytes = w.nbytes
         self.engine.charge(window_transfer_cost(nbytes))
-        self._file_io_wait(w, write=False)
+        yield from self._file_io_wait(w, write=False)
         path = self.window_path
         hit = False
         cache = None
@@ -1186,13 +1246,23 @@ class PiscesVM:
             if cache is not None:
                 m.counter("window_cache_hits" if hit
                           else "window_cache_misses").inc()
-        self.engine.preempt(0)
+        yield co_preempt(0)
         return data
 
     def window_write(self, ctx: TaskContext, w: Window,
                      data: np.ndarray, *, rows=None, cols=None,
                      if_unchanged: bool = False) -> None:
-        """Remote write through a window into the owner's array.
+        """Synchronous form of :meth:`window_write_gen`."""
+        drive_kernel_ops(
+            self.engine, self.window_write_gen(ctx, w, data, rows=rows,
+                                               cols=cols,
+                                               if_unchanged=if_unchanged))
+
+    def window_write_gen(self, ctx: TaskContext, w: Window,
+                         data: np.ndarray, *, rows=None, cols=None,
+                         if_unchanged: bool = False):
+        """Remote write through a window into the owner's array (a
+        KernelOp generator).
 
         ``rows=`` / ``cols=`` shrink the window for this one access.
         ``if_unchanged=True`` makes the write conditional: it is refused
@@ -1208,7 +1278,7 @@ class PiscesVM:
             det.on_window_access(w, True)
         nbytes = w.nbytes
         self.engine.charge(window_transfer_cost(nbytes))
-        self._file_io_wait(w, write=True)
+        yield from self._file_io_wait(w, write=True)
         path = self.window_path
         cache = self._requester_cache(ctx) if path == "fast" else None
         require = None
@@ -1235,7 +1305,7 @@ class PiscesVM:
                 self.stats.window_conflicts += 1
                 if self.metrics.enabled:
                     self.metrics.counter("window_conflicts").inc()
-                self.engine.preempt(0)
+                yield co_preempt(0)
                 raise WindowConflict(w, reply.detail)
         if cache is not None:
             cache.invalidate_overlapping(w)
@@ -1248,7 +1318,7 @@ class PiscesVM:
             m.counter("window_ops", op="write").inc()
             m.histogram("window_transfer_bytes", op="write").observe(nbytes)
             m.counter("window_bytes_moved", op="write").inc(nbytes)
-        self.engine.preempt(0)
+        yield co_preempt(0)
 
     def configure_file_disks(self, n_disks: int,
                              stripe_unit: Optional[int] = None) -> None:
@@ -1263,12 +1333,20 @@ class PiscesVM:
 
     def file_window(self, ctx: TaskContext, name: str, *,
                     region=None, rows=None, cols=None) -> Window:
-        """Synchronous window request on a file-store array."""
+        """Synchronous form of :meth:`file_window_gen`."""
+        return drive_kernel_ops(
+            self.engine, self.file_window_gen(ctx, name, region=region,
+                                              rows=rows, cols=cols))
+
+    def file_window_gen(self, ctx: TaskContext, name: str, *,
+                        region=None, rows=None, cols=None):
+        """Window request on a file-store array (a KernelOp generator;
+        value: the window)."""
         fc = self.file_controller
         if fc is None:
             raise WindowError("no file controller in this configuration")
         self.engine.charge(COST_SEND)
-        self.engine.preempt(0)
+        yield co_preempt(0)
         return fc.window_for(name, region=region, rows=rows, cols=cols)
 
     def export_file(self, name: str, array: np.ndarray,

@@ -124,19 +124,25 @@ class CoopEngine(Engine):
         this function call, no OS handoff anywhere.
         """
         gen = p.gen
-        if p.killed:
-            # Mirror the threaded core exactly: a killed process never
-            # gets to observe ProcessKilled inside a coroutine body (the
-            # trampoline raises it *outside* the generator); the body
-            # sees GeneratorExit via close(), the result stays None.
-            try:
-                gen.close()
-            except BaseException as e:
-                p.exc = e
-            self._proc_exit(p)
-            return
+        # The runner ident covers kill/close cleanup too: a generator's
+        # GeneratorExit handlers (lock hand-off, barrier retraction) and
+        # the exit hooks run kernel calls like wake()/now(), which must
+        # see in_process() exactly as the threaded core's worker-thread
+        # unwinding does.
         self._gen_runner = threading.get_ident()
         try:
+            if p.killed:
+                # Mirror the threaded core exactly: a killed process
+                # never observes ProcessKilled inside a coroutine body
+                # (the trampoline raises it *outside* the generator);
+                # the body sees GeneratorExit via close(), the result
+                # stays None.
+                try:
+                    gen.close()
+                except BaseException as e:
+                    p.exc = e
+                self._proc_exit(p)
+                return
             val = p.wake_info
             while True:
                 try:
@@ -229,13 +235,17 @@ class CoopEngine(Engine):
                 continue
             if p.gen is not None:
                 self._current = p
+                self._gen_runner = threading.get_ident()
                 try:
-                    p.gen.close()
-                except BaseException:
-                    pass
-                p.exc = None
-                self._proc_exit(p)
-                self._current = None
+                    try:
+                        p.gen.close()
+                    except BaseException:
+                        pass
+                    p.exc = None
+                    self._proc_exit(p)
+                finally:
+                    self._gen_runner = None
+                    self._current = None
                 continue
             while p.live and p.thread is not None and p.thread.is_alive():
                 if p.state is ProcState.DONE:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Callable, List, Optional, Tuple
 
 from ..flex.machine import FlexMachine
-from .process import KernelProcess
+from .process import KernelProcess, co_preempt
 from .scheduler import DEFAULT_KERNEL_COST, create_engine
 
 #: Tick costs of kernel services (arbitrary units; relative magnitudes
@@ -20,6 +20,10 @@ COST_PROCESS_CREATE = 200
 COST_PROCESS_EXIT = 50
 COST_TERMINAL_IO = 20
 COST_CPU_SWAP = DEFAULT_KERNEL_COST
+
+#: Interned op tuples for the common compute costs (see
+#: :meth:`MMOSKernel.compute_ops`; ops and tuples are both read-only).
+_COMPUTE_OPS = {t: (co_preempt(t),) for t in range(33)}
 
 
 class ConsoleLine(Tuple[int, int, str]):
@@ -67,9 +71,32 @@ class MMOSKernel:
         self.engine.preempt(COST_CPU_SWAP)
 
     def compute(self, ticks: int) -> None:
-        """Charge pure computation and allow a CPU swap afterwards."""
-        self.engine.charge(ticks)
-        self.engine.preempt(0)
+        """Charge pure computation and allow a CPU swap afterwards.
+
+        One preempt carrying the cost: identical slice accounting to
+        ``charge(ticks)`` + ``preempt(0)``, half the kernel calls."""
+        if ticks < 0:
+            raise ValueError("cannot charge negative ticks")
+        self.engine.preempt(ticks)
+
+    def compute_ops(self, ticks: int) -> Tuple:
+        """Coroutine form of :meth:`compute`: the swap point is a
+        yielded :class:`~repro.mmos.process.KernelOp` instead of a
+        blocking call, so the op stream is identical on both cores.
+
+        Returns a (usually interned) 1-tuple rather than a generator: a
+        coroutine body ``yield from``s it, which iterates at C level
+        with no generator frame on the per-dispatch hot path.  The
+        single preempt op carries the compute cost -- the cost lands in
+        ``pending_cost`` before the slice settles, exactly like
+        ``charge(ticks)`` followed by ``preempt(0)``, so virtual time is
+        bit-identical."""
+        ops = _COMPUTE_OPS.get(ticks)
+        if ops is None:
+            if ticks < 0:
+                raise ValueError("cannot charge negative ticks")
+            ops = (co_preempt(ticks),)
+        return ops
 
     # --------------------------------------------------------- inspection --
 

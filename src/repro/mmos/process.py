@@ -80,10 +80,18 @@ def co_charge(ticks: int) -> KernelOp:
     return KernelOp("charge", ticks)
 
 
+#: Interned preempt ops for the common costs.  A KernelOp is read-only
+#: data to both engines (the drivers only ever read kind/cost), and the
+#: hot path yields one preempt per dispatch, so small costs share a
+#: singleton instead of allocating a fresh op every time.
+_PREEMPT_OPS = {c: KernelOp("preempt", c) for c in range(33)}
+
+
 def co_preempt(cost: int = DEFAULT_KERNEL_COST) -> KernelOp:
     """A kernel point: charge ``cost`` and let the scheduler switch
     (the coroutine form of ``engine.preempt``)."""
-    return KernelOp("preempt", cost)
+    op = _PREEMPT_OPS.get(cost)
+    return KernelOp("preempt", cost) if op is None else op
 
 
 def co_block(reason: str, *, deadline: Optional[int] = None,
@@ -92,6 +100,49 @@ def co_block(reason: str, *, deadline: Optional[int] = None,
     ``engine.block``); the ``yield`` expression evaluates to the
     waker's ``info`` value."""
     return KernelOp("block", cost, reason, deadline)
+
+
+def drive_kernel_ops(engine: Any, gen: Generator) -> Any:
+    """Run a KernelOp-yielding generator to completion by mapping each
+    op onto the engine's classic blocking calls.
+
+    This is the synchronous driver at the KernelOp seam: the run-time
+    library writes every suspending operation *once*, as a generator,
+    and executes it in two ways -- a coroutine body ``yield from``s it
+    (the ops reach the engine's slice loop), while a callable body on a
+    worker thread drives it here.  Both interpret the identical op
+    stream, which is what keeps the two body forms bit-identical in
+    virtual time.
+
+    If a blocking call unwinds (``ProcessKilled`` / ``EngineShutdown``),
+    the generator is closed first so its cleanup handlers run at the
+    suspension point -- the same ``GeneratorExit`` they observe when a
+    coroutine body is killed on either core.
+    """
+    try:
+        val: Any = None
+        while True:
+            try:
+                op = gen.send(val)
+            except StopIteration as e:
+                return e.value
+            if not isinstance(op, KernelOp):
+                raise RuntimeError(
+                    f"kernel-op generator yielded {op!r}; expected a "
+                    "KernelOp from co_charge/co_preempt/co_block")
+            kind = op.kind
+            if kind == "charge":
+                engine.charge(op.cost)
+                val = None
+            elif kind == "preempt":
+                engine.preempt(op.cost)
+                val = None
+            else:  # block
+                val = engine.block(op.reason, deadline=op.deadline,
+                                   cost=op.cost)
+    except BaseException:
+        gen.close()
+        raise
 
 
 _pid_counter = itertools.count(1)
@@ -115,6 +166,10 @@ class KernelProcess:
         self.daemon = daemon
 
         self.state = ProcState.NEW
+        #: This PE's clock object (set by ``Engine.spawn``; a process
+        #: never migrates, so the engine's per-dispatch accounting reads
+        #: it here instead of a clockmap lookup).
+        self.clock: Any = None
         #: Virtual time at which the process may next be dispatched.
         self.ready_time: int = 0
         #: Absolute virtual deadline for a blocked-with-timeout process.

@@ -61,12 +61,12 @@ from __future__ import annotations
 
 import heapq
 import inspect
-import os
 import threading
 import time
 import warnings
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..config.configuration import env_value
 from ..errors import (
     DeadlockError,
     EngineShutdown,
@@ -75,7 +75,13 @@ from ..errors import (
     TimeLimitExceeded,
 )
 from ..flex.machine import FlexMachine
-from .process import DEFAULT_KERNEL_COST, KernelOp, KernelProcess, ProcState
+from .process import (
+    DEFAULT_KERNEL_COST,
+    KernelOp,
+    KernelProcess,
+    ProcState,
+    drive_kernel_ops,
+)
 
 #: Recognized dispatcher implementations.  ``replay`` re-executes a
 #: recorded decision stream (see :mod:`repro.correctness.recorder`).
@@ -87,7 +93,7 @@ EXEC_CORES = ("threaded", "coop")
 
 def default_dispatcher() -> str:
     """Dispatcher used when the Engine caller does not choose one."""
-    d = os.environ.get("PISCES_DISPATCHER", "indexed")
+    d = env_value("PISCES_DISPATCHER", "indexed")
     if d not in DISPATCHERS:
         raise ValueError(
             f"PISCES_DISPATCHER={d!r}: must be one of {DISPATCHERS}")
@@ -104,7 +110,7 @@ def _live_dispatcher_for(schedule: Any) -> str:
 
 def default_exec_core() -> str:
     """Execution core used when the caller does not choose one."""
-    c = os.environ.get("PISCES_EXEC_CORE", "threaded")
+    c = env_value("PISCES_EXEC_CORE", "threaded")
     if c not in EXEC_CORES:
         raise ValueError(
             f"PISCES_EXEC_CORE={c!r}: must be one of {EXEC_CORES}")
@@ -245,7 +251,7 @@ class Engine:
         self._live_dispatcher = dispatcher
         if self._replay:
             if schedule is None:
-                path = os.environ.get("PISCES_REPLAY_SCHEDULE", "").strip()
+                path = env_value("PISCES_REPLAY_SCHEDULE")
                 if not path:
                     raise ValueError(
                         "replay dispatcher needs a schedule: pass "
@@ -258,7 +264,7 @@ class Engine:
             self.sched_hook = schedule
             self._live_dispatcher = _live_dispatcher_for(schedule)
         else:
-            rec_path = os.environ.get("PISCES_RECORD_SCHEDULE", "").strip()
+            rec_path = env_value("PISCES_RECORD_SCHEDULE")
             if rec_path:
                 from ..correctness.recorder import ScheduleRecorder
                 self.sched_hook = ScheduleRecorder(path=rec_path)
@@ -276,6 +282,7 @@ class Engine:
         if pe not in self.machine.pes:
             raise ValueError(f"no PE {pe}")
         p = KernelProcess(name, pe, target, daemon=daemon)
+        p.clock = self._clockmap[pe]
         p.ready_time = self._now if start_time is None else start_time
         p.state = ProcState.READY
         p.spawn_ordinal = self._spawn_seq
@@ -316,27 +323,7 @@ class Engine:
         gen = p.target()
         p.gen = gen
         try:
-            val: Any = None
-            while True:
-                try:
-                    op = gen.send(val)
-                except StopIteration as e:
-                    return e.value
-                if not isinstance(op, KernelOp):
-                    raise RuntimeError(
-                        f"coroutine process {p.name!r} yielded {op!r}; "
-                        "expected a KernelOp from co_charge/co_preempt/"
-                        "co_block")
-                kind = op.kind
-                if kind == "charge":
-                    self.charge(op.cost)
-                    val = None
-                elif kind == "preempt":
-                    self.preempt(op.cost)
-                    val = None
-                else:  # block
-                    val = self.block(op.reason, deadline=op.deadline,
-                                     cost=op.cost)
+            return drive_kernel_ops(self, gen)
         finally:
             gen.close()
 
@@ -374,7 +361,7 @@ class Engine:
         """Account the final slice and mark ``p`` DONE (shared by both
         cores; the caller owns whatever synchronization its core needs)."""
         cost = p.pending_cost
-        end = self._clockmap[p.pe].run(p.slice_start, cost)
+        end = p.clock.run(p.slice_start, cost)
         if self.record_slices and cost > 0:
             self.slices.append((p.pe, end - cost, end, p.name))
         p.pending_cost = 0
@@ -391,7 +378,7 @@ class Engine:
         timestamps bit-identical across cores.
         """
         cost = p.pending_cost
-        end = self._clockmap[p.pe].run(p.slice_start, cost)
+        end = p.clock.run(p.slice_start, cost)
         if self.record_slices and cost > 0:
             self.slices.append((p.pe, end - cost, end, p.name))
         m = self.metrics
@@ -572,7 +559,7 @@ class Engine:
     def _runnable_key(self, p: KernelProcess):
         # Round-robin among equals: earliest start first, then the
         # process that has waited longest since its last slice, then pid.
-        pe_clock = self._clockmap[p.pe].ticks
+        pe_clock = p.clock.ticks
         if p.state is ProcState.READY:
             return (max(p.ready_time, pe_clock), p.last_dispatched, p.pid)
         # blocked with a deadline: runnable at the deadline
@@ -595,8 +582,8 @@ class Engine:
             return
         p.sched_gen += 1
         pe = p.pe
-        # Inlined _is_runnable/_runnable_key: this runs once per state
-        # change, which on the coop core is once per dispatch.
+        # Inlined _is_runnable/_runnable_key/_touch_pe: this runs once
+        # per state change, which on the coop core is once per dispatch.
         state = p.state
         if state is ProcState.READY:
             base = p.ready_time
@@ -605,18 +592,15 @@ class Engine:
         else:
             # Not runnable any more -- but its departure may still have
             # changed which queued process is this PE's best candidate.
-            self._touch_pe(pe)
-            return
-        if base <= self._clockmap[pe].ticks:
-            heapq.heappush(self._ripe[pe],
-                           (p.last_dispatched, p.pid, p.sched_gen))
-        else:
-            heapq.heappush(self._future[pe],
-                           (base, p.last_dispatched, p.pid, p.sched_gen))
-        self._touch_pe(pe)
-
-    def _touch_pe(self, pe: int) -> None:
-        """Supersede PE ``pe``'s candidate entry with a fresh one."""
+            base = None
+        if base is not None:
+            if base <= p.clock.ticks:
+                heapq.heappush(self._ripe[pe],
+                               (p.last_dispatched, p.pid, p.sched_gen))
+            else:
+                heapq.heappush(self._future[pe],
+                               (base, p.last_dispatched, p.pid,
+                                p.sched_gen))
         g = self._pe_gen[pe] + 1
         self._pe_gen[pe] = g
         cand = self._pe_candidate(pe)
@@ -801,7 +785,10 @@ class Engine:
             p.ready_time = max(p.ready_time, p.deadline)
             p.deadline = None
             p.state = ProcState.READY
-        start = max(p.ready_time, self._clockmap[p.pe].ticks)
+        clock = p.clock
+        rt = p.ready_time
+        ticks = clock.ticks
+        start = rt if rt > ticks else ticks
         if self.time_limit is not None and start > self.time_limit:
             raise TimeLimitExceeded(self.time_limit)
         sh = self.sched_hook
@@ -809,13 +796,15 @@ class Engine:
             # Recording appends; replay consumes-and-verifies (the start
             # tick doubles as a virtual-time checksum per dispatch).
             sh.on_dispatch(p.spawn_ordinal, start, p.name)
-        self._now = max(self._now, start)
+        if start > self._now:
+            self._now = start
         self._dispatch_seq += 1
         p.last_dispatched = self._dispatch_seq
         m = self.metrics
         if m is not None and m.enabled:
             m.counter("dispatches", pe=p.pe).inc()
-        self._clockmap[p.pe].advance_to(start)
+        if start > ticks:
+            clock.ticks = start
         pr = self.prof_hook
         t_wall = time.perf_counter() if pr is not None else 0.0
         self._run_slice(p, start)
@@ -848,6 +837,65 @@ class Engine:
             while p.state is ProcState.RUNNING:
                 self._cv.wait()
 
+    def _fast_eligible(self) -> bool:
+        """True when no per-slice hook is installed -- replay,
+        checkpoint pump, fault pump, schedule recording, profiling,
+        metrics, time limit, idle callback -- so :meth:`run` may
+        dispatch through :meth:`_step_fast` batches."""
+        m = self.metrics
+        return (self._indexed and not self._replay
+                and self._ckpt_pump is None
+                and self._fault_pump is None
+                and self.sched_hook is None
+                and self.prof_hook is None
+                and self.on_idle_check is None
+                and self.time_limit is None
+                and (m is None or not m.enabled))
+
+    def _step_fast(self, batch: int) -> bool:
+        """Dispatch up to ``batch`` slices with the hook tests hoisted
+        out of the loop (the caller checked :meth:`_fast_eligible`;
+        eligibility cannot change inside the batch -- hooks install at
+        boot, between runs, or via the replay path, all ineligible).
+
+        Selection and accounting mirror :meth:`step` exactly minus the
+        hook branches, so dispatch streams are identical -- and the
+        replay suite cross-checks that claim on every recorded run: the
+        recording dispatches through here while its replay (ineligible)
+        re-executes the same stream through :meth:`step`.  Returns
+        False when nothing was runnable, True when the batch was
+        exhausted with work remaining.
+        """
+        pop = self._pop_runnable
+        for _ in range(batch):
+            p, key = pop()
+            if p is None:
+                return False
+            if p.state is ProcState.BLOCKED:
+                # Deadline fired: resume with timed_out set.
+                p.timed_out = True
+                p.wake_info = None
+                p.ready_time = max(p.ready_time, p.deadline)
+                p.deadline = None
+                p.state = ProcState.READY
+            clock = p.clock
+            rt = p.ready_time
+            ticks = clock.ticks
+            start = rt if rt > ticks else ticks
+            if start > self._now:
+                self._now = start
+            self._dispatch_seq += 1
+            p.last_dispatched = self._dispatch_seq
+            if start > ticks:
+                clock.ticks = start
+            self._run_slice(p, start)
+            self._current = None
+            if p.exc is not None:
+                exc, p.exc = p.exc, None
+                self.shutdown()
+                raise exc
+        return True
+
     @property
     def dispatch_count(self) -> int:
         """Total slices dispatched so far (benchmark instrumentation)."""
@@ -861,6 +909,13 @@ class Engine:
         """
         try:
             while True:
+                if self._fast_eligible():
+                    # Hookless runs (the common case) dispatch in
+                    # batches with the per-slice hook tests hoisted;
+                    # the trailing step() below re-confirms idleness
+                    # through the general path.
+                    while self._step_fast(1024):
+                        pass
                 progressed = self.step()
                 if progressed:
                     continue

@@ -1,0 +1,51 @@
+"""The common surface of every run-result object the api returns.
+
+``run_app`` / ``record_run`` / ``profile_run`` / ``check_races`` /
+``restore_vm`` each return a different record type, but all of them
+answer the same three questions the same way:
+
+* ``.elapsed`` -- virtual ticks attributed to the run;
+* ``.vm``      -- the :class:`~repro.core.vm.PiscesVM` behind it;
+* ``.export(directory)`` -- write the observability record (trace
+  JSONL, Chrome trace, metrics snapshots, race/profile bundles when
+  present) via :func:`repro.obs.export.export_run`.
+
+:class:`RunRecord` is that contract.  ``elapsed`` and ``vm`` fall back
+to ``self.result`` -- a record that carries a nested
+:class:`~repro.core.vm.RunResult` gets them for free, while a record
+that stores either directly (the ``RunResult`` itself,
+``RestoredRun.vm``) or defines its own property keeps its value.  The
+fallback lives in ``__getattr__`` rather than descriptors so dataclass
+subclasses can still declare ``elapsed``/``vm`` as ordinary fields.
+This module imports nothing from the rest of the package at import
+time, so every layer (core, checkpoint, api) can inherit from it
+without cycles.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Union
+
+#: Attributes delegated to ``self.result`` when the record does not
+#: store them itself.
+_DELEGATED = ("elapsed", "vm")
+
+
+class RunRecord:
+    """Base class unifying the api's result objects."""
+
+    def __getattr__(self, name: str) -> Any:
+        if name in _DELEGATED:
+            result = self.__dict__.get("result")
+            if result is not None:
+                return getattr(result, name)
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
+    def export(self, directory: Union[str, Path],
+               prefix: str = "run") -> Dict[str, Path]:
+        """Write this run's observability record into ``directory``;
+        returns the written paths keyed by kind."""
+        from .obs.export import export_run
+        return export_run(self.vm, directory, prefix=prefix)

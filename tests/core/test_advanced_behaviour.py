@@ -150,7 +150,7 @@ class TestWindowChains:
             ctx.export_array("A", a)
             ctx.initiate("MID", on=2)
             ctx.accept("X", delay=500, timeout_ok=True)
-            w = ctx.window("A", (slice(2, 6), slice(None)))
+            w = ctx.window("A", region=(slice(2, 6), slice(None)))
             ctx.broadcast("WIN", w, cluster=2)
             r = ctx.accept("VAL")
             return r.args

@@ -290,16 +290,17 @@ def test_window_path_env_override(make_vm, registry, monkeypatch):
         resolve_window_path(ONE_CLUSTER)
 
 
-# ------------------------------------------------------- deprecation --
+# ------------------------------------------- keyword-only selectors --
 
-def test_positional_region_in_ctx_window_warns(make_vm, registry):
+def test_positional_region_in_ctx_window_rejected(make_vm, registry):
     @registry.tasktype("T")
     def t(ctx):
         ctx.export_array("A", np.zeros((4, 4)))
-        with pytest.deprecated_call():
-            w = ctx.window("A", ((0, 2), (0, 4)))
+        with pytest.raises(TypeError):
+            ctx.window("A", ((0, 2), (0, 4)))   # keyword-only now
+        w = ctx.window("A", region=((0, 2), (0, 4)))
         assert w.shape == (2, 4)
-        w2 = ctx.window("A", rows=(0, 2))       # keyword form: silent
+        w2 = ctx.window("A", rows=(0, 2))
         assert w2.shape == (2, 4)
         return True
 
@@ -307,15 +308,16 @@ def test_positional_region_in_ctx_window_warns(make_vm, registry):
     assert vm.run("T").value is True
 
 
-def test_positional_region_in_file_window_for_warns(make_vm, registry):
+def test_positional_region_in_file_window_for_rejected(make_vm, registry):
     @registry.tasktype("T")
     def t(ctx):
         return True
 
     vm = make_vm(config=ONE_CLUSTER, registry=registry)
     vm.export_file("F", np.zeros((6, 6)))
-    with pytest.deprecated_call():
-        w = vm.file_controller.window_for("F", ((0, 3), (0, 6)))
+    with pytest.raises(TypeError):
+        vm.file_controller.window_for("F", ((0, 3), (0, 6)))
+    w = vm.file_controller.window_for("F", region=((0, 3), (0, 6)))
     assert w.shape == (3, 6)
     w2 = vm.file_controller.window_for("F", rows=(0, 3))
     assert w2.shape == (3, 6)

@@ -22,8 +22,8 @@ class TestTaskWindows:
             ctx.export_array("A", a)
             ctx.initiate("READER", on=SAME)
             ctx.accept("GIMME")
-            ctx.send(ctx.sender, "WIN", ctx.window("A", (slice(0, 2),
-                                                         slice(0, 4))))
+            ctx.send(ctx.sender, "WIN",
+                     ctx.window("A", region=(slice(0, 2), slice(0, 4))))
             return ctx.accept("SUM").args[0]
 
         vm = make_vm(registry=registry)
@@ -44,7 +44,7 @@ class TestTaskWindows:
             ctx.initiate("WRITER", on=SAME)
             ctx.accept("GIMME")
             ctx.send(ctx.sender, "WIN",
-                     ctx.window("A", (slice(1, 3), slice(1, 3))))
+                     ctx.window("A", region=(slice(1, 3), slice(1, 3))))
             ctx.accept("DONE")
             return float(a.sum()), float(a[1, 1])
 

@@ -147,3 +147,164 @@ def test_coroutine_bodies_match_callable_bodies_on_both_cores(procs):
         assert got == ref, (
             f"coroutine bodies on {exec_core} diverged from callable "
             f"bodies:\n got={got}\n ref={ref}")
+
+
+# --------------------------------------------------------------- app zoo --
+#
+# The hypothesis properties above exercise raw engine schedules; the
+# matrix below runs every full application in the repo across
+# {threaded, coop} x {auto, callable} task-body vehicles and demands
+# identical virtual time, dispatch counts and complete trace streams.
+# This is the task-runtime acceptance contract: a PISCES program's
+# observable history does not depend on how its bodies are executed.
+
+import dataclasses
+
+import pytest
+
+from repro.config.configuration import ClusterSpec, Configuration
+from repro.core.tracing import TraceEventType
+from repro.core.vm import PiscesVM
+
+_ALL_EVENTS = tuple(t.value for t in TraceEventType)
+
+
+def _two_clusters(slots):
+    return tuple(ClusterSpec(number=i, primary_pe=2 + i, slots=slots)
+                 for i in (1, 2))
+
+
+def _force_cluster():
+    return (ClusterSpec(number=1, primary_pe=3, slots=2,
+                        secondary_pes=(4, 5, 6)),)
+
+
+def _case_jacobi_windows():
+    from repro.apps.jacobi import build_windows_registry
+    return (build_windows_registry(12, 2, 3),
+            Configuration(clusters=_two_clusters(3), name="zoo-jacobi-w"),
+            "JMASTER", ())
+
+
+def _case_jacobi_force():
+    from repro.apps.jacobi import build_force_registry
+    return (build_force_registry(10, 2),
+            Configuration(clusters=_force_cluster(), name="zoo-jacobi-f"),
+            "JFORCE", (10, 2))
+
+
+def _case_matmul_tasks():
+    from repro.apps.matmul import build_tasks_registry
+    return (build_tasks_registry(10, 3),
+            Configuration(clusters=_two_clusters(3), name="zoo-matmul-t"),
+            "MMASTER", ())
+
+
+def _case_matmul_force():
+    from repro.apps.matmul import build_force_registry
+    return (build_force_registry(8),
+            Configuration(clusters=_force_cluster(), name="zoo-matmul-f"),
+            "MFORCE", ())
+
+
+def _case_matmul_hybrid():
+    from repro.apps.matmul import build_hybrid_registry
+    clusters = (ClusterSpec(1, 3, 3, (6, 7)), ClusterSpec(2, 4, 3, (8, 9)))
+    return (build_hybrid_registry(10, 2),
+            Configuration(clusters=clusters, name="zoo-matmul-h"),
+            "HMASTER", ())
+
+
+def _case_fem():
+    from repro.apps.fem import FEMProblem, build_fem_registry
+    return (build_fem_registry(FEMProblem(n_elements=6)),
+            Configuration(clusters=_force_cluster(), name="zoo-fem"),
+            "FEM", ())
+
+
+def _case_truss():
+    from repro.apps.truss import build_truss_registry, pratt_truss
+    return (build_truss_registry(pratt_truss(n_panels=2)),
+            Configuration(clusters=_force_cluster(), name="zoo-truss"),
+            "TRUSS", ())
+
+
+def _case_integrate():
+    from repro.apps.integrate import build_integrate_registry, \
+        default_integrand
+    return (build_integrate_registry(default_integrand, 0.0, 3.0, 8, 6, 3),
+            Configuration(clusters=_two_clusters(3), name="zoo-integrate"),
+            "IMASTER", ())
+
+
+def _case_pipeline():
+    from repro.apps.pipeline import build_pipeline_registry
+    return (build_pipeline_registry(3, list(range(6))),
+            Configuration(clusters=_two_clusters(4), name="zoo-pipeline"),
+            "COORD", ())
+
+
+def _case_chaos_jacobi():
+    from repro.apps.chaos_jacobi import build_chaos_registry
+    return (build_chaos_registry(10, 2, 2, None, "abort", 8_000, 60_000,
+                                 200),
+            Configuration(clusters=_two_clusters(3), name="zoo-chaos"),
+            "CMASTER", ())
+
+
+APP_CASES = {
+    "jacobi_windows": _case_jacobi_windows,
+    "jacobi_force": _case_jacobi_force,
+    "matmul_tasks": _case_matmul_tasks,
+    "matmul_force": _case_matmul_force,
+    "matmul_hybrid": _case_matmul_hybrid,
+    "fem": _case_fem,
+    "truss": _case_truss,
+    "integrate": _case_integrate,
+    "pipeline": _case_pipeline,
+    "chaos_jacobi": _case_chaos_jacobi,
+}
+
+_LEGS = (("threaded", "auto"), ("threaded", "callable"),
+         ("coop", "auto"), ("coop", "callable"))
+
+
+def _run_app_leg(case, exec_core, task_bodies):
+    registry, config, tasktype, args = case()
+    config = dataclasses.replace(config, exec_core=exec_core,
+                                 task_bodies=task_bodies,
+                                 trace_events=_ALL_EVENTS)
+    vm = PiscesVM(config, registry=registry)
+    r = vm.run(tasktype, *args)
+    return {
+        "elapsed": r.elapsed,
+        "dispatches": vm.engine.dispatch_count,
+        "trace": [e.line() for e in vm.tracer.events],
+    }
+
+
+@pytest.mark.parametrize("app", sorted(APP_CASES))
+def test_app_zoo_identical_across_cores_and_vehicles(app):
+    ref = _run_app_leg(APP_CASES[app], "threaded", "auto")
+    assert ref["trace"], "tracing must be live for the comparison to bite"
+    for exec_core, task_bodies in _LEGS[1:]:
+        got = _run_app_leg(APP_CASES[app], exec_core, task_bodies)
+        assert got == ref, (
+            f"{app}: {exec_core}/{task_bodies} diverged from "
+            f"threaded/auto (elapsed {got['elapsed']} vs {ref['elapsed']})")
+
+
+@pytest.mark.parametrize("app", sorted(APP_CASES))
+def test_app_zoo_runs_threadless_on_coop(app):
+    """On the coop core with coroutine bodies nothing gets an OS
+    thread: controllers, task bodies and force members all suspend at
+    the KernelOp seam on the engine thread."""
+    registry, config, tasktype, args = APP_CASES[app]()
+    config = dataclasses.replace(config, exec_core="coop",
+                                 task_bodies="auto")
+    vm = PiscesVM(config, registry=registry)
+    vm.run(tasktype, *args)
+    procs = vm.engine._by_ordinal
+    assert procs, "the run must have spawned processes"
+    threaded = [p.name for p in procs if p.thread is not None]
+    assert not threaded, f"worker threads on coop: {threaded}"
