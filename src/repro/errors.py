@@ -234,6 +234,31 @@ class ConfigurationError(PiscesError):
     """Invalid virtual-machine-to-hardware configuration."""
 
 
+# --------------------------------------------------------------- service ----
+
+class ServiceError(PiscesError):
+    """Base for multi-tenant run-service errors (see :mod:`repro.service`)."""
+
+
+class InvalidRunSpec(ServiceError):
+    """A submitted run spec names an unknown app, carries unknown or
+    ill-typed fields, or cannot be built into a runnable plan."""
+
+
+class UnknownRun(ServiceError):
+    """A run id that the store has no record of."""
+
+
+class QuotaExceeded(ServiceError):
+    """A submission was refused by the tenant's admission quota (the
+    REST layer maps this to ``429 Too Many Requests``)."""
+
+    def __init__(self, tenant: str, detail: str):
+        self.tenant = tenant
+        self.detail = detail
+        super().__init__(f"tenant {tenant!r}: {detail}")
+
+
 # --------------------------------------------------------------- fortran ----
 
 class FortranError(PiscesError):

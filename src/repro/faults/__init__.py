@@ -25,6 +25,7 @@ or ambiently, for application entry points that build their own VM::
 from __future__ import annotations
 
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator, Optional
 
 from ..core.supervision import NONE, NOTIFY, RESTART, Supervision
@@ -53,7 +54,12 @@ from .plan import (
 
 #: Ambient plan installed by :func:`plan_scope`; consulted by
 #: ``PiscesVM.__init__`` when no explicit ``fault_plan`` is given.
-_ambient_plan: Optional[FaultPlan] = None
+#: A :class:`~contextvars.ContextVar`, not a module global: concurrent
+#: runs in one process (the run service's worker pool, a thread pool of
+#: ``run_app`` calls) each see only the plan installed in their own
+#: context, so one run's chaos plan can never leak into another's VM.
+_ambient_plan: ContextVar[Optional[FaultPlan]] = ContextVar(
+    "pisces_ambient_fault_plan", default=None)
 
 
 @contextmanager
@@ -61,20 +67,20 @@ def plan_scope(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
     """Install ``plan`` for every VM constructed inside the ``with``.
 
     Lets the chaos suite drive application entry points (which build
-    their own VM internally) without changing their signatures.
+    their own VM internally) without changing their signatures.  The
+    installation is context-local: a ``plan_scope`` entered on one
+    thread is invisible to VMs constructed concurrently on others.
     """
-    global _ambient_plan
-    prev = _ambient_plan
-    _ambient_plan = plan
+    token = _ambient_plan.set(plan)
     try:
         yield plan
     finally:
-        _ambient_plan = prev
+        _ambient_plan.reset(token)
 
 
 def ambient_plan() -> Optional[FaultPlan]:
     """The plan installed by the innermost :func:`plan_scope`, if any."""
-    return _ambient_plan
+    return _ambient_plan.get()
 
 
 __all__ = [

@@ -157,6 +157,7 @@ def run_manifest(vm, files: Optional[Dict[str, Path]] = None,
         "repro_version": repro_version,
         "dispatcher": vm.engine.dispatcher,
         "exec_core": vm.engine.exec_core,
+        "task_bodies": vm.task_bodies,
         "window_path": vm.window_path,
         "seed": seed,
         "fault_plan_hash": plan_hash,

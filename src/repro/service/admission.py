@@ -1,0 +1,160 @@
+"""Admission control: per-tenant quotas and fair-share scheduling.
+
+Two gates stand between a submitted run and a worker:
+
+* **Submission quota** -- a tenant may hold at most ``max_queued``
+  unfinished-but-not-yet-running runs.  Checked synchronously at
+  submit time; violation raises :class:`~repro.errors.QuotaExceeded`
+  (HTTP 429 at the REST layer).
+* **Admission quota** -- a tenant may have at most ``max_running``
+  runs executing at once, occupying at most ``pe_budget`` virtual PEs
+  in total.  Checked whenever a worker frees up.
+
+Among admissible tenants the scheduler is **deficit round-robin**
+(classic DRR, Shreedhar & Varghese): tenants are visited in a fixed
+rotation; each visit adds ``quantum`` to the tenant's deficit counter;
+the tenant's oldest queued run is admitted when its PE cost fits in
+the deficit, which is then charged.  Cheap-run tenants therefore get
+proportionally more runs per round than expensive-run tenants, and no
+tenant can starve another by submitting first or submitting a lot --
+a burst of 50 runs from tenant A still lets tenant B's single run in
+on B's next rotation slot.
+
+Deficits and the rotation pointer are in-memory only: fairness state
+is advisory and restarts from zero after a service restart, while the
+queue itself (the store) is what persists.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import QuotaExceeded
+from . import catalog
+from .store import ADMITTED, QUEUED, RUNNING, RunRecord, RunStore
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's limits."""
+
+    #: Concurrent executing runs.
+    max_running: int = 2
+    #: Waiting runs (QUEUED + ADMITTED) the tenant may hold.
+    max_queued: int = 8
+    #: Total virtual PEs the tenant's running runs may occupy.
+    pe_budget: int = 16
+
+
+#: The quota applied to tenants with no explicit entry.
+DEFAULT_QUOTA = TenantQuota()
+
+
+class AdmissionScheduler:
+    """Quota enforcement + DRR selection over the store's queue."""
+
+    def __init__(self, store: RunStore,
+                 quotas: Optional[Dict[str, TenantQuota]] = None,
+                 default_quota: TenantQuota = DEFAULT_QUOTA,
+                 quantum: int = 8) -> None:
+        self.store = store
+        self.quotas = dict(quotas or {})
+        self.default_quota = default_quota
+        self.quantum = quantum
+        self._lock = threading.Lock()
+        self._deficit: Dict[str, int] = {}
+        self._rotation: List[str] = []       # fixed visit order, grown
+        self._cursor = 0                     # next rotation position
+        self._cost_cache: Dict[str, int] = {}
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.quotas.get(tenant, self.default_quota)
+
+    # ------------------------------------------------------------- cost --
+
+    def run_cost(self, rec: RunRecord) -> int:
+        """PE cost of a run (cached -- building the app is pure)."""
+        c = self._cost_cache.get(rec.run_id)
+        if c is None:
+            c = self._cost_cache[rec.run_id] = catalog.pe_cost(rec.spec)
+        return c
+
+    # ----------------------------------------------------------- submit --
+
+    def check_submit(self, tenant: str) -> None:
+        """Gate a submission; raises :class:`QuotaExceeded` over-quota."""
+        q = self.quota_for(tenant)
+        waiting = len(self.store.list(tenant=tenant, state=QUEUED)) \
+            + len(self.store.list(tenant=tenant, state=ADMITTED))
+        if waiting >= q.max_queued:
+            raise QuotaExceeded(
+                tenant, f"{waiting} runs already waiting "
+                        f"(max_queued={q.max_queued})")
+
+    # ------------------------------------------------------------ usage --
+
+    def usage(self, tenant: str) -> Dict[str, int]:
+        """Current consumption against the tenant's quota."""
+        running = self.store.list(tenant=tenant, state=RUNNING) \
+            + self.store.list(tenant=tenant, state=ADMITTED)
+        q = self.quota_for(tenant)
+        return {
+            "running": len(running),
+            "queued": len(self.store.list(tenant=tenant, state=QUEUED)),
+            "pes_in_use": sum(self.run_cost(r) for r in running),
+            "max_running": q.max_running,
+            "max_queued": q.max_queued,
+            "pe_budget": q.pe_budget,
+        }
+
+    # ------------------------------------------------------------ select --
+
+    def _admissible(self, rec: RunRecord,
+                    active_by_tenant: Dict[str, List[RunRecord]]) -> bool:
+        q = self.quota_for(rec.tenant)
+        active = active_by_tenant.get(rec.tenant, [])
+        if len(active) >= q.max_running:
+            return False
+        in_use = sum(self.run_cost(r) for r in active)
+        return in_use + self.run_cost(rec) <= q.pe_budget
+
+    def select(self) -> Optional[RunRecord]:
+        """Pick (and mark ADMITTED) the next run a freed worker should
+        execute, or None if nothing is admissible right now."""
+        with self._lock:
+            queued: Dict[str, List[RunRecord]] = {}
+            for rec in self.store.list(state=QUEUED):     # seq order
+                queued.setdefault(rec.tenant, []).append(rec)
+            if not queued:
+                return None
+            active: Dict[str, List[RunRecord]] = {}
+            for state in (RUNNING, ADMITTED):
+                for rec in self.store.list(state=state):
+                    active.setdefault(rec.tenant, []).append(rec)
+
+            # Grow the rotation with newly seen tenants (sorted so the
+            # visit order is independent of submission timing).
+            for t in sorted(queued):
+                if t not in self._rotation:
+                    self._rotation.append(t)
+
+            n = len(self._rotation)
+            for i in range(n):
+                pos = (self._cursor + i) % n
+                t = self._rotation[pos]
+                backlog = queued.get(t)
+                if not backlog:
+                    self._deficit[t] = 0      # idle tenants bank nothing
+                    continue
+                deficit = self._deficit.get(t, 0) + self.quantum
+                head = backlog[0]
+                if self.run_cost(head) <= deficit \
+                        and self._admissible(head, active):
+                    self._deficit[t] = deficit - self.run_cost(head)
+                    self._cursor = (pos + 1) % n
+                    return self.store.transition(head.run_id, ADMITTED)
+                # Over quota or saving up: bank the deficit, move on.
+                self._deficit[t] = deficit
+            return None

@@ -1,0 +1,92 @@
+"""plan_scope isolation: concurrent scopes must not leak across runs.
+
+Regression for the run service: ``_ambient_plan`` was a module global,
+so two runs in one process (the service's worker pool) could steal
+each other's fault plans.  It is now a ContextVar -- each thread's
+scope is invisible to every other thread.
+"""
+
+import threading
+
+from repro.faults import FaultPlan, TaskKill, ambient_plan, plan_scope
+
+
+def test_nested_scopes_restore_outer():
+    a = FaultPlan(seed=1, kills=(TaskKill(at=10, tasktype="X"),))
+    b = FaultPlan(seed=2, kills=(TaskKill(at=20, tasktype="Y"),))
+    assert ambient_plan() is None
+    with plan_scope(a):
+        assert ambient_plan() is a
+        with plan_scope(b):
+            assert ambient_plan() is b
+        assert ambient_plan() is a
+    assert ambient_plan() is None
+
+
+def test_concurrent_scopes_are_isolated():
+    """Two threads hold different scopes simultaneously; each sees only
+    its own plan, and the main thread sees none."""
+    n = 2
+    plans = [FaultPlan(seed=i + 1,
+                       kills=(TaskKill(at=100 * (i + 1), tasktype="W"),))
+             for i in range(n)]
+    barrier = threading.Barrier(n)
+    seen = [None] * n
+    errors = []
+
+    def worker(i):
+        try:
+            with plan_scope(plans[i]):
+                barrier.wait(timeout=10)      # both scopes live at once
+                seen[i] = ambient_plan()
+                barrier.wait(timeout=10)
+        except Exception as e:                # pragma: no cover
+            errors.append(e)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors
+    assert seen[0] is plans[0] and seen[1] is plans[1]
+    assert ambient_plan() is None             # nothing leaked out
+
+
+def test_concurrent_vms_get_their_own_plan():
+    """The real seam: VMs constructed concurrently inside different
+    scopes install their own injector, not a leaked one."""
+    from repro.config.configuration import simple_configuration
+    from repro.core.task import TaskRegistry
+    from repro.core.vm import PiscesVM
+
+    plans = [FaultPlan(seed=11, kills=(TaskKill(at=50, tasktype="A"),)),
+             FaultPlan(seed=22, kills=(TaskKill(at=60, tasktype="B"),))]
+    barrier = threading.Barrier(2)
+    got = [None, None]
+    errors = []
+
+    def build(i):
+        try:
+            reg = TaskRegistry()
+
+            @reg.tasktype("NOOP")
+            def noop(ctx):
+                return None
+
+            with plan_scope(plans[i]):
+                barrier.wait(timeout=10)
+                vm = PiscesVM(simple_configuration(n_clusters=1, slots=2,
+                                                   name=f"iso-{i}"),
+                              registry=reg, autoboot=False)
+                got[i] = vm.faults.plan if vm.faults else None
+        except Exception as e:                # pragma: no cover
+            errors.append(e)
+
+    threads = [threading.Thread(target=build, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors
+    assert got[0] is plans[0] and got[1] is plans[1]

@@ -1,0 +1,152 @@
+"""Admission: quotas at submit and run time, DRR fair share."""
+
+import pytest
+
+from repro.errors import QuotaExceeded
+from repro.service.admission import AdmissionScheduler, TenantQuota
+from repro.service.spec import RunSpec
+from repro.service.store import ADMITTED, QUEUED, RunStore
+
+SPIN = RunSpec(app="spin", params={"rounds": 3})           # 1 PE
+FORCE = RunSpec(app="jacobi_force", params={"force_pes": 3})  # 4 PEs
+
+GENEROUS = TenantQuota(max_running=99, max_queued=99, pe_budget=999)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "store")
+
+
+class TestSubmitQuota:
+
+    def test_under_quota_passes(self, store):
+        sched = AdmissionScheduler(
+            store, default_quota=TenantQuota(max_queued=2))
+        store.create("t", SPIN)
+        sched.check_submit("t")
+
+    def test_max_queued_refused(self, store):
+        sched = AdmissionScheduler(
+            store, default_quota=TenantQuota(max_queued=2))
+        store.create("t", SPIN)
+        store.create("t", SPIN)
+        with pytest.raises(QuotaExceeded, match="max_queued"):
+            sched.check_submit("t")
+
+    def test_admitted_counts_as_waiting(self, store):
+        sched = AdmissionScheduler(
+            store, default_quota=TenantQuota(max_queued=2))
+        a = store.create("t", SPIN)
+        store.create("t", SPIN)
+        store.transition(a.run_id, ADMITTED)
+        with pytest.raises(QuotaExceeded):
+            sched.check_submit("t")
+
+    def test_quotas_are_per_tenant(self, store):
+        sched = AdmissionScheduler(
+            store, default_quota=TenantQuota(max_queued=1))
+        store.create("a", SPIN)
+        with pytest.raises(QuotaExceeded):
+            sched.check_submit("a")
+        sched.check_submit("b")
+
+
+class TestRunQuotas:
+
+    def test_max_running_gates_selection(self, store):
+        sched = AdmissionScheduler(
+            store, default_quota=TenantQuota(max_running=1, max_queued=99))
+        store.create("t", SPIN)
+        store.create("t", SPIN)
+        assert sched.select() is not None       # first admitted
+        assert sched.select() is None           # second gated
+
+    def test_pe_budget_gates_selection(self, store):
+        sched = AdmissionScheduler(
+            store, default_quota=TenantQuota(max_running=99, max_queued=99,
+                                             pe_budget=5))
+        store.create("t", FORCE)                # 4 PEs
+        store.create("t", FORCE)                # would be 8 > 5
+        assert sched.select() is not None
+        assert sched.select() is None
+
+    def test_one_tenant_blocked_does_not_block_others(self, store):
+        sched = AdmissionScheduler(
+            store, default_quota=TenantQuota(max_running=1, max_queued=99))
+        store.create("a", SPIN)
+        store.create("a", SPIN)
+        store.create("b", SPIN)
+        first = sched.select()
+        second = sched.select()
+        assert {first.tenant, second.tenant} == {"a", "b"}
+        assert sched.select() is None
+
+
+class TestFairShare:
+
+    def test_drr_interleaves_tenants_despite_burst(self, store):
+        """Tenant a floods 4 runs before b submits 2; selection must
+        alternate, not drain a's burst first."""
+        sched = AdmissionScheduler(store, default_quota=GENEROUS)
+        for _ in range(4):
+            store.create("a", SPIN)
+        for _ in range(2):
+            store.create("b", SPIN)
+        order = [sched.select().tenant for _ in range(6)]
+        assert order == ["a", "b", "a", "b", "a", "a"]
+
+    def test_three_tenants_round_robin(self, store):
+        sched = AdmissionScheduler(store, default_quota=GENEROUS)
+        for t in ("c", "c", "a", "a", "b", "b"):
+            store.create(t, SPIN)
+        order = [sched.select().tenant for _ in range(6)]
+        assert order == ["a", "b", "c", "a", "b", "c"]
+
+    def test_expensive_runs_admitted_less_often(self, store):
+        """DRR with a quantum below the expensive run's cost: tenant a
+        (1-PE runs) gets several runs per visit-cycle while tenant b
+        (4-PE runs) must bank deficit across rotations."""
+        sched = AdmissionScheduler(store, default_quota=GENEROUS, quantum=2)
+        for _ in range(4):
+            store.create("a", SPIN)
+        for _ in range(2):
+            store.create("b", FORCE)
+        order = []
+        for _ in range(10):
+            rec = sched.select()
+            if rec is None:
+                break
+            order.append(rec.tenant)
+        # b's first 4-PE run needs two quanta (2 x 2 >= 4): admitted on
+        # b's second visit, after a has already had two turns.
+        assert order.index("b") >= 2
+        assert order.count("a") == 4 and order.count("b") == 2
+
+    def test_selection_marks_admitted(self, store):
+        sched = AdmissionScheduler(store, default_quota=GENEROUS)
+        rec = store.create("t", SPIN)
+        got = sched.select()
+        assert got.run_id == rec.run_id and got.state == ADMITTED
+        assert store.get(rec.run_id).state == ADMITTED
+        assert store.list(state=QUEUED) == []
+
+    def test_empty_queue_selects_none(self, store):
+        sched = AdmissionScheduler(store, default_quota=GENEROUS)
+        assert sched.select() is None
+
+
+class TestUsage:
+
+    def test_usage_reflects_states_and_cost(self, store):
+        sched = AdmissionScheduler(
+            store, default_quota=TenantQuota(max_running=2, max_queued=8,
+                                             pe_budget=16))
+        store.create("t", FORCE)
+        store.create("t", SPIN)
+        assert sched.usage("t")["queued"] == 2
+        sched.select()                           # admits the FORCE run
+        u = sched.usage("t")
+        assert u["running"] == 1 and u["queued"] == 1
+        assert u["pes_in_use"] == 4
+        assert u["pe_budget"] == 16

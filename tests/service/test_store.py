@@ -1,0 +1,138 @@
+"""The run store: state machine, atomicity, crash rescan."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError, UnknownRun
+from repro.service.spec import RunSpec
+from repro.service.store import (ADMITTED, DONE, KILLED, QUEUED, RUNNING,
+                                 RunStore)
+
+SPEC = RunSpec(app="spin", params={"rounds": 3})
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "store")
+
+
+class TestLifecycle:
+
+    def test_create_starts_queued(self, store):
+        rec = store.create("alice", SPEC)
+        assert rec.state == QUEUED and rec.tenant == "alice"
+        assert rec.run_id == "r000001" and rec.seq == 1
+
+    def test_run_ids_are_sequential(self, store):
+        ids = [store.create("t", SPEC).run_id for _ in range(3)]
+        assert ids == ["r000001", "r000002", "r000003"]
+
+    def test_happy_path_transitions(self, store):
+        rec = store.create("t", SPEC)
+        store.transition(rec.run_id, ADMITTED)
+        store.transition(rec.run_id, RUNNING)
+        final = store.transition(rec.run_id, DONE,
+                                 exit={"outcome": "done"})
+        assert final.state == DONE and final.exit["outcome"] == "done"
+
+    def test_illegal_transition_refused(self, store):
+        rec = store.create("t", SPEC)
+        with pytest.raises(ServiceError, match="illegal transition"):
+            store.transition(rec.run_id, RUNNING)   # skips ADMITTED
+
+    def test_terminal_states_are_final(self, store):
+        rec = store.create("t", SPEC)
+        store.transition(rec.run_id, KILLED)
+        with pytest.raises(ServiceError):
+            store.transition(rec.run_id, ADMITTED)
+
+    def test_unknown_run(self, store):
+        with pytest.raises(UnknownRun):
+            store.get("r999999")
+
+
+class TestPersistence:
+
+    def test_record_is_on_disk_json(self, store):
+        rec = store.create("alice", SPEC)
+        with store.record_path(rec.run_id).open() as f:
+            on_disk = json.load(f)
+        assert on_disk["tenant"] == "alice"
+        assert on_disk["spec"]["app"] == "spin"
+
+    def test_no_tmp_leftover_after_write(self, store):
+        rec = store.create("t", SPEC)
+        store.transition(rec.run_id, ADMITTED)
+        leftovers = list(store.run_dir(rec.run_id).glob("*.tmp"))
+        assert leftovers == []
+
+    def test_reopen_sees_all_runs_and_continues_seq(self, store):
+        store.create("a", SPEC)
+        store.create("b", SPEC)
+        reopened = RunStore(store.root)
+        assert [r.run_id for r in reopened.list()] == ["r000001", "r000002"]
+        assert reopened.create("c", SPEC).run_id == "r000003"
+
+    def test_torn_record_is_skipped_not_fatal(self, store):
+        rec = store.create("a", SPEC)
+        other = store.create("b", SPEC)
+        store.record_path(rec.run_id).write_text("{ torn json")
+        reopened = RunStore(store.root)
+        assert [r.run_id for r in reopened.list()] == [other.run_id]
+
+
+class TestRecover:
+
+    def test_interrupted_runs_requeued_with_bump(self, store):
+        rec = store.create("t", SPEC)
+        store.transition(rec.run_id, ADMITTED)
+        store.transition(rec.run_id, RUNNING, started_at=123.0)
+        reopened = RunStore(store.root)
+        recovered = reopened.recover()
+        assert [r.run_id for r in recovered] == [rec.run_id]
+        got = reopened.get(rec.run_id)
+        assert got.state == QUEUED and got.recovered == 1
+        assert got.started_at is None
+
+    def test_queued_and_terminal_untouched(self, store):
+        q = store.create("t", SPEC)
+        d = store.create("t", SPEC)
+        store.transition(d.run_id, ADMITTED)
+        store.transition(d.run_id, RUNNING)
+        store.transition(d.run_id, DONE)
+        reopened = RunStore(store.root)
+        assert reopened.recover() == []
+        assert reopened.get(q.run_id).state == QUEUED
+        assert reopened.get(q.run_id).recovered == 0
+        assert reopened.get(d.run_id).state == DONE
+
+
+class TestQueriesAndArtifacts:
+
+    def test_list_filters(self, store):
+        a = store.create("alice", SPEC)
+        store.create("bob", SPEC)
+        store.transition(a.run_id, ADMITTED)
+        assert len(store.list()) == 2
+        assert [r.tenant for r in store.list(tenant="bob")] == ["bob"]
+        assert [r.run_id for r in store.list(state=ADMITTED)] == [a.run_id]
+        assert store.tenants() == ["alice", "bob"]
+
+    def test_artifacts_listing_and_fetch(self, store):
+        rec = store.create("t", SPEC)
+        (store.artifacts_dir(rec.run_id) / "run.events.jsonl").write_text(
+            '{"etype": "x"}\n')
+        assert store.list_artifacts(rec.run_id) == ["run.events.jsonl"]
+        p = store.artifact_path(rec.run_id, "run.events.jsonl")
+        assert p.read_text().startswith('{"etype"')
+
+    def test_artifact_path_escape_refused(self, store):
+        rec = store.create("t", SPEC)
+        with pytest.raises(UnknownRun):
+            store.artifact_path(rec.run_id, "../record.json")
+
+    def test_missing_artifact_refused(self, store):
+        rec = store.create("t", SPEC)
+        with pytest.raises(UnknownRun):
+            store.artifact_path(rec.run_id, "nope.bin")
